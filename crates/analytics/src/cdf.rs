@@ -1,0 +1,221 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Most of the paper's figures are CDFs over nodes ("percentage of nodes
+//! with stream lag ≤ x", "percentage of nodes with jitter ≤ x"). Some nodes
+//! never reach the plotted condition at all (e.g. they never receive 99 % of
+//! the stream); those are represented here as *missing* observations: they
+//! count in the denominator but are never ≤ any finite threshold, exactly as
+//! a CDF over all nodes that never reaches 100 % — which is how the paper's
+//! plots behave.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a fixed population, allowing missing observations.
+///
+/// # Examples
+///
+/// ```
+/// use heap_analytics::EmpiricalCdf;
+///
+/// // Four nodes: lags 1s, 2s, 4s, and one node that never gets there.
+/// let cdf = EmpiricalCdf::with_missing(vec![Some(1.0), Some(2.0), Some(4.0), None]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.fraction_at_or_below(100.0), 0.75);
+/// assert_eq!(cdf.percentile(0.5), Some(2.0));
+/// assert_eq!(cdf.percentile(0.9), None); // the 90th percentile never arrives
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    /// Sorted finite observations.
+    sorted: Vec<f64>,
+    /// Total population size, including missing observations.
+    population: usize,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from finite observations only.
+    pub fn new<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let population = sorted.len();
+        EmpiricalCdf { sorted, population }
+    }
+
+    /// Builds a CDF over a population where `None` marks a member that never
+    /// attains the measured value (counted in the denominator forever).
+    pub fn with_missing<I: IntoIterator<Item = Option<f64>>>(values: I) -> Self {
+        let mut population = 0usize;
+        let mut sorted = Vec::new();
+        for v in values {
+            population += 1;
+            if let Some(v) = v {
+                if v.is_finite() {
+                    sorted.push(v);
+                }
+            }
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        EmpiricalCdf { sorted, population }
+    }
+
+    /// Population size (including missing observations).
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Number of finite observations.
+    pub fn observed(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.population == 0
+    }
+
+    /// Fraction of the population with value ≤ `x`, in `[0, 1]`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.population as f64
+    }
+
+    /// The smallest observed value `v` such that at least `p` (in `[0, 1]`)
+    /// of the population has value ≤ `v`, or `None` if even the largest
+    /// finite observation does not cover `p` of the population (because of
+    /// missing observations).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.population == 0 {
+            return None;
+        }
+        let needed = (p.clamp(0.0, 1.0) * self.population as f64).ceil() as usize;
+        if needed == 0 {
+            return self.sorted.first().copied();
+        }
+        if needed > self.sorted.len() {
+            return None;
+        }
+        Some(self.sorted[needed - 1])
+    }
+
+    /// The largest finite observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The smallest finite observation.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Samples the CDF at the given thresholds, producing `(x, fraction)`
+    /// points ready for plotting or printing.
+    pub fn sample_at(&self, thresholds: &[f64]) -> Vec<(f64, f64)> {
+        thresholds
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+
+    /// All step points of the CDF: one `(value, cumulative fraction)` pair
+    /// per finite observation.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / self.population as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_fractions_and_percentiles() {
+        let cdf = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.population(), 4);
+        assert_eq!(cdf.observed(), 4);
+        assert!(!cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.percentile(0.25), Some(1.0));
+        assert_eq!(cdf.percentile(0.5), Some(2.0));
+        assert_eq!(cdf.percentile(1.0), Some(4.0));
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(4.0));
+    }
+
+    #[test]
+    fn missing_observations_cap_the_cdf() {
+        let cdf = EmpiricalCdf::with_missing(vec![Some(1.0), None, None, Some(2.0)]);
+        assert_eq!(cdf.population(), 4);
+        assert_eq!(cdf.observed(), 2);
+        assert_eq!(cdf.fraction_at_or_below(f64::MAX), 0.5);
+        assert_eq!(cdf.percentile(0.5), Some(2.0));
+        assert_eq!(cdf.percentile(0.75), None);
+    }
+
+    #[test]
+    fn empty_population() {
+        let cdf = EmpiricalCdf::new(Vec::<f64>::new());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.percentile(0.5), None);
+        assert_eq!(cdf.max(), None);
+        assert_eq!(cdf.min(), None);
+        assert!(cdf.points().is_empty());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_dropped() {
+        let cdf = EmpiricalCdf::new(vec![1.0, f64::INFINITY, f64::NAN, 2.0]);
+        assert_eq!(cdf.observed(), 2);
+        assert_eq!(cdf.population(), 2);
+        let cdf = EmpiricalCdf::with_missing(vec![Some(f64::INFINITY), Some(1.0)]);
+        assert_eq!(cdf.population(), 2);
+        assert_eq!(cdf.observed(), 1);
+    }
+
+    #[test]
+    fn sample_at_and_points() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            cdf.sample_at(&[0.0, 2.5, 5.0]),
+            vec![(0.0, 0.0), (2.5, 0.5), (5.0, 1.0)]
+        );
+        assert_eq!(
+            cdf.points(),
+            vec![(1.0, 0.25), (2.0, 0.5), (3.0, 0.75), (4.0, 1.0)]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_is_monotone_and_bounded(mut values in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
+            let cdf = EmpiricalCdf::new(values.clone());
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for x in [0.0, 10.0, 100.0, 500.0, 1000.0] {
+                let f = cdf.fraction_at_or_below(x);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prop_assert!(f >= prev);
+                prev = f;
+            }
+            prop_assert_eq!(cdf.fraction_at_or_below(1000.0), 1.0);
+        }
+
+        #[test]
+        fn percentile_inverts_fraction(values in proptest::collection::vec(0.0f64..100.0, 1..50), p in 0.01f64..1.0) {
+            let cdf = EmpiricalCdf::new(values);
+            if let Some(v) = cdf.percentile(p) {
+                prop_assert!(cdf.fraction_at_or_below(v) >= p - 1e-9);
+            }
+        }
+    }
+}

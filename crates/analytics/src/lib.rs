@@ -1,0 +1,22 @@
+//! # heap-analytics
+//!
+//! Result-analysis utilities for the HEAP reproduction: empirical CDFs (the
+//! paper's favourite plot), descriptive statistics, per-class summaries and
+//! plain-text tables/series for the benchmark harness output.
+//!
+//! The crate is deliberately free of any protocol knowledge: it consumes
+//! plain numbers produced by `heap-workloads` and formats them the way the
+//! paper's figures and tables do.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cdf;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use cdf::EmpiricalCdf;
+pub use series::Series;
+pub use summary::{summarize, ClassSummary, Summary};
+pub use table::TextTable;

@@ -1,0 +1,108 @@
+//! Named data series, the unit of figure output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named series of `(x, y)` points — one curve of a figure.
+///
+/// # Examples
+///
+/// ```
+/// use heap_analytics::Series;
+///
+/// let s = Series::new("HEAP - no jitter")
+///     .with_points(vec![(0.0, 0.0), (5.0, 40.0), (10.0, 85.0)]);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.y_at(5.0), Some(40.0));
+/// println!("{s}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (as it would appear in the figure legend).
+    pub name: String,
+    /// The `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given legend label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Replaces the points of the series.
+    pub fn with_points(mut self, points: Vec<(f64, f64)>) -> Self {
+        self.points = points;
+        self
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `y` value at exactly `x`, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-12)
+            .map(|(_, y)| *y)
+    }
+
+    /// The largest `y` value of the series.
+    pub fn y_max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.name)?;
+        for (x, y) in &self.points {
+            writeln!(f, "{x:.4}\t{y:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut s = Series::new("test");
+        assert!(s.is_empty());
+        s.push(1.0, 10.0);
+        s.push(2.0, 30.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y_at(2.0), Some(30.0));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.y_max(), Some(30.0));
+        assert_eq!(Series::new("e").y_max(), None);
+    }
+
+    #[test]
+    fn display_is_gnuplot_friendly() {
+        let s = Series::new("curve").with_points(vec![(0.5, 1.0)]);
+        let out = s.to_string();
+        assert!(out.starts_with("# curve\n"));
+        assert!(out.contains("0.5000\t1.0000"));
+    }
+}

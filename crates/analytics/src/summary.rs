@@ -1,0 +1,177 @@
+//! Descriptive statistics and per-class summaries.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (lower of the two middle values for even counts).
+    pub median: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Summarizes a sample; returns `None` for an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// let s = heap_analytics::summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.median, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let count = values.len();
+    let mean = values.iter().sum::<f64>() / count as f64;
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must be comparable"));
+    let median = sorted[(count - 1) / 2];
+    let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+    Some(Summary {
+        count,
+        mean,
+        min: sorted[0],
+        max: sorted[count - 1],
+        median,
+        std_dev: variance.sqrt(),
+    })
+}
+
+/// Values grouped by a class label (e.g. the paper's bandwidth classes
+/// "256 kbps" / "768 kbps" / "2 Mbps"), summarised per class.
+///
+/// # Examples
+///
+/// ```
+/// use heap_analytics::ClassSummary;
+///
+/// let mut cs = ClassSummary::new();
+/// cs.add("poor", 0.2);
+/// cs.add("poor", 0.4);
+/// cs.add("rich", 0.9);
+/// assert_eq!(cs.classes(), vec!["poor".to_string(), "rich".to_string()]);
+/// assert!((cs.summary("poor").unwrap().mean - 0.3).abs() < 1e-12);
+/// assert_eq!(cs.summary("missing"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    groups: BTreeMap<String, Vec<f64>>,
+}
+
+impl ClassSummary {
+    /// Creates an empty grouping.
+    pub fn new() -> Self {
+        ClassSummary::default()
+    }
+
+    /// Adds one observation to a class.
+    pub fn add(&mut self, class: &str, value: f64) {
+        self.groups.entry(class.to_string()).or_default().push(value);
+    }
+
+    /// Adds many observations to a class.
+    pub fn add_all<I: IntoIterator<Item = f64>>(&mut self, class: &str, values: I) {
+        self.groups
+            .entry(class.to_string())
+            .or_default()
+            .extend(values);
+    }
+
+    /// The class labels, sorted.
+    pub fn classes(&self) -> Vec<String> {
+        self.groups.keys().cloned().collect()
+    }
+
+    /// The raw observations of a class.
+    pub fn values(&self, class: &str) -> Option<&[f64]> {
+        self.groups.get(class).map(|v| v.as_slice())
+    }
+
+    /// Descriptive statistics of one class.
+    pub fn summary(&self, class: &str) -> Option<Summary> {
+        self.groups.get(class).and_then(|v| summarize(v))
+    }
+
+    /// Mean value per class, sorted by class label.
+    pub fn means(&self) -> Vec<(String, f64)> {
+        self.groups
+            .iter()
+            .filter_map(|(k, v)| summarize(v).map(|s| (k.clone(), s.mean)))
+            .collect()
+    }
+
+    /// Total number of observations across classes.
+    pub fn len(&self) -> usize {
+        self.groups.values().map(|v| v.len()).sum()
+    }
+
+    /// Returns `true` if no observation has been added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty_and_single() {
+        assert_eq!(summarize(&[]), None);
+        let s = summarize(&[3.5]).unwrap();
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn class_summary_grouping() {
+        let mut cs = ClassSummary::new();
+        cs.add_all("a", [1.0, 2.0, 3.0]);
+        cs.add("b", 10.0);
+        assert_eq!(cs.len(), 4);
+        assert!(!cs.is_empty());
+        assert_eq!(cs.values("a").unwrap().len(), 3);
+        assert_eq!(cs.values("zzz"), None);
+        let means = cs.means();
+        assert_eq!(means, vec![("a".to_string(), 2.0), ("b".to_string(), 10.0)]);
+        assert!(ClassSummary::new().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_between_min_and_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = summarize(&values).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+    }
+}

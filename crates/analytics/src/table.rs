@@ -1,0 +1,152 @@
+//! Plain-text tables, the output format of the benchmark harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple fixed-width text table with a title, a header row and data rows.
+///
+/// # Examples
+///
+/// ```
+/// use heap_analytics::TextTable;
+///
+/// let mut t = TextTable::new("Table 2: delivery in jittered windows");
+/// t.header(vec!["class", "standard", "HEAP"]);
+/// t.row(vec!["512 kbps".into(), "42.8%".into(), "83.7%".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("512 kbps"));
+/// assert!(rendered.contains("standard"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header row.
+    pub fn header<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a header is set and the row has a different number of cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        if !self.header.is_empty() {
+            assert_eq!(
+                cells.len(),
+                self.header.len(),
+                "row has {} cells but the header has {}",
+                cells.len(),
+                self.header.len()
+            );
+        }
+        self.rows.push(cells);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The cell at (`row`, `col`), if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let widths = self.column_widths();
+        let render_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            writeln!(f, "{}", render_row(&self.header))?;
+            writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        }
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_header_and_rows() {
+        let mut t = TextTable::new("demo");
+        t.header(vec!["a", "bbbb", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["xxxx".into(), "y".into(), "z".into()]);
+        let out = t.to_string();
+        assert!(out.contains("== demo =="));
+        assert!(out.contains("bbbb"));
+        assert!(out.lines().count() >= 5);
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(1, 0), Some("xxxx"));
+        assert_eq!(t.cell(5, 0), None);
+    }
+
+    #[test]
+    fn renders_without_header() {
+        let mut t = TextTable::new("no header");
+        t.row(vec!["only".into(), "row".into()]);
+        let out = t.to_string();
+        assert!(out.contains("only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells but the header has 2")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("bad");
+        t.header(vec!["a", "b"]);
+        t.row(vec!["only".into()]);
+    }
+}

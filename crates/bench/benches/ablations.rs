@@ -1,0 +1,109 @@
+//! Ablation benchmarks: the design choices DESIGN.md calls out, each
+//! exercised as a full scenario run so both the runtime cost and the code
+//! path are covered.
+//!
+//! * fanout adaptation off (standard) vs gossip-estimated (HEAP) vs oracle
+//!   average (HEAP-oracle),
+//! * retransmission on vs off,
+//! * lossless vs bursty loss,
+//! * straggler nodes (overloaded PlanetLab machines) present or not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heap_bench::bench_scale;
+use heap_simnet::loss::LossModel;
+use heap_workloads::{
+    run_scenario, BandwidthDistribution, ChurnSpec, ProtocolChoice, Scenario,
+};
+
+fn scenario(name: &str, protocol: ProtocolChoice) -> Scenario {
+    Scenario::new(
+        name,
+        bench_scale(),
+        BandwidthDistribution::ms_691(),
+        protocol,
+    )
+    .with_churn(ChurnSpec::None)
+}
+
+fn bench_fanout_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fanout_policy");
+    group.sample_size(10);
+    group.bench_function("standard_f7", |b| {
+        b.iter(|| run_scenario(&scenario("ablation/standard", ProtocolChoice::Standard { fanout: 7.0 })));
+    });
+    group.bench_function("heap_estimated", |b| {
+        b.iter(|| run_scenario(&scenario("ablation/heap", ProtocolChoice::Heap { fanout: 7.0 })));
+    });
+    group.bench_function("heap_oracle", |b| {
+        b.iter(|| {
+            run_scenario(&scenario(
+                "ablation/heap-oracle",
+                ProtocolChoice::HeapOracle { fanout: 7.0 },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_retransmission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_retransmission");
+    group.sample_size(10);
+    let base = scenario("ablation/retx-on", ProtocolChoice::Heap { fanout: 7.0 })
+        .with_loss(LossModel::bernoulli(0.05));
+    group.bench_function("retransmission_on", |b| {
+        b.iter(|| run_scenario(&base));
+    });
+    let gossip = base.gossip.clone().without_retransmission();
+    let off = scenario("ablation/retx-off", ProtocolChoice::Heap { fanout: 7.0 })
+        .with_loss(LossModel::bernoulli(0.05))
+        .with_gossip(gossip);
+    group.bench_function("retransmission_off", |b| {
+        b.iter(|| run_scenario(&off));
+    });
+    group.finish();
+}
+
+fn bench_loss_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_loss_model");
+    group.sample_size(10);
+    group.bench_function("lossless", |b| {
+        b.iter(|| {
+            run_scenario(
+                &scenario("ablation/lossless", ProtocolChoice::Heap { fanout: 7.0 })
+                    .with_loss(LossModel::none()),
+            )
+        });
+    });
+    group.bench_function("bursty", |b| {
+        b.iter(|| {
+            run_scenario(
+                &scenario("ablation/bursty", ProtocolChoice::Heap { fanout: 7.0 })
+                    .with_loss(LossModel::bursty_default()),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_stragglers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_stragglers");
+    group.sample_size(10);
+    group.bench_function("six_percent_stragglers", |b| {
+        b.iter(|| {
+            run_scenario(
+                &scenario("ablation/stragglers", ProtocolChoice::Heap { fanout: 7.0 })
+                    .with_stragglers(0.06),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fanout_policies,
+    bench_retransmission,
+    bench_loss_models,
+    bench_stragglers
+);
+criterion_main!(benches);

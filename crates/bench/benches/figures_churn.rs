@@ -1,0 +1,19 @@
+//! Benchmark regenerating the churn-resilience figure (Figure 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heap_bench::bench_scale;
+use heap_workloads::experiments::fig10_churn;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_churn");
+    group.sample_size(10);
+    // Benchmark the 50% catastrophic-failure scenario (the heavier of the
+    // paper's two); the repro binary regenerates both 20% and 50%.
+    group.bench_function("regenerate_50pct_failures", |b| {
+        b.iter(|| fig10_churn::run_with_fractions(bench_scale(), &[0.5]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks regenerating the stream-lag figures (Figures 1, 2 and 3).
+//!
+//! Each benchmark regenerates the corresponding figure end to end (scenario
+//! execution included) at the reduced benchmark scale; the `repro` binary
+//! produces the same figures at the full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heap_bench::bench_scale;
+use heap_workloads::experiments::{fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_unconstrained");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| {
+        b.iter(|| fig1_unconstrained::run(bench_scale()));
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fanout_sweep");
+    group.sample_size(10);
+    // The full sweep is 8 runs; benchmark a representative subset to keep the
+    // harness affordable (the repro binary runs the complete sweep).
+    group.bench_function("regenerate_f7_f20", |b| {
+        b.iter(|| fig2_fanout_sweep::run_with_fanouts(bench_scale(), &[7.0, 20.0], &[7.0]));
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_heap_dist1");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| {
+        b.iter(|| fig3_heap_dist1::run_at(bench_scale()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks regenerating the stream-quality figures and tables that share
+//! the six baseline runs: Figures 4, 5/6, 7, 8, 9 and Tables 2 and 3.
+//!
+//! The baseline runs themselves are benchmarked once (`baseline_runs`); the
+//! per-figure benchmarks then measure the analysis/aggregation step from the
+//! precomputed runs, which is what distinguishes the figures from each other.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heap_bench::bench_scale;
+use heap_workloads::experiments::{
+    fig4_bandwidth_usage, fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf,
+    table2_jittered_delivery, table3_jitter_free_nodes, StandardRuns,
+};
+
+fn bench_baseline_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_runs");
+    group.sample_size(10);
+    group.bench_function("three_distributions_two_protocols", |b| {
+        b.iter(|| StandardRuns::compute(bench_scale()));
+    });
+    group.finish();
+}
+
+fn bench_quality_figures(c: &mut Criterion) {
+    let runs = StandardRuns::compute(bench_scale());
+    let mut group = c.benchmark_group("quality_figures");
+    group.bench_function("fig4_bandwidth_usage", |b| {
+        b.iter(|| fig4_bandwidth_usage::run(&runs));
+    });
+    group.bench_function("fig5_6_jitter_free", |b| {
+        b.iter(|| fig5_6_jitter_free::run(&runs));
+    });
+    group.bench_function("fig7_jitter_cdf", |b| {
+        b.iter(|| fig7_jitter_cdf::run(&runs));
+    });
+    group.bench_function("fig8_lag_by_class", |b| {
+        b.iter(|| fig8_lag_by_class::run(&runs));
+    });
+    group.bench_function("fig9_lag_cdf", |b| {
+        b.iter(|| fig9_lag_cdf::run(&runs));
+    });
+    group.bench_function("table2_jittered_delivery", |b| {
+        b.iter(|| table2_jittered_delivery::run(&runs));
+    });
+    group.bench_function("table3_jitter_free_nodes", |b| {
+        b.iter(|| table3_jitter_free_nodes::run(&runs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_runs, bench_quality_figures);
+criterion_main!(benches);

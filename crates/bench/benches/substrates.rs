@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the substrates the reproduction is built on:
+//! GF(256) arithmetic, the paper-geometry FEC window codec, the
+//! discrete-event simulator's message throughput and uniform peer sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use heap_fec::{gf256, WindowDecoder, WindowEncoder, WindowParams};
+use heap_membership::{MembershipView, UniformSampler};
+use heap_simnet::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_gf256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256");
+    let src: Vec<u8> = (0..1316).map(|i| (i % 251) as u8).collect();
+    let mut dst = vec![0u8; 1316];
+    group.throughput(Throughput::Bytes(1316));
+    group.bench_function("mul_add_slice_1316B", |b| {
+        b.iter(|| gf256::mul_add_slice(&mut dst, &src, 0x57));
+    });
+    group.finish();
+}
+
+fn bench_fec_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fec_window");
+    group.sample_size(10);
+    let params = WindowParams::PAPER;
+    let encoder = WindowEncoder::new(params).expect("paper geometry is valid");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let data: Vec<Vec<u8>> = (0..params.data_packets)
+        .map(|_| (0..params.packet_bytes).map(|_| rng.gen()).collect())
+        .collect();
+    group.throughput(Throughput::Bytes(
+        (params.data_packets * params.packet_bytes) as u64,
+    ));
+    group.bench_function("encode_101p9_1316B", |b| {
+        b.iter(|| encoder.encode(&data).expect("encode"));
+    });
+
+    let packets = encoder.encode(&data).expect("encode");
+    group.bench_function("decode_with_9_losses", |b| {
+        b.iter_batched(
+            || {
+                let mut dec = WindowDecoder::new(params);
+                for (i, p) in packets.iter().enumerate() {
+                    // Drop 9 data packets; decode must reconstruct them.
+                    if i >= 9 {
+                        dec.insert(i, p.clone());
+                    }
+                }
+                dec
+            },
+            |dec| dec.decode().expect("decodable"),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+/// A flood protocol used to measure raw simulator throughput.
+struct Flood {
+    n: usize,
+    ttl: u32,
+}
+
+#[derive(Clone, Debug)]
+struct FloodMsg(u32);
+impl WireSize for FloodMsg {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+impl Protocol for Flood {
+    type Message = FloodMsg;
+    fn on_start(&mut self, ctx: &mut Context<'_, FloodMsg>) {
+        if ctx.node_id().index() == 0 {
+            for i in 1..self.n {
+                ctx.send(NodeId::new(i as u32), FloodMsg(self.ttl));
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, FloodMsg>, _from: NodeId, msg: FloodMsg) {
+        if msg.0 > 0 {
+            let target = NodeId::new(ctx.rng().gen_range(0..self.n as u32));
+            ctx.send(target, FloodMsg(msg.0 - 1));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, FloodMsg>, _t: TimerId, _tag: u64) {}
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+    group.sample_size(20);
+    let n = 100;
+    let ttl = 200;
+    // Each of the n-1 initial messages spawns a chain of `ttl` forwards.
+    group.throughput(Throughput::Elements(((n - 1) * (ttl as usize + 1)) as u64));
+    group.bench_function("message_chain_100_nodes", |b| {
+        b.iter(|| {
+            let mut sim = SimulatorBuilder::new(n, 7)
+                .latency(LatencyModel::constant(SimDuration::from_millis(5)))
+                .build(|_| Flood { n, ttl });
+            sim.run_until(SimTime::from_secs(3600));
+            sim.stats().total_messages_delivered()
+        });
+    });
+    group.finish();
+}
+
+fn bench_peer_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    let view = MembershipView::full(271, NodeId::new(0));
+    let mut rng = SmallRng::seed_from_u64(3);
+    group.bench_function("select_7_of_270", |b| {
+        b.iter(|| UniformSampler::select(&view, 7, &mut rng));
+    });
+    group.bench_function("select_56_of_270", |b| {
+        b.iter(|| UniformSampler::select(&view, 56, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gf256,
+    bench_fec_window,
+    bench_simulator_throughput,
+    bench_peer_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! `repro` — regenerates every figure and table of the HEAP paper.
+//!
+//! ```text
+//! Usage: repro [--scale test|default|paper] [--seed N] [EXPERIMENT ...]
+//!
+//! EXPERIMENT is one or more of:
+//!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3
+//! or `all` (the default).
+//! ```
+//!
+//! Output is plain text: one block per figure with its tables and/or
+//! gnuplot-friendly series. `EXPERIMENTS.md` records a run of this binary and
+//! compares the measured shapes against the paper.
+
+use heap_bench::parse_scale;
+use heap_workloads::experiments::{
+    fig10_churn, fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1, fig4_bandwidth_usage,
+    fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf, table1_distributions,
+    table2_jittered_delivery, table3_jitter_free_nodes, Figure, StandardRuns,
+};
+use heap_workloads::Scale;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "table2", "table3",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale test|default|paper] [--seed N] [EXPERIMENT ...]\n\
+         experiments: {} or 'all'",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::default_scale();
+    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let parsed = parse_scale(&value).unwrap_or_else(|| usage());
+                scale = parsed.with_seed(scale.seed);
+            }
+            "--seed" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let seed: u64 = value.parse().unwrap_or_else(|_| usage());
+                scale = scale.with_seed(seed);
+            }
+            "--help" | "-h" => usage(),
+            "all" => {
+                wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+            }
+            other => {
+                if ALL_EXPERIMENTS.contains(&other) {
+                    wanted.insert(other.to_string());
+                } else {
+                    eprintln!("unknown experiment '{other}'");
+                    usage();
+                }
+            }
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+
+    println!(
+        "# HEAP reproduction — {} nodes, {} windows, seed {}",
+        scale.n_nodes, scale.n_windows, scale.seed
+    );
+
+    // The six baseline runs are shared by most figures; compute them lazily.
+    let needs_baseline = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3"]
+        .iter()
+        .any(|e| wanted.contains(**&e));
+    let baseline = if needs_baseline {
+        let start = Instant::now();
+        eprintln!("computing the six baseline runs (3 distributions x 2 protocols)...");
+        let runs = StandardRuns::compute(scale);
+        eprintln!("baseline runs done in {:.1}s", start.elapsed().as_secs_f64());
+        Some(runs)
+    } else {
+        None
+    };
+
+    let emit = |name: &str, fig: Figure| {
+        println!("\n{fig}");
+        eprintln!("[{name}] done");
+    };
+
+    for name in &wanted {
+        let start = Instant::now();
+        match name.as_str() {
+            "table1" => emit("table1", table1_distributions::run()),
+            "fig1" => emit("fig1", fig1_unconstrained::run(scale)),
+            "fig2" => emit("fig2", fig2_fanout_sweep::run(scale)),
+            "fig3" => emit("fig3", fig3_heap_dist1::run(baseline.as_ref().expect("baseline"))),
+            "fig4" => emit("fig4", fig4_bandwidth_usage::run(baseline.as_ref().expect("baseline"))),
+            // Figures 5 and 6 come from the same experiment module.
+            "fig5" | "fig6" => {
+                if name == "fig5" || !wanted.contains("fig5") {
+                    emit("fig5/6", fig5_6_jitter_free::run(baseline.as_ref().expect("baseline")));
+                }
+            }
+            "fig7" => emit("fig7", fig7_jitter_cdf::run(baseline.as_ref().expect("baseline"))),
+            "fig8" => emit("fig8", fig8_lag_by_class::run(baseline.as_ref().expect("baseline"))),
+            "fig9" => emit("fig9", fig9_lag_cdf::run(baseline.as_ref().expect("baseline"))),
+            "fig10" => emit("fig10", fig10_churn::run(scale)),
+            "table2" => emit(
+                "table2",
+                table2_jittered_delivery::run(baseline.as_ref().expect("baseline")),
+            ),
+            "table3" => emit(
+                "table3",
+                table3_jitter_free_nodes::run(baseline.as_ref().expect("baseline")),
+            ),
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[{name}] took {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

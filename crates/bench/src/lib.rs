@@ -1,0 +1,55 @@
+//! # heap-bench
+//!
+//! Benchmark harness of the HEAP reproduction.
+//!
+//! Two entry points:
+//!
+//! * **`repro`** (`cargo run --release -p heap-bench --bin repro -- all`) —
+//!   regenerates every figure and table of the paper as text series/tables.
+//!   See `repro --help` for experiment selection and scaling options; the
+//!   measured outputs are recorded in `EXPERIMENTS.md`.
+//! * **Criterion benches** (`cargo bench -p heap-bench`) — one benchmark per
+//!   figure/table (at a reduced scale so Criterion's repeated sampling stays
+//!   affordable) plus micro-benchmarks of the substrates (FEC coding,
+//!   simulator event throughput, dissemination rounds) and ablation benches
+//!   (HEAP vs oracle estimate, retransmission on/off).
+
+#![deny(missing_docs)]
+
+use heap_workloads::Scale;
+
+/// Parses the `--scale` argument shared by the repro binary and the benches.
+///
+/// Accepted values: `test`, `default`, `paper`.
+pub fn parse_scale(value: &str) -> Option<Scale> {
+    match value {
+        "test" => Some(Scale::test()),
+        "default" => Some(Scale::default_scale()),
+        "paper" => Some(Scale::paper()),
+        _ => None,
+    }
+}
+
+/// The scale used by the Criterion figure benches: small enough that a full
+/// figure regeneration fits in a Criterion sample.
+pub fn bench_scale() -> Scale {
+    Scale::test()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scale_accepts_known_values() {
+        assert_eq!(parse_scale("test"), Some(Scale::test()));
+        assert_eq!(parse_scale("default"), Some(Scale::default_scale()));
+        assert_eq!(parse_scale("paper"), Some(Scale::paper()));
+        assert_eq!(parse_scale("huge"), None);
+    }
+
+    #[test]
+    fn bench_scale_is_small() {
+        assert!(bench_scale().n_nodes <= Scale::default_scale().n_nodes);
+    }
+}

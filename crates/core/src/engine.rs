@@ -1,0 +1,344 @@
+//! The transport-agnostic three-phase dissemination state machine.
+//!
+//! [`DisseminationEngine`] implements the data structures and transitions of
+//! Algorithm 1 (`eToPropose`, `eRequested`, `eDelivered`, infect-and-die) with
+//! no knowledge of timers or the network; [`GossipNode`](crate::node::GossipNode)
+//! drives it from the simulator callbacks. Keeping the state machine pure makes
+//! it directly unit- and property-testable.
+
+use heap_simnet::time::SimTime;
+use heap_streaming::packet::{PacketId, StreamPacket};
+use heap_streaming::receiver::ReceiverLog;
+use heap_streaming::source::StreamSchedule;
+
+/// Counters describing what the engine has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Packet ids accepted for future proposal (excluding source publishes).
+    pub ids_learned: u64,
+    /// Packets delivered (first receptions).
+    pub packets_delivered: u64,
+    /// Duplicate payload receptions (should stay 0 under the three-phase
+    /// protocol; counted to verify that invariant).
+    pub duplicate_payloads: u64,
+    /// Ids requested from proposers.
+    pub ids_requested: u64,
+    /// Ids served to requesters.
+    pub ids_served: u64,
+}
+
+/// Per-node dissemination state (Algorithm 1).
+///
+/// # Examples
+///
+/// ```
+/// use heap_gossip::engine::DisseminationEngine;
+/// use heap_streaming::{PacketId, StreamConfig, StreamSchedule};
+/// use heap_simnet::time::SimTime;
+///
+/// let schedule = StreamSchedule::new(StreamConfig::small(1), SimTime::ZERO);
+/// let mut engine = DisseminationEngine::new(schedule);
+///
+/// // A proposal for packet 0 arrives: we want it (not yet requested).
+/// let wanted = engine.handle_propose(&[PacketId::new(0)]);
+/// assert_eq!(wanted, vec![PacketId::new(0)]);
+/// // Proposing it again elsewhere: already requested, nothing wanted.
+/// assert!(engine.handle_propose(&[PacketId::new(0)]).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisseminationEngine {
+    schedule: StreamSchedule,
+    log: ReceiverLog,
+    /// `eRequested`: ids we have already pulled (never pull twice).
+    requested: Vec<bool>,
+    /// `eToPropose`: ids to advertise in the next gossip round
+    /// (cleared after every round — infect-and-die).
+    to_propose: Vec<PacketId>,
+    stats: EngineStats,
+}
+
+impl DisseminationEngine {
+    /// Creates the engine for a node participating in the given stream.
+    pub fn new(schedule: StreamSchedule) -> Self {
+        let total = schedule.total_packets() as usize;
+        DisseminationEngine {
+            log: ReceiverLog::for_schedule(&schedule),
+            requested: vec![false; total],
+            to_propose: Vec::new(),
+            schedule,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The stream schedule this engine follows.
+    pub fn schedule(&self) -> &StreamSchedule {
+        &self.schedule
+    }
+
+    /// The receive log (arrival time of every delivered packet).
+    pub fn receiver_log(&self) -> &ReceiverLog {
+        &self.log
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Whether the packet has been delivered to this node.
+    pub fn is_delivered(&self, id: PacketId) -> bool {
+        self.log.has(id)
+    }
+
+    /// Whether the packet has already been requested by this node.
+    pub fn is_requested(&self, id: PacketId) -> bool {
+        self.requested
+            .get(id.seq() as usize)
+            .copied()
+            .unwrap_or(true)
+    }
+
+    /// Number of ids currently queued for the next proposal round.
+    pub fn pending_proposals(&self) -> usize {
+        self.to_propose.len()
+    }
+
+    /// **Source only.** Publishes a locally produced packet: delivers it to
+    /// the local log and returns the id to be gossiped immediately
+    /// (Algorithm 1 line 5 gossips fresh ids right away rather than waiting
+    /// for the next round).
+    pub fn publish(&mut self, packet: &StreamPacket, now: SimTime) -> PacketId {
+        if self.log.record(packet.id, now) {
+            self.stats.packets_delivered += 1;
+        }
+        // Mark as requested so proposals from other nodes never pull it back.
+        if let Some(slot) = self.requested.get_mut(packet.id.seq() as usize) {
+            *slot = true;
+        }
+        packet.id
+    }
+
+    /// Drains the ids to advertise this round (infect-and-die: each id is
+    /// returned exactly once over the lifetime of the node).
+    pub fn take_proposals(&mut self) -> Vec<PacketId> {
+        std::mem::take(&mut self.to_propose)
+    }
+
+    /// Phase 2 (receiver side): handles an incoming [Propose] and returns the
+    /// ids to pull — those neither requested before nor already delivered,
+    /// and that actually belong to the stream.
+    ///
+    /// [Propose]: crate::message::GossipMessage::Propose
+    pub fn handle_propose(&mut self, proposed: &[PacketId]) -> Vec<PacketId> {
+        let mut wanted = Vec::new();
+        for &id in proposed {
+            let idx = id.seq() as usize;
+            if idx >= self.requested.len() {
+                continue; // not a packet of this stream
+            }
+            if self.requested[idx] || self.log.has(id) {
+                continue;
+            }
+            self.requested[idx] = true;
+            wanted.push(id);
+        }
+        self.stats.ids_requested += wanted.len() as u64;
+        wanted
+    }
+
+    /// Phase 3 (proposer side): handles an incoming [Request] and returns the
+    /// descriptors of the requested packets this node actually has.
+    ///
+    /// [Request]: crate::message::GossipMessage::Request
+    pub fn handle_request(&mut self, requested: &[PacketId]) -> Vec<StreamPacket> {
+        let mut served = Vec::new();
+        for &id in requested {
+            if self.log.has(id) {
+                if let Some(packet) = self.schedule.packet(id) {
+                    served.push(packet);
+                }
+            }
+        }
+        self.stats.ids_served += served.len() as u64;
+        served
+    }
+
+    /// Phase 3 (receiver side): handles an incoming [Serve]; delivers new
+    /// packets, queues their ids for the next proposal round and returns the
+    /// ids that were new.
+    ///
+    /// [Serve]: crate::message::GossipMessage::Serve
+    pub fn handle_serve(&mut self, packets: &[StreamPacket], now: SimTime) -> Vec<PacketId> {
+        let mut fresh = Vec::new();
+        for packet in packets {
+            if self.log.record(packet.id, now) {
+                self.stats.packets_delivered += 1;
+                self.stats.ids_learned += 1;
+                self.to_propose.push(packet.id);
+                fresh.push(packet.id);
+            } else {
+                self.stats.duplicate_payloads += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Of the given ids, those that are still missing (requested but not yet
+    /// delivered) — the set a retransmission should pull again.
+    pub fn still_missing(&self, ids: &[PacketId]) -> Vec<PacketId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| !self.log.has(id) && (id.seq() as usize) < self.requested.len())
+            .collect()
+    }
+
+    /// Gives up on an earlier request: clears the `eRequested` mark of the
+    /// given (still missing) ids so that a later [Propose] from *another*
+    /// peer can pull them again. Used when the proposer a request was sent to
+    /// has failed, or when all retransmissions towards it were exhausted.
+    ///
+    /// [Propose]: crate::message::GossipMessage::Propose
+    pub fn unrequest(&mut self, ids: &[PacketId]) {
+        for &id in ids {
+            let idx = id.seq() as usize;
+            if idx < self.requested.len() && !self.log.has(id) {
+                self.requested[idx] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_streaming::source::StreamConfig;
+
+    fn engine() -> DisseminationEngine {
+        let schedule = StreamSchedule::new(StreamConfig::small(2), SimTime::ZERO);
+        DisseminationEngine::new(schedule)
+    }
+
+    fn pkt(engine: &DisseminationEngine, seq: u64) -> StreamPacket {
+        engine.schedule().packet(PacketId::new(seq)).unwrap()
+    }
+
+    #[test]
+    fn propose_request_serve_roundtrip() {
+        let mut a = engine(); // proposer
+        let mut b = engine(); // receiver
+        let now = SimTime::from_secs(1);
+
+        // a received packets 0 and 1 from somewhere.
+        let packets = vec![pkt(&a, 0), pkt(&a, 1)];
+        let fresh = a.handle_serve(&packets, now);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(a.pending_proposals(), 2);
+        assert!(a.is_delivered(PacketId::new(0)));
+
+        // a proposes; b wants both.
+        let proposal = a.take_proposals();
+        assert_eq!(proposal.len(), 2);
+        assert_eq!(a.pending_proposals(), 0, "infect-and-die drains the set");
+        let wanted = b.handle_propose(&proposal);
+        assert_eq!(wanted, proposal);
+        assert!(b.is_requested(PacketId::new(0)));
+        assert!(!b.is_delivered(PacketId::new(0)));
+
+        // a serves; b delivers and queues for its own next round.
+        let served = a.handle_request(&wanted);
+        assert_eq!(served.len(), 2);
+        let delivered = b.handle_serve(&served, now);
+        assert_eq!(delivered.len(), 2);
+        assert!(b.is_delivered(PacketId::new(1)));
+        assert_eq!(b.receiver_log().received_count(), 2);
+        assert_eq!(b.stats().packets_delivered, 2);
+        assert_eq!(a.stats().ids_served, 2);
+    }
+
+    #[test]
+    fn never_requests_twice_or_after_delivery() {
+        let mut e = engine();
+        let ids = vec![PacketId::new(3)];
+        assert_eq!(e.handle_propose(&ids), ids);
+        // Second proposal for the same id: nothing wanted.
+        assert!(e.handle_propose(&ids).is_empty());
+        // Deliver it, then propose again: still nothing wanted.
+        let p = pkt(&e, 3);
+        e.handle_serve(&[p], SimTime::from_secs(2));
+        assert!(e.handle_propose(&ids).is_empty());
+    }
+
+    #[test]
+    fn duplicate_serves_are_counted_not_redelivered() {
+        let mut e = engine();
+        let p = pkt(&e, 5);
+        assert_eq!(e.handle_serve(&[p], SimTime::from_secs(1)).len(), 1);
+        assert!(e.handle_serve(&[p], SimTime::from_secs(2)).is_empty());
+        assert_eq!(e.stats().duplicate_payloads, 1);
+        assert_eq!(e.receiver_log().arrival(p.id), Some(SimTime::from_secs(1)));
+        // The id is only queued for proposal once.
+        assert_eq!(e.take_proposals().len(), 1);
+    }
+
+    #[test]
+    fn handle_request_only_serves_what_it_has() {
+        let mut e = engine();
+        let p = pkt(&e, 0);
+        e.handle_serve(&[p], SimTime::from_secs(1));
+        let served = e.handle_request(&[PacketId::new(0), PacketId::new(7), PacketId::new(9999)]);
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].id, PacketId::new(0));
+    }
+
+    #[test]
+    fn proposals_outside_the_stream_are_ignored() {
+        let mut e = engine();
+        let wanted = e.handle_propose(&[PacketId::new(1_000_000)]);
+        assert!(wanted.is_empty());
+        assert!(e.is_requested(PacketId::new(1_000_000)), "out of range treated as non-pullable");
+    }
+
+    #[test]
+    fn publish_delivers_locally_without_reproposing_later() {
+        let mut e = engine();
+        let p = pkt(&e, 0);
+        let id = e.publish(&p, SimTime::from_millis(5));
+        assert_eq!(id, p.id);
+        assert!(e.is_delivered(p.id));
+        // The published id is gossiped immediately by the caller and must not
+        // be queued again for the next round.
+        assert_eq!(e.pending_proposals(), 0);
+        // And proposals from others for that id are not pulled.
+        assert!(e.handle_propose(&[p.id]).is_empty());
+        // Publishing twice does not double-count deliveries.
+        e.publish(&p, SimTime::from_millis(6));
+        assert_eq!(e.stats().packets_delivered, 1);
+    }
+
+    #[test]
+    fn still_missing_filters_delivered_ids() {
+        let mut e = engine();
+        let ids = vec![PacketId::new(0), PacketId::new(1), PacketId::new(2)];
+        e.handle_propose(&ids);
+        e.handle_serve(&[pkt(&e, 1)], SimTime::from_secs(1));
+        assert_eq!(
+            e.still_missing(&ids),
+            vec![PacketId::new(0), PacketId::new(2)]
+        );
+        // Out-of-stream ids are never reported missing.
+        assert!(e.still_missing(&[PacketId::new(1_000_000)]).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        e.handle_propose(&[PacketId::new(0), PacketId::new(1)]);
+        e.handle_serve(&[pkt(&e, 0)], SimTime::from_secs(1));
+        e.handle_request(&[PacketId::new(0)]);
+        let s = e.stats();
+        assert_eq!(s.ids_requested, 2);
+        assert_eq!(s.packets_delivered, 1);
+        assert_eq!(s.ids_learned, 1);
+        assert_eq!(s.ids_served, 1);
+    }
+}

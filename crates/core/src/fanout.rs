@@ -1,0 +1,298 @@
+//! Fanout policies: the knob HEAP turns.
+//!
+//! Standard gossip gives every node the same fanout `f = ln(n) + c`. HEAP
+//! multiplies that reference fanout by the node's relative capability
+//! `b_p / b̄` (estimated by the [aggregation protocol](crate::aggregation)),
+//! so that a node's expected number of proposals — and therefore of incoming
+//! requests and of served payload — is proportional to its upload capability,
+//! while the *average* fanout across nodes stays at `f`.
+
+use heap_simnet::bandwidth::Bandwidth;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a node derives the fanout of each gossip round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FanoutPolicy {
+    /// Every round uses the same fanout (standard, homogeneous gossip).
+    Fixed {
+        /// The reference fanout `f`.
+        fanout: f64,
+    },
+    /// HEAP: fanout = `f · b_p / b̄` with `b̄` estimated by the aggregation
+    /// protocol.
+    HeapAdaptive {
+        /// The reference (average) fanout `f`.
+        fanout: f64,
+        /// Lower clamp applied after scaling (the source must keep at least
+        /// fanout 1 for dissemination to start; the paper's analysis assumes
+        /// every node proposes at least occasionally).
+        min_fanout: f64,
+        /// Upper clamp applied after scaling, to keep a single node from
+        /// proposing to most of the system in pathological estimates.
+        max_fanout: f64,
+    },
+    /// HEAP with an oracle average capability instead of the gossip estimate
+    /// (ablation: isolates the effect of estimation error).
+    HeapOracle {
+        /// The reference fanout `f`.
+        fanout: f64,
+        /// The exact system-wide average capability.
+        average: Bandwidth,
+        /// Lower clamp (see [`FanoutPolicy::HeapAdaptive`]).
+        min_fanout: f64,
+        /// Upper clamp (see [`FanoutPolicy::HeapAdaptive`]).
+        max_fanout: f64,
+    },
+}
+
+impl FanoutPolicy {
+    /// Standard homogeneous gossip with the given fanout.
+    pub fn fixed(fanout: f64) -> Self {
+        FanoutPolicy::Fixed { fanout }
+    }
+
+    /// HEAP's adaptive policy with the paper's clamps (at least 1, at most
+    /// 8× the reference fanout).
+    pub fn heap(fanout: f64) -> Self {
+        FanoutPolicy::HeapAdaptive {
+            fanout,
+            min_fanout: 1.0,
+            max_fanout: fanout * 8.0,
+        }
+    }
+
+    /// HEAP with an oracle average capability (ablation).
+    pub fn heap_oracle(fanout: f64, average: Bandwidth) -> Self {
+        FanoutPolicy::HeapOracle {
+            fanout,
+            average,
+            min_fanout: 1.0,
+            max_fanout: fanout * 8.0,
+        }
+    }
+
+    /// The reference (average) fanout of the policy.
+    pub fn reference_fanout(&self) -> f64 {
+        match self {
+            FanoutPolicy::Fixed { fanout }
+            | FanoutPolicy::HeapAdaptive { fanout, .. }
+            | FanoutPolicy::HeapOracle { fanout, .. } => *fanout,
+        }
+    }
+
+    /// Returns `true` for the capability-adaptive variants.
+    pub fn is_adaptive(&self) -> bool {
+        !matches!(self, FanoutPolicy::Fixed { .. })
+    }
+
+    /// The *target* (possibly fractional) fanout for a node with capability
+    /// `own` given an estimated average capability `estimated_average`.
+    pub fn target_fanout(&self, own: Bandwidth, estimated_average: Bandwidth) -> f64 {
+        match *self {
+            FanoutPolicy::Fixed { fanout } => fanout,
+            FanoutPolicy::HeapAdaptive {
+                fanout,
+                min_fanout,
+                max_fanout,
+            } => {
+                let ratio = if estimated_average.as_bps() == 0 {
+                    1.0
+                } else {
+                    own.ratio(estimated_average)
+                };
+                (fanout * ratio).clamp(min_fanout, max_fanout)
+            }
+            FanoutPolicy::HeapOracle {
+                fanout,
+                average,
+                min_fanout,
+                max_fanout,
+            } => {
+                let ratio = if average.as_bps() == 0 {
+                    1.0
+                } else {
+                    own.ratio(average)
+                };
+                (fanout * ratio).clamp(min_fanout, max_fanout)
+            }
+        }
+    }
+
+    /// Draws the integer fanout to use for one gossip round.
+    ///
+    /// Fractional targets are handled by stochastic rounding (e.g. a target
+    /// of 2.3 yields 3 with probability 0.3 and 2 otherwise), so the average
+    /// over many rounds equals the target and the system-wide average fanout
+    /// is preserved — the property HEAP's reliability argument relies on.
+    pub fn sample_fanout<R: Rng + ?Sized>(
+        &self,
+        own: Bandwidth,
+        estimated_average: Bandwidth,
+        rng: &mut R,
+    ) -> usize {
+        let target = self.target_fanout(own, estimated_average);
+        stochastic_round(target, rng)
+    }
+}
+
+/// Rounds `x` to an integer whose expectation equals `x`.
+pub fn stochastic_round<R: Rng + ?Sized>(x: f64, rng: &mut R) -> usize {
+    if x <= 0.0 {
+        return 0;
+    }
+    let floor = x.floor();
+    let frac = x - floor;
+    let mut result = floor as usize;
+    if frac > 0.0 && rng.gen_bool(frac.min(1.0)) {
+        result += 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn fixed_policy_ignores_capabilities() {
+        let p = FanoutPolicy::fixed(7.0);
+        assert_eq!(p.reference_fanout(), 7.0);
+        assert!(!p.is_adaptive());
+        assert_eq!(
+            p.target_fanout(Bandwidth::from_kbps(256), Bandwidth::from_kbps(691)),
+            7.0
+        );
+        assert_eq!(
+            p.target_fanout(Bandwidth::from_mbps(3), Bandwidth::from_kbps(691)),
+            7.0
+        );
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(
+                p.sample_fanout(Bandwidth::from_kbps(256), Bandwidth::from_kbps(691), &mut r),
+                7
+            );
+        }
+    }
+
+    #[test]
+    fn heap_scales_fanout_with_capability_ratio() {
+        let p = FanoutPolicy::heap(7.0);
+        assert!(p.is_adaptive());
+        let avg = Bandwidth::from_kbps(691);
+        // Equation (1): f_A / f_B = b_A / b_B.
+        let f_rich = p.target_fanout(Bandwidth::from_mbps(3), avg);
+        let f_poor = p.target_fanout(Bandwidth::from_kbps(512), avg);
+        assert!((f_rich / f_poor - 3000.0 / 512.0).abs() < 1e-9);
+        // And the absolute values follow f * b/b̄.
+        assert!((f_rich - 7.0 * 3000.0 / 691.0).abs() < 1e-9);
+        assert!((f_poor - 7.0 * 512.0 / 691.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heap_clamps_extreme_ratios() {
+        let p = FanoutPolicy::heap(7.0);
+        // A node 1000x richer than the average is clamped at 8*f.
+        assert_eq!(
+            p.target_fanout(Bandwidth::from_mbps(1000), Bandwidth::from_kbps(1000)),
+            56.0
+        );
+        // A node with negligible capability still proposes with fanout >= 1.
+        assert_eq!(
+            p.target_fanout(Bandwidth::from_kbps(1), Bandwidth::from_mbps(100)),
+            1.0
+        );
+        // Degenerate zero average falls back to the reference fanout.
+        assert_eq!(
+            p.target_fanout(Bandwidth::from_kbps(500), Bandwidth::from_bps(0)),
+            7.0
+        );
+    }
+
+    #[test]
+    fn oracle_uses_exact_average() {
+        let avg = Bandwidth::from_kbps(691);
+        let p = FanoutPolicy::heap_oracle(7.0, avg);
+        assert!(p.is_adaptive());
+        assert_eq!(p.reference_fanout(), 7.0);
+        // The estimate argument is ignored.
+        let t = p.target_fanout(Bandwidth::from_kbps(691), Bandwidth::from_kbps(1));
+        assert!((t - 7.0).abs() < 1e-9);
+        let z = FanoutPolicy::heap_oracle(7.0, Bandwidth::from_bps(0));
+        assert_eq!(z.target_fanout(Bandwidth::from_kbps(5), avg), 7.0);
+    }
+
+    #[test]
+    fn stochastic_rounding_preserves_mean() {
+        let mut r = rng();
+        let target = 3.3;
+        let n = 200_000;
+        let sum: usize = (0..n).map(|_| stochastic_round(target, &mut r)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - target).abs() < 0.02, "mean {mean}");
+        assert_eq!(stochastic_round(0.0, &mut r), 0);
+        assert_eq!(stochastic_round(-1.0, &mut r), 0);
+        assert_eq!(stochastic_round(5.0, &mut r), 5);
+    }
+
+    #[test]
+    fn average_fanout_across_heterogeneous_nodes_is_preserved() {
+        // The ms-691 distribution: 5% at 3 Mbps, 10% at 1 Mbps, 85% at 512 kbps.
+        // With exact average knowledge, the mean sampled fanout across the
+        // population must stay ~7 (HEAP's reliability invariant).
+        let avg = Bandwidth::from_kbps(691);
+        let p = FanoutPolicy::heap_oracle(7.0, avg);
+        let mut r = rng();
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for _ in 0..2_000 {
+            for (cap_kbps, weight) in [(3000u64, 5usize), (1000, 10), (512, 85)] {
+                for _ in 0..weight {
+                    total += p.sample_fanout(Bandwidth::from_kbps(cap_kbps), avg, &mut r);
+                    count += 1;
+                }
+            }
+        }
+        let mean = total as f64 / count as f64;
+        // True mean target = 7 * (0.05*3000 + 0.1*1000 + 0.85*512)/691 = 7 * 0.9938... ≈ 6.96
+        assert!((mean - 6.96).abs() < 0.1, "mean fanout {mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn heap_fanout_ratio_matches_capability_ratio(
+            cap_a in 64u64..10_000,
+            cap_b in 64u64..10_000,
+            avg in 64u64..10_000,
+        ) {
+            let p = FanoutPolicy::HeapAdaptive { fanout: 7.0, min_fanout: 0.0, max_fanout: f64::MAX };
+            let fa = p.target_fanout(Bandwidth::from_kbps(cap_a), Bandwidth::from_kbps(avg));
+            let fb = p.target_fanout(Bandwidth::from_kbps(cap_b), Bandwidth::from_kbps(avg));
+            // Equation (1) of the paper: fA = (bA/bB) * fB.
+            prop_assert!((fa - (cap_a as f64 / cap_b as f64) * fb).abs() < 1e-6);
+        }
+
+        #[test]
+        fn sampled_fanout_is_within_one_of_target(
+            cap in 64u64..10_000,
+            avg in 64u64..10_000,
+            seed in 0u64..1000,
+        ) {
+            let p = FanoutPolicy::heap(7.0);
+            let mut r = SmallRng::seed_from_u64(seed);
+            let own = Bandwidth::from_kbps(cap);
+            let est = Bandwidth::from_kbps(avg);
+            let target = p.target_fanout(own, est);
+            let sampled = p.sample_fanout(own, est, &mut r) as f64;
+            prop_assert!((sampled - target).abs() < 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Wire messages of the gossip protocols.
+
+use crate::aggregation::CapabilitySample;
+use crate::config::GossipConfig;
+use heap_simnet::sim::WireSize;
+use heap_streaming::packet::{PacketId, StreamPacket};
+use serde::{Deserialize, Serialize};
+
+/// A message exchanged by [`GossipNode`](crate::node::GossipNode)s.
+///
+/// The three dissemination phases of Algorithm 1 map to [`Propose`],
+/// [`Request`] and [`Serve`]; [`Aggregation`] carries the capability samples
+/// of HEAP's aggregation protocol (Algorithm 2).
+///
+/// [`Propose`]: GossipMessage::Propose
+/// [`Request`]: GossipMessage::Request
+/// [`Serve`]: GossipMessage::Serve
+/// [`Aggregation`]: GossipMessage::Aggregation
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GossipMessage {
+    /// Phase 1: the sender advertises packet ids it can serve.
+    Propose {
+        /// Advertised packet identifiers.
+        ids: Vec<PacketId>,
+        /// Wire size of the message (precomputed from the sender's config so
+        /// receivers never need the sender's configuration).
+        wire_bytes: usize,
+    },
+    /// Phase 2: the receiver of a proposal pulls the ids it still misses.
+    Request {
+        /// Requested packet identifiers.
+        ids: Vec<PacketId>,
+        /// Wire size of the message.
+        wire_bytes: usize,
+    },
+    /// Phase 3: the proposer pushes the actual payloads.
+    Serve {
+        /// The served packets (descriptors; payload bytes are accounted for in
+        /// `wire_bytes`).
+        packets: Vec<StreamPacket>,
+        /// Wire size of the message, dominated by the payloads.
+        wire_bytes: usize,
+    },
+    /// HEAP's aggregation protocol: the freshest capability samples known to
+    /// the sender.
+    Aggregation {
+        /// Capability samples, freshest first.
+        samples: Vec<CapabilitySample>,
+        /// Wire size of the message.
+        wire_bytes: usize,
+    },
+}
+
+impl GossipMessage {
+    /// Builds a [Propose] message for the given ids.
+    ///
+    /// [Propose]: GossipMessage::Propose
+    pub fn propose(ids: Vec<PacketId>, config: &GossipConfig) -> Self {
+        let wire_bytes = config.control_message_bytes(ids.len());
+        GossipMessage::Propose { ids, wire_bytes }
+    }
+
+    /// Builds a [Request] message for the given ids.
+    ///
+    /// [Request]: GossipMessage::Request
+    pub fn request(ids: Vec<PacketId>, config: &GossipConfig) -> Self {
+        let wire_bytes = config.control_message_bytes(ids.len());
+        GossipMessage::Request { ids, wire_bytes }
+    }
+
+    /// Builds a [Serve] message for the given packets.
+    ///
+    /// [Serve]: GossipMessage::Serve
+    pub fn serve(packets: Vec<StreamPacket>, config: &GossipConfig) -> Self {
+        let payload: usize = packets.iter().map(|p| p.payload_bytes).sum();
+        let wire_bytes = config.serve_message_bytes(payload);
+        GossipMessage::Serve { packets, wire_bytes }
+    }
+
+    /// Builds an [Aggregation] message for the given samples.
+    ///
+    /// [Aggregation]: GossipMessage::Aggregation
+    pub fn aggregation(samples: Vec<CapabilitySample>, config: &GossipConfig) -> Self {
+        let wire_bytes = config.aggregation_message_bytes(samples.len());
+        GossipMessage::Aggregation { samples, wire_bytes }
+    }
+
+    /// A short human-readable tag for logging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GossipMessage::Propose { .. } => "propose",
+            GossipMessage::Request { .. } => "request",
+            GossipMessage::Serve { .. } => "serve",
+            GossipMessage::Aggregation { .. } => "aggregation",
+        }
+    }
+
+    /// `true` if this message carries stream payload (only [Serve] does).
+    ///
+    /// [Serve]: GossipMessage::Serve
+    pub fn carries_payload(&self) -> bool {
+        matches!(self, GossipMessage::Serve { .. })
+    }
+}
+
+impl WireSize for GossipMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            GossipMessage::Propose { wire_bytes, .. }
+            | GossipMessage::Request { wire_bytes, .. }
+            | GossipMessage::Serve { wire_bytes, .. }
+            | GossipMessage::Aggregation { wire_bytes, .. } => *wire_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_simnet::bandwidth::Bandwidth;
+    use heap_simnet::node::NodeId;
+    use heap_simnet::time::SimTime;
+    use heap_streaming::packet::WindowId;
+
+    fn cfg() -> GossipConfig {
+        GossipConfig::paper()
+    }
+
+    fn sample_packet(id: u64) -> StreamPacket {
+        StreamPacket {
+            id: PacketId::new(id),
+            window: WindowId::new(0),
+            index_in_window: id as usize,
+            is_parity: false,
+            published_at: SimTime::ZERO,
+            payload_bytes: 1316,
+        }
+    }
+
+    #[test]
+    fn propose_and_request_sizes_scale_with_ids() {
+        let ids: Vec<PacketId> = (0..11).map(PacketId::new).collect();
+        let p = GossipMessage::propose(ids.clone(), &cfg());
+        assert_eq!(p.wire_size(), 28 + 11 * 8);
+        assert_eq!(p.kind(), "propose");
+        assert!(!p.carries_payload());
+        let r = GossipMessage::request(ids, &cfg());
+        assert_eq!(r.wire_size(), 28 + 11 * 8);
+        assert_eq!(r.kind(), "request");
+    }
+
+    #[test]
+    fn serve_size_is_dominated_by_payload() {
+        let packets = vec![sample_packet(0), sample_packet(1), sample_packet(2)];
+        let s = GossipMessage::serve(packets, &cfg());
+        assert_eq!(s.wire_size(), 28 + 3 * 1316);
+        assert_eq!(s.kind(), "serve");
+        assert!(s.carries_payload());
+    }
+
+    #[test]
+    fn aggregation_size_scales_with_samples() {
+        let samples: Vec<CapabilitySample> = (0..10)
+            .map(|i| CapabilitySample {
+                node: NodeId::new(i),
+                capability: Bandwidth::from_kbps(512),
+                timestamp: SimTime::ZERO,
+            })
+            .collect();
+        let a = GossipMessage::aggregation(samples, &cfg());
+        assert_eq!(a.wire_size(), 28 + 100);
+        assert_eq!(a.kind(), "aggregation");
+        assert!(!a.carries_payload());
+    }
+
+    #[test]
+    fn empty_messages_still_have_header_size() {
+        assert_eq!(GossipMessage::propose(vec![], &cfg()).wire_size(), 28);
+        assert_eq!(GossipMessage::serve(vec![], &cfg()).wire_size(), 28);
+        assert_eq!(GossipMessage::aggregation(vec![], &cfg()).wire_size(), 28);
+    }
+}

@@ -1,0 +1,760 @@
+//! [`GossipNode`]: the protocol actor binding the dissemination engine, the
+//! fanout policy, the aggregation protocol and the retransmission tracker to
+//! the simulator's [`Protocol`] trait.
+
+use crate::aggregation::CapabilityAggregator;
+use crate::config::GossipConfig;
+use crate::engine::DisseminationEngine;
+use crate::fanout::FanoutPolicy;
+use crate::message::GossipMessage;
+use crate::retransmit::RetransmitTracker;
+use heap_membership::sampler::UniformSampler;
+use heap_membership::view::MembershipView;
+use heap_simnet::bandwidth::Bandwidth;
+use heap_simnet::node::NodeId;
+use heap_simnet::sim::{Context, Protocol, TimerId};
+use heap_simnet::time::{SimDuration, SimTime};
+use heap_streaming::packet::PacketId;
+use heap_streaming::receiver::ReceiverLog;
+use heap_streaming::source::StreamSchedule;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Timer tag of the periodic gossip (propose) round.
+pub const TAG_GOSSIP: u64 = 0;
+/// Timer tag of the periodic aggregation round.
+pub const TAG_AGGREGATION: u64 = 1;
+/// Timer tag of the source's next packet publication.
+pub const TAG_SOURCE: u64 = 2;
+
+/// Whether a node produces the stream or only relays it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// The single stream source: publishes packets according to the schedule
+    /// and gossips their ids immediately.
+    Source,
+    /// A regular participant: receives, relays and plays the stream.
+    Receiver,
+}
+
+/// Message counters of one node, used by the evaluation to measure each
+/// node's contribution (Fig. 4 reports upload usage per capability class).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// [Propose] messages sent.
+    pub proposals_sent: u64,
+    /// [Propose] messages received.
+    pub proposals_received: u64,
+    /// [Request] messages sent (first requests).
+    pub requests_sent: u64,
+    /// [Request] messages received.
+    pub requests_received: u64,
+    /// [Serve] messages sent.
+    pub serves_sent: u64,
+    /// Stream packets contained in the [Serve] messages sent.
+    pub packets_served: u64,
+    /// [Serve] messages received.
+    pub serves_received: u64,
+    /// Re-issued [Request] messages (retransmissions).
+    pub retransmit_requests: u64,
+    /// [Aggregation] messages sent.
+    pub aggregation_sent: u64,
+    /// [Aggregation] messages received.
+    pub aggregation_received: u64,
+    /// Sum of the fanouts drawn at each gossip emission (divide by
+    /// `gossip_emissions` for the achieved average fanout).
+    pub fanout_sum: u64,
+    /// Number of gossip emissions (rounds in which the node had ids to
+    /// propose, plus immediate source publications).
+    pub gossip_emissions: u64,
+}
+
+impl ProtocolStats {
+    /// The average fanout actually used by this node.
+    pub fn average_fanout(&self) -> f64 {
+        if self.gossip_emissions == 0 {
+            0.0
+        } else {
+            self.fanout_sum as f64 / self.gossip_emissions as f64
+        }
+    }
+}
+
+/// Builder for [`GossipNode`] (see [`GossipNode::builder`]).
+#[derive(Debug, Clone)]
+pub struct GossipNodeBuilder {
+    id: NodeId,
+    n: usize,
+    schedule: StreamSchedule,
+    config: GossipConfig,
+    policy: FanoutPolicy,
+    capability: Bandwidth,
+    role: Role,
+}
+
+impl GossipNodeBuilder {
+    /// Sets the protocol configuration (default: [`GossipConfig::paper`]).
+    pub fn config(mut self, config: GossipConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the fanout policy (default: fixed at the config's fanout, i.e.
+    /// standard gossip).
+    pub fn fanout(mut self, policy: FanoutPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the node's advertised upload capability (default: 100 Mbps,
+    /// effectively unconstrained).
+    pub fn capability(mut self, capability: Bandwidth) -> Self {
+        self.capability = capability;
+        self
+    }
+
+    /// Sets the node's role (default: [`Role::Receiver`]).
+    pub fn role(mut self, role: Role) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Builds the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GossipConfig::validate`].
+    pub fn build(self) -> GossipNode {
+        if let Err(e) = self.config.validate() {
+            panic!("invalid gossip configuration: {e}");
+        }
+        GossipNode {
+            id: self.id,
+            role: self.role,
+            policy: self.policy,
+            capability: self.capability,
+            view: MembershipView::full(self.n, self.id),
+            engine: DisseminationEngine::new(self.schedule),
+            aggregator: CapabilityAggregator::new(self.id, self.capability),
+            retransmit: RetransmitTracker::new(),
+            stats: ProtocolStats::default(),
+            config: self.config,
+            next_source_seq: 0,
+            served_recent: std::collections::HashSet::new(),
+            served_prev: std::collections::HashSet::new(),
+            served_generation_start: SimTime::ZERO,
+        }
+    }
+}
+
+/// A node running the three-phase gossip protocol — standard gossip or HEAP
+/// depending on its [`FanoutPolicy`].
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct GossipNode {
+    id: NodeId,
+    role: Role,
+    config: GossipConfig,
+    policy: FanoutPolicy,
+    capability: Bandwidth,
+    view: MembershipView,
+    engine: DisseminationEngine,
+    aggregator: CapabilityAggregator,
+    retransmit: RetransmitTracker,
+    stats: ProtocolStats,
+    next_source_seq: u64,
+    /// Serve-side duplicate suppression: `(requester, packet)` pairs served
+    /// during the current and the previous dedup generation (rotated every
+    /// `serve_dedup_window`), so a retransmitted request does not duplicate
+    /// payload that is merely queued.
+    served_recent: std::collections::HashSet<(u32, u64)>,
+    served_prev: std::collections::HashSet<(u32, u64)>,
+    served_generation_start: SimTime,
+}
+
+impl GossipNode {
+    /// Starts building a node with identifier `id` in a system of `n` nodes
+    /// following the given stream schedule.
+    pub fn builder(id: NodeId, n: usize, schedule: StreamSchedule) -> GossipNodeBuilder {
+        GossipNodeBuilder {
+            id,
+            n,
+            schedule,
+            config: GossipConfig::paper(),
+            policy: FanoutPolicy::fixed(GossipConfig::paper().fanout),
+            capability: Bandwidth::from_mbps(100),
+            role: Role::Receiver,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// `true` if this node is the stream source.
+    pub fn is_source(&self) -> bool {
+        self.role == Role::Source
+    }
+
+    /// The node's advertised upload capability.
+    pub fn capability(&self) -> Bandwidth {
+        self.capability
+    }
+
+    /// The fanout policy in use.
+    pub fn fanout_policy(&self) -> FanoutPolicy {
+        self.policy
+    }
+
+    /// The receive log (arrival time of every delivered stream packet).
+    pub fn receiver_log(&self) -> &ReceiverLog {
+        self.engine.receiver_log()
+    }
+
+    /// The dissemination engine (exposes `eRequested`/`eDelivered` state).
+    pub fn engine(&self) -> &DisseminationEngine {
+        &self.engine
+    }
+
+    /// The capability aggregator (exposes the average-capability estimate).
+    pub fn aggregator(&self) -> &CapabilityAggregator {
+        &self.aggregator
+    }
+
+    /// The node's membership view.
+    pub fn view(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> ProtocolStats {
+        self.stats
+    }
+
+    /// The fanout the node is currently targeting (before stochastic
+    /// rounding), i.e. `f · b_p / b̄` for HEAP and `f` for standard gossip.
+    pub fn current_target_fanout(&self) -> f64 {
+        self.policy
+            .target_fanout(self.capability, self.aggregator.estimated_average())
+    }
+
+    /// Informs the node that `peer` has failed (the simulated failure
+    /// detector of §3.6: surviving nodes learn about a crash ~10 s after it
+    /// happens). The peer is removed from the membership view, its capability
+    /// sample is dropped and pending retransmissions towards it are cancelled.
+    pub fn notify_failure(&mut self, peer: NodeId, noticed_at: SimTime) {
+        self.view.mark_dead_at(peer, noticed_at);
+        self.aggregator.forget(peer);
+        self.retransmit.forget_proposer(peer);
+    }
+
+    /// Advertises a new upload capability (feeds the aggregation protocol).
+    pub fn set_capability(&mut self, capability: Bandwidth, now: SimTime) {
+        self.capability = capability;
+        self.aggregator.set_own_capability(capability, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    /// Whether `id` was served to `requester` within the dedup window.
+    fn recently_served(&mut self, requester: NodeId, id: PacketId, now: SimTime) -> bool {
+        let Some(window) = self.config.serve_dedup_window else {
+            return false;
+        };
+        // Rotate generations so membership is bounded to ~2 windows of serves.
+        if now.saturating_since(self.served_generation_start) >= window {
+            self.served_prev = std::mem::take(&mut self.served_recent);
+            self.served_generation_start = now;
+        }
+        let key = (requester.as_u32(), id.seq());
+        self.served_recent.contains(&key) || self.served_prev.contains(&key)
+    }
+
+    /// Records that `id` was served to `requester` at `now`.
+    fn mark_served(&mut self, requester: NodeId, id: PacketId, now: SimTime) {
+        if self.config.serve_dedup_window.is_none() {
+            return;
+        }
+        let _ = now;
+        self.served_recent.insert((requester.as_u32(), id.seq()));
+    }
+
+    /// Sends a [Propose] for `ids` to a freshly drawn set of gossip targets.
+    ///
+    /// [Propose]: GossipMessage::Propose
+    fn gossip_ids(&mut self, ctx: &mut Context<'_, GossipMessage>, ids: Vec<PacketId>) {
+        if ids.is_empty() {
+            return;
+        }
+        let fanout = self.policy.sample_fanout(
+            self.capability,
+            self.aggregator.estimated_average(),
+            ctx.rng(),
+        );
+        self.stats.fanout_sum += fanout as u64;
+        self.stats.gossip_emissions += 1;
+        if fanout == 0 {
+            return;
+        }
+        let targets = UniformSampler::select(&self.view, fanout, ctx.rng());
+        for target in targets {
+            ctx.send(target, GossipMessage::propose(ids.clone(), &self.config));
+            self.stats.proposals_sent += 1;
+        }
+    }
+
+    fn arm_gossip_timer(&self, ctx: &mut Context<'_, GossipMessage>, delay: SimDuration) {
+        ctx.set_timer(delay, TAG_GOSSIP);
+    }
+
+    fn arm_aggregation_timer(&self, ctx: &mut Context<'_, GossipMessage>, delay: SimDuration) {
+        ctx.set_timer(delay, TAG_AGGREGATION);
+    }
+
+    fn arm_source_timer(&self, ctx: &mut Context<'_, GossipMessage>, at: SimTime) {
+        let delay = at.saturating_since(ctx.now());
+        ctx.set_timer(delay, TAG_SOURCE);
+    }
+
+    fn on_gossip_round(&mut self, ctx: &mut Context<'_, GossipMessage>) {
+        let ids = self.engine.take_proposals();
+        self.gossip_ids(ctx, ids);
+        self.arm_gossip_timer(ctx, self.config.gossip_period);
+    }
+
+    fn on_aggregation_round(&mut self, ctx: &mut Context<'_, GossipMessage>) {
+        if self.policy.is_adaptive() {
+            let samples = self
+                .aggregator
+                .freshest_samples(self.config.aggregation_freshest, ctx.now());
+            let targets =
+                UniformSampler::select(&self.view, self.config.aggregation_fanout, ctx.rng());
+            for target in targets {
+                ctx.send(
+                    target,
+                    GossipMessage::aggregation(samples.clone(), &self.config),
+                );
+                self.stats.aggregation_sent += 1;
+            }
+        }
+        self.arm_aggregation_timer(ctx, self.config.aggregation_period);
+    }
+
+    fn on_source_tick(&mut self, ctx: &mut Context<'_, GossipMessage>) {
+        let schedule = *self.engine.schedule();
+        let id = PacketId::new(self.next_source_seq);
+        if let Some(packet) = schedule.packet(id) {
+            let published = self.engine.publish(&packet, ctx.now());
+            // Algorithm 1 line 5: fresh ids are gossiped immediately.
+            self.gossip_ids(ctx, vec![published]);
+            self.next_source_seq += 1;
+            if let Some(next_time) = schedule.publish_time(PacketId::new(self.next_source_seq)) {
+                self.arm_source_timer(ctx, next_time);
+            }
+        }
+    }
+
+    fn on_retransmit_timer(&mut self, ctx: &mut Context<'_, GossipMessage>, tag: u64) {
+        let Some(pending) = self.retransmit.take(tag) else {
+            return;
+        };
+        let missing = self.engine.still_missing(&pending.ids);
+        if missing.is_empty() {
+            return;
+        }
+        // Give up on this proposer — because it failed or because every
+        // retransmission towards it was exhausted — and clear eRequested so a
+        // later proposal from another peer can pull the packets instead.
+        if pending.retries_left == 0 || !self.view.is_live(pending.proposer) {
+            self.engine.unrequest(&missing);
+            return;
+        }
+        ctx.send(
+            pending.proposer,
+            GossipMessage::request(missing.clone(), &self.config),
+        );
+        self.stats.retransmit_requests += 1;
+        // Always re-arm: the follow-up timer either retries again or, once
+        // retries are exhausted, releases the ids via `unrequest`.
+        let new_tag =
+            self.retransmit
+                .register(pending.proposer, missing, pending.retries_left - 1);
+        ctx.set_timer(self.config.retransmit_period, new_tag);
+    }
+}
+
+impl Protocol for GossipNode {
+    type Message = GossipMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, GossipMessage>) {
+        // De-synchronise the periodic timers across nodes with a random phase,
+        // as real deployments (and PlanetLab nodes started at different
+        // instants) naturally are.
+        let gossip_phase =
+            SimDuration::from_micros(ctx.rng().gen_range(0..=self.config.gossip_period.as_micros()));
+        self.arm_gossip_timer(ctx, gossip_phase);
+        let agg_phase = SimDuration::from_micros(
+            ctx.rng()
+                .gen_range(0..=self.config.aggregation_period.as_micros()),
+        );
+        self.arm_aggregation_timer(ctx, agg_phase);
+        if self.is_source() {
+            let start = self.engine.schedule().start();
+            self.arm_source_timer(ctx, start);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage>,
+        from: NodeId,
+        msg: GossipMessage,
+    ) {
+        match msg {
+            GossipMessage::Propose { ids, .. } => {
+                self.stats.proposals_received += 1;
+                let wanted = self.engine.handle_propose(&ids);
+                if !wanted.is_empty() {
+                    ctx.send(from, GossipMessage::request(wanted.clone(), &self.config));
+                    self.stats.requests_sent += 1;
+                    if self.config.max_retransmits > 0 {
+                        let tag =
+                            self.retransmit
+                                .register(from, wanted, self.config.max_retransmits);
+                        ctx.set_timer(self.config.retransmit_period, tag);
+                    }
+                }
+            }
+            GossipMessage::Request { ids, .. } => {
+                self.stats.requests_received += 1;
+                // Drop ids we already served to this requester very recently: a
+                // re-request whose answer is still queued must not double the
+                // payload traffic (see `GossipConfig::serve_dedup_window`).
+                let fresh_ids: Vec<_> = ids
+                    .into_iter()
+                    .filter(|id| !self.recently_served(from, *id, ctx.now()))
+                    .collect();
+                let served = self.engine.handle_request(&fresh_ids);
+                if !served.is_empty() {
+                    for packet in &served {
+                        self.mark_served(from, packet.id, ctx.now());
+                    }
+                    self.stats.serves_sent += 1;
+                    self.stats.packets_served += served.len() as u64;
+                    ctx.send(from, GossipMessage::serve(served, &self.config));
+                }
+            }
+            GossipMessage::Serve { packets, .. } => {
+                self.stats.serves_received += 1;
+                self.engine.handle_serve(&packets, ctx.now());
+            }
+            GossipMessage::Aggregation { samples, .. } => {
+                self.stats.aggregation_received += 1;
+                self.aggregator.merge(&samples);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, GossipMessage>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_GOSSIP => self.on_gossip_round(ctx),
+            TAG_AGGREGATION => self.on_aggregation_round(ctx),
+            TAG_SOURCE => self.on_source_tick(ctx),
+            t if RetransmitTracker::is_retransmit_tag(t) => self.on_retransmit_timer(ctx, t),
+            other => debug_assert!(false, "unknown timer tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_simnet::latency::LatencyModel;
+    use heap_simnet::loss::LossModel;
+    use heap_simnet::sim::{Simulator, SimulatorBuilder};
+    use heap_simnet::bandwidth::UploadCapacity;
+    use heap_streaming::source::StreamConfig;
+
+    fn schedule(windows: u64) -> StreamSchedule {
+        StreamSchedule::new(StreamConfig::small(windows), SimTime::ZERO)
+    }
+
+    fn build_sim(
+        n: usize,
+        seed: u64,
+        windows: u64,
+        loss: LossModel,
+        policy: impl Fn(NodeId) -> FanoutPolicy,
+        capability: impl Fn(NodeId) -> Bandwidth,
+    ) -> Simulator<GossipNode> {
+        let sched = schedule(windows);
+        SimulatorBuilder::new(n, seed)
+            .latency(LatencyModel::uniform(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(60),
+            ))
+            .loss(loss)
+            .capacities(
+                (0..n)
+                    .map(|i| UploadCapacity::Limited(capability(NodeId::new(i as u32))))
+                    .collect(),
+            )
+            .build(|id| {
+                GossipNode::builder(id, n, sched)
+                    .config(GossipConfig::paper().with_fanout(5.0))
+                    .fanout(policy(id))
+                    .capability(capability(id))
+                    .role(if id.index() == 0 {
+                        Role::Source
+                    } else {
+                        Role::Receiver
+                    })
+                    .build()
+            })
+    }
+
+    #[test]
+    fn lossless_dissemination_reaches_everyone() {
+        let mut sim = build_sim(
+            25,
+            7,
+            2,
+            LossModel::none(),
+            |_| FanoutPolicy::fixed(5.0),
+            |_| Bandwidth::from_mbps(100),
+        );
+        sim.run_until(SimTime::from_secs(20));
+        for (id, node) in sim.iter_nodes() {
+            assert_eq!(
+                node.receiver_log().delivery_ratio(),
+                1.0,
+                "node {id} missed packets"
+            );
+            assert_eq!(node.engine().stats().duplicate_payloads, 0, "node {id}");
+        }
+        // The source actually produced the whole stream.
+        assert_eq!(
+            sim.node(NodeId::new(0)).next_source_seq,
+            sim.node(NodeId::new(0)).engine().schedule().total_packets()
+        );
+    }
+
+    #[test]
+    fn payload_is_never_received_twice() {
+        // The three-phase protocol guarantees at most one payload delivery per
+        // packet per node, even under loss with retransmissions.
+        let mut sim = build_sim(
+            20,
+            11,
+            2,
+            LossModel::bernoulli(0.10),
+            |_| FanoutPolicy::fixed(5.0),
+            |_| Bandwidth::from_mbps(100),
+        );
+        sim.run_until(SimTime::from_secs(20));
+        for (id, node) in sim.iter_nodes() {
+            assert_eq!(
+                node.engine().stats().duplicate_payloads,
+                0,
+                "node {id} received duplicate payloads"
+            );
+        }
+    }
+
+    #[test]
+    fn retransmission_recovers_losses() {
+        // With 10% loss and no retransmission some packets are lost for good;
+        // with retransmission enabled delivery should be (near) perfect.
+        let run = |retransmits: u32| -> f64 {
+            let sched = schedule(2);
+            let n = 20;
+            let mut sim = SimulatorBuilder::new(n, 3)
+                .latency(LatencyModel::constant(SimDuration::from_millis(20)))
+                .loss(LossModel::bernoulli(0.10))
+                .build(|id| {
+                    let mut cfg = GossipConfig::paper().with_fanout(6.0);
+                    cfg.max_retransmits = retransmits;
+                    GossipNode::builder(id, n, sched)
+                        .config(cfg)
+                        .fanout(FanoutPolicy::fixed(6.0))
+                        .role(if id.index() == 0 { Role::Source } else { Role::Receiver })
+                        .build()
+                });
+            sim.run_until(SimTime::from_secs(30));
+            let total: f64 = sim
+                .iter_nodes()
+                .skip(1)
+                .map(|(_, node)| node.receiver_log().delivery_ratio())
+                .sum();
+            total / (n - 1) as f64
+        };
+        let without = run(0);
+        let with = run(3);
+        assert!(with >= without, "retransmission must not hurt delivery");
+        assert!(with > 0.99, "with retransmission delivery was only {with}");
+    }
+
+    #[test]
+    fn heap_nodes_adapt_fanout_to_capability() {
+        // Heterogeneous capabilities: node 1 is rich (3 Mbps), nodes 2.. are
+        // poor (512 kbps). With the HEAP policy the rich node must end up
+        // using a larger fanout and serving more packets than a poor node.
+        let n = 30;
+        let cap = |id: NodeId| {
+            if id.index() == 0 {
+                Bandwidth::from_mbps(10) // source
+            } else if id.index() <= 3 {
+                Bandwidth::from_mbps(3)
+            } else {
+                Bandwidth::from_kbps(512)
+            }
+        };
+        let mut sim = build_sim(
+            n,
+            13,
+            3,
+            LossModel::none(),
+            |_| FanoutPolicy::heap(5.0),
+            cap,
+        );
+        sim.run_until(SimTime::from_secs(40));
+
+        let rich = sim.node(NodeId::new(1));
+        let poor = sim.node(NodeId::new(10));
+        assert!(
+            rich.current_target_fanout() > 2.0 * poor.current_target_fanout(),
+            "rich target fanout {} vs poor {}",
+            rich.current_target_fanout(),
+            poor.current_target_fanout()
+        );
+        assert!(
+            rich.stats().average_fanout() > poor.stats().average_fanout(),
+            "rich avg fanout {} vs poor {}",
+            rich.stats().average_fanout(),
+            poor.stats().average_fanout()
+        );
+        assert!(
+            rich.stats().packets_served > poor.stats().packets_served,
+            "rich served {} vs poor {}",
+            rich.stats().packets_served,
+            poor.stats().packets_served
+        );
+        // Aggregation gave every node a reasonable estimate of the average.
+        let true_avg = (3.0 * 3000.0 + 26.0 * 512.0 + 10_000.0) / 30.0;
+        for (id, node) in sim.iter_nodes() {
+            let est = node.aggregator().estimated_average().as_kbps();
+            assert!(
+                (est - true_avg).abs() / true_avg < 0.5,
+                "node {id} estimate {est} vs true {true_avg}"
+            );
+            assert!(node.aggregator().known_nodes() > n / 2, "node {id} knows too few peers");
+        }
+    }
+
+    #[test]
+    fn standard_gossip_does_not_send_aggregation_traffic() {
+        let mut sim = build_sim(
+            10,
+            5,
+            1,
+            LossModel::none(),
+            |_| FanoutPolicy::fixed(4.0),
+            |_| Bandwidth::from_mbps(100),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        for (_, node) in sim.iter_nodes() {
+            assert_eq!(node.stats().aggregation_sent, 0);
+            assert_eq!(node.stats().aggregation_received, 0);
+        }
+    }
+
+    #[test]
+    fn notify_failure_prunes_state() {
+        let sched = schedule(1);
+        let mut node = GossipNode::builder(NodeId::new(0), 5, sched)
+            .capability(Bandwidth::from_kbps(512))
+            .build();
+        assert!(node.view().is_live(NodeId::new(3)));
+        node.notify_failure(NodeId::new(3), SimTime::from_secs(70));
+        assert!(!node.view().is_live(NodeId::new(3)));
+        assert_eq!(
+            node.view().death_noticed_at(NodeId::new(3)),
+            Some(SimTime::from_secs(70))
+        );
+    }
+
+    #[test]
+    fn builder_accessors_and_capability_update() {
+        let sched = schedule(1);
+        let mut node = GossipNode::builder(NodeId::new(2), 10, sched)
+            .fanout(FanoutPolicy::heap(7.0))
+            .capability(Bandwidth::from_kbps(768))
+            .role(Role::Receiver)
+            .build();
+        assert_eq!(node.id(), NodeId::new(2));
+        assert_eq!(node.role(), Role::Receiver);
+        assert!(!node.is_source());
+        assert_eq!(node.capability(), Bandwidth::from_kbps(768));
+        assert!(node.fanout_policy().is_adaptive());
+        assert!((node.current_target_fanout() - 7.0).abs() < 1e-9);
+        node.set_capability(Bandwidth::from_mbps(2), SimTime::from_secs(1));
+        assert_eq!(node.capability(), Bandwidth::from_mbps(2));
+        assert_eq!(node.aggregator().own_capability(), Bandwidth::from_mbps(2));
+        assert_eq!(node.stats(), ProtocolStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gossip configuration")]
+    fn builder_rejects_invalid_config() {
+        let mut cfg = GossipConfig::paper();
+        cfg.fanout = 0.0;
+        let _ = GossipNode::builder(NodeId::new(0), 5, schedule(1))
+            .config(cfg)
+            .build();
+    }
+
+    #[test]
+    fn average_fanout_statistic_reflects_policy() {
+        let mut sim = build_sim(
+            15,
+            21,
+            2,
+            LossModel::none(),
+            |_| FanoutPolicy::fixed(5.0),
+            |_| Bandwidth::from_mbps(100),
+        );
+        sim.run_until(SimTime::from_secs(20));
+        for (_, node) in sim.iter_nodes() {
+            if node.stats().gossip_emissions > 0 {
+                assert!((node.stats().average_fanout() - 5.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_source_stops_the_stream() {
+        let mut sim = build_sim(
+            10,
+            2,
+            4,
+            LossModel::none(),
+            |_| FanoutPolicy::fixed(4.0),
+            |_| Bandwidth::from_mbps(100),
+        );
+        // Crash the source almost immediately: nobody should get much.
+        sim.schedule_crash(NodeId::new(0), SimTime::from_millis(100));
+        sim.run_until(SimTime::from_secs(20));
+        for (_, node) in sim.iter_nodes().skip(1) {
+            assert!(node.receiver_log().delivery_ratio() < 0.2);
+        }
+    }
+}

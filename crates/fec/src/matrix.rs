@@ -1,0 +1,357 @@
+//! Dense matrices over GF(2⁸) with Gauss–Jordan inversion.
+//!
+//! Only the handful of operations Reed–Solomon construction needs are
+//! provided: multiplication, identity/Vandermonde constructors, row
+//! selection and inversion.
+
+use crate::gf256;
+use std::fmt;
+
+/// A dense row-major matrix over GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// use heap_fec::matrix::Matrix;
+/// let id = Matrix::identity(3);
+/// let v = Matrix::vandermonde(3, 3);
+/// let prod = v.multiply(&id);
+/// assert_eq!(prod, v);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a `rows`×`cols` Vandermonde matrix with entry `(r, c) = r^c`
+    /// evaluated in GF(2⁸). Any `cols` rows of such a matrix are linearly
+    /// independent as long as `rows ≤ 256`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > 256` (row indices would repeat in GF(2⁸)).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 256, "a GF(256) Vandermonde matrix supports at most 256 rows");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c as u32));
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or the input is empty.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
+        let n_rows = rows.len();
+        let data = rows.into_iter().flatten().collect();
+        Matrix {
+            rows: n_rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The entry at (`r`, `c`).
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at (`r`, `c`).
+    pub fn set(&mut self, r: usize, c: usize, value: u8) {
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix consisting of the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        Matrix::from_rows(indices.iter().map(|&i| self.row(i).to_vec()).collect())
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must match for multiplication"
+        );
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs.get(k, c));
+                    out.set(r, c, gf256::add(out.get(r, c), prod));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination.
+    ///
+    /// Returns `None` if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot_row = (col..n).find(|&r| work.get(r, col) != 0)?;
+            if pivot_row != col {
+                work.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            // Normalise the pivot row.
+            let pivot = work.get(col, col);
+            let pivot_inv = gf256::inv(pivot);
+            work.scale_row(col, pivot_inv);
+            inv.scale_row(col, pivot_inv);
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor != 0 {
+                    work.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        gf256::mul_slice(row, factor);
+    }
+
+    /// row[target] ^= factor * row[source]
+    fn add_scaled_row(&mut self, target: usize, source: usize, factor: u8) {
+        let src: Vec<u8> = self.row(source).to_vec();
+        let dst = &mut self.data[target * self.cols..(target + 1) * self.cols];
+        gf256::mul_add_slice(dst, &src, factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let v = Matrix::vandermonde(5, 3);
+        let id3 = Matrix::identity(3);
+        assert_eq!(v.multiply(&id3), v);
+        let id5 = Matrix::identity(5);
+        assert_eq!(id5.multiply(&v), v);
+    }
+
+    #[test]
+    fn vandermonde_shape_and_values() {
+        let v = Matrix::vandermonde(4, 3);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 3);
+        // Row r is [1, r, r^2].
+        assert_eq!(v.row(0), &[1, 0, 0]);
+        assert_eq!(v.row(1), &[1, 1, 1]);
+        assert_eq!(v.row(2), &[1, 2, 4]);
+        assert_eq!(v.row(3), &[1, 3, 5]); // 3*3 = 5 in GF(256)
+    }
+
+    #[test]
+    fn invert_identity_is_identity() {
+        let id = Matrix::identity(6);
+        assert_eq!(id.invert().unwrap(), id);
+    }
+
+    #[test]
+    fn invert_square_vandermonde_roundtrips() {
+        for n in 1..=12 {
+            // Rows 1.. to avoid the all-[1,0,0,...] row pattern degenerating; any
+            // distinct evaluation points give an invertible square Vandermonde.
+            let v = Matrix::vandermonde(n, n);
+            let inv = v.invert().expect("square Vandermonde must be invertible");
+            assert_eq!(v.multiply(&inv), Matrix::identity(n), "n={n}");
+            assert_eq!(inv.multiply(&v), Matrix::identity(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![1, 2]]);
+        assert!(m.invert().is_none());
+        let zero = Matrix::zero(3, 3);
+        assert!(zero.invert().is_none());
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let v = Matrix::vandermonde(5, 2);
+        let sel = v.select_rows(&[4, 0]);
+        assert_eq!(sel.rows(), 2);
+        assert_eq!(sel.row(0), v.row(4));
+        assert_eq!(sel.row(1), v.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let _ = Matrix::zero(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_multiply_panics() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.multiply(&b);
+    }
+
+    #[test]
+    fn debug_output_mentions_shape() {
+        let m = Matrix::identity(2);
+        let s = format!("{m:?}");
+        assert!(s.contains("2x2"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any square matrix built from distinct Vandermonde rows is invertible
+        /// and its inverse actually inverts it.
+        #[test]
+        fn random_vandermonde_row_subsets_invert(
+            n in 2usize..8,
+            seed in 0u64..1000,
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let big = Matrix::vandermonde(40, n);
+            let mut indices: Vec<usize> = (0..40).collect();
+            indices.shuffle(&mut rng);
+            indices.truncate(n);
+            let sub = big.select_rows(&indices);
+            let inv = sub.invert().expect("distinct Vandermonde rows are independent");
+            prop_assert_eq!(sub.multiply(&inv), Matrix::identity(n));
+        }
+
+        /// (A * B)⁻¹ = B⁻¹ * A⁻¹ for random invertible matrices.
+        #[test]
+        fn product_inverse_rule(seed in 0u64..500) {
+            use rand::Rng;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let n = 4;
+            // Random matrices are invertible with probability ~0.996 over GF(256);
+            // retry until both are.
+            let mut random_invertible = || loop {
+                let rows: Vec<Vec<u8>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen()).collect())
+                    .collect();
+                let m = Matrix::from_rows(rows);
+                if let Some(inv) = m.invert() {
+                    return (m, inv);
+                }
+            };
+            let (a, a_inv) = random_invertible();
+            let (b, b_inv) = random_invertible();
+            let ab = a.multiply(&b);
+            let ab_inv = ab.invert().unwrap();
+            prop_assert_eq!(ab_inv, b_inv.multiply(&a_inv));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Scripted churn (failure) schedules.
+//!
+//! §3.6 of the paper evaluates resilience under *catastrophic failures*:
+//! 20 % (resp. 50 %) of the nodes crash simultaneously 60 s into the stream,
+//! chosen uniformly at random (so the capability-supply ratio is preserved),
+//! and surviving nodes learn about each failure ~10 s later on average.
+
+use heap_simnet::node::NodeId;
+use heap_simnet::time::{SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single scheduled crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the node crashes.
+    pub at: SimTime,
+    /// The crashing node.
+    pub node: NodeId,
+}
+
+/// An ordered list of crash events plus the failure-detection delay model.
+///
+/// # Examples
+///
+/// ```
+/// use heap_membership::churn::ChurnSchedule;
+/// use heap_simnet::time::{SimDuration, SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// // 20% of 270 nodes crash at t=60s; node 0 (the source) never crashes.
+/// let schedule = ChurnSchedule::catastrophic(
+///     270,
+///     0.2,
+///     SimTime::from_secs(60),
+///     &[0],
+///     &mut rng,
+/// );
+/// assert_eq!(schedule.events().len(), 54);
+/// assert!(schedule.events().iter().all(|e| e.node.index() != 0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+    /// Mean delay before a surviving node notices a crash.
+    detection_mean: SimDuration,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule (no churn).
+    pub fn none() -> Self {
+        ChurnSchedule {
+            events: Vec::new(),
+            detection_mean: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Builds a schedule from explicit events.
+    pub fn from_events(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        ChurnSchedule {
+            events,
+            detection_mean: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Builds the paper's catastrophic-failure scenario: `fraction` of the
+    /// `n` nodes crash simultaneously at `at`, selected uniformly at random
+    /// while never selecting any node listed in `exclude` (the stream source
+    /// must survive, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1)`.
+    pub fn catastrophic<R: Rng + ?Sized>(
+        n: usize,
+        fraction: f64,
+        at: SimTime,
+        exclude: &[u32],
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "failure fraction must be in [0,1), got {fraction}"
+        );
+        let mut candidates: Vec<NodeId> = (0..n as u32)
+            .filter(|i| !exclude.contains(i))
+            .map(NodeId::new)
+            .collect();
+        candidates.shuffle(rng);
+        let count = (n as f64 * fraction).round() as usize;
+        let count = count.min(candidates.len());
+        let events = candidates
+            .into_iter()
+            .take(count)
+            .map(|node| ChurnEvent { at, node })
+            .collect();
+        ChurnSchedule {
+            events,
+            detection_mean: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Sets the mean failure-detection delay (default 10 s, as in §3.6).
+    pub fn with_detection_mean(mut self, mean: SimDuration) -> Self {
+        self.detection_mean = mean;
+        self
+    }
+
+    /// The scheduled crash events, ordered by time.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Mean failure-detection delay.
+    pub fn detection_mean(&self) -> SimDuration {
+        self.detection_mean
+    }
+
+    /// Returns `true` if the schedule contains no crashes.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The set of nodes that crash at some point.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.events.iter().map(|e| e.node).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Samples the instant at which a surviving node notices the crash of a
+    /// node that failed at `crash_time`. Delays are uniform in
+    /// `[0.5, 1.5] * detection_mean`, giving the requested mean.
+    pub fn sample_detection_time<R: Rng + ?Sized>(
+        &self,
+        crash_time: SimTime,
+        rng: &mut R,
+    ) -> SimTime {
+        let mean = self.detection_mean.as_secs_f64();
+        if mean <= 0.0 {
+            return crash_time;
+        }
+        let delay = rng.gen_range(0.5 * mean..=1.5 * mean);
+        crash_time + SimDuration::from_secs_f64(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let s = ChurnSchedule::none();
+        assert!(s.is_empty());
+        assert!(s.events().is_empty());
+        assert!(s.crashed_nodes().is_empty());
+    }
+
+    #[test]
+    fn catastrophic_picks_requested_fraction_excluding_source() {
+        let s = ChurnSchedule::catastrophic(100, 0.5, SimTime::from_secs(60), &[0], &mut rng());
+        assert_eq!(s.events().len(), 50);
+        assert!(s.events().iter().all(|e| e.node.index() != 0));
+        assert!(s.events().iter().all(|e| e.at == SimTime::from_secs(60)));
+        let crashed = s.crashed_nodes();
+        assert_eq!(crashed.len(), 50, "crashed nodes must be distinct");
+    }
+
+    #[test]
+    fn catastrophic_zero_fraction_is_empty() {
+        let s = ChurnSchedule::catastrophic(100, 0.0, SimTime::from_secs(60), &[], &mut rng());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "failure fraction")]
+    fn catastrophic_rejects_fraction_of_one_or_more() {
+        let _ = ChurnSchedule::catastrophic(10, 1.0, SimTime::ZERO, &[], &mut rng());
+    }
+
+    #[test]
+    fn from_events_sorts_by_time() {
+        let s = ChurnSchedule::from_events(vec![
+            ChurnEvent { at: SimTime::from_secs(20), node: NodeId::new(2) },
+            ChurnEvent { at: SimTime::from_secs(10), node: NodeId::new(1) },
+        ]);
+        assert_eq!(s.events()[0].node, NodeId::new(1));
+        assert_eq!(s.events()[1].node, NodeId::new(2));
+    }
+
+    #[test]
+    fn detection_time_is_after_crash_and_around_mean() {
+        let s = ChurnSchedule::none().with_detection_mean(SimDuration::from_secs(10));
+        let crash = SimTime::from_secs(60);
+        let mut r = rng();
+        let mut total = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let t = s.sample_detection_time(crash, &mut r);
+            assert!(t >= crash + SimDuration::from_secs(5));
+            assert!(t <= crash + SimDuration::from_secs(15));
+            total += (t - crash).as_secs_f64();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean detection delay {mean}");
+    }
+
+    #[test]
+    fn zero_detection_mean_detects_immediately() {
+        let s = ChurnSchedule::none().with_detection_mean(SimDuration::ZERO);
+        assert_eq!(
+            s.sample_detection_time(SimTime::from_secs(3), &mut rng()),
+            SimTime::from_secs(3)
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Uniform random peer selection (`selectNodes(f)` in Algorithm 1).
+
+use crate::view::MembershipView;
+use heap_simnet::node::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Uniform random selection of gossip targets from a [`MembershipView`].
+///
+/// The robustness results HEAP builds on (average fanout ≥ ln(n) keeps the
+/// dissemination graph connected w.h.p.) assume targets are drawn uniformly
+/// at random among live peers, independently at every gossip round; this type
+/// is the single place where that selection happens so both protocols share
+/// the exact same sampling behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use heap_membership::{MembershipView, UniformSampler};
+/// use heap_simnet::node::NodeId;
+/// use rand::SeedableRng;
+///
+/// let view = MembershipView::full(10, NodeId::new(0));
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let targets = UniformSampler::select(&view, 3, &mut rng);
+/// assert_eq!(targets.len(), 3);
+/// assert!(!targets.contains(&NodeId::new(0)));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSampler;
+
+impl UniformSampler {
+    /// Selects up to `fanout` distinct live peers uniformly at random,
+    /// never including the view's owner.
+    ///
+    /// If fewer than `fanout` live peers exist, all of them are returned.
+    pub fn select<R: Rng + ?Sized>(
+        view: &MembershipView,
+        fanout: usize,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut peers = view.live_peers();
+        if fanout >= peers.len() {
+            peers.shuffle(rng);
+            return peers;
+        }
+        // Partial Fisher-Yates: choose `fanout` distinct elements.
+        let len = peers.len();
+        for i in 0..fanout {
+            let j = rng.gen_range(i..len);
+            peers.swap(i, j);
+        }
+        peers.truncate(fanout);
+        peers
+    }
+
+    /// Selects up to `fanout` distinct peers from an explicit candidate list,
+    /// excluding `exclude`. Used when the candidate set is not a full view
+    /// (e.g. partial views).
+    pub fn select_from<R: Rng + ?Sized>(
+        candidates: &[NodeId],
+        exclude: NodeId,
+        fanout: usize,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| p != exclude)
+            .collect();
+        peers.dedup();
+        if fanout >= peers.len() {
+            peers.shuffle(rng);
+            return peers;
+        }
+        let len = peers.len();
+        for i in 0..fanout {
+            let j = rng.gen_range(i..len);
+            peers.swap(i, j);
+        }
+        peers.truncate(fanout);
+        peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::{HashMap, HashSet};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn selects_exactly_fanout_distinct_targets() {
+        let view = MembershipView::full(50, NodeId::new(0));
+        let mut r = rng();
+        for _ in 0..100 {
+            let sel = UniformSampler::select(&view, 7, &mut r);
+            assert_eq!(sel.len(), 7);
+            let set: HashSet<_> = sel.iter().collect();
+            assert_eq!(set.len(), 7, "targets must be distinct");
+            assert!(!sel.contains(&NodeId::new(0)), "never select self");
+        }
+    }
+
+    #[test]
+    fn returns_all_peers_when_fanout_exceeds_population() {
+        let view = MembershipView::full(4, NodeId::new(1));
+        let sel = UniformSampler::select(&view, 10, &mut rng());
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn never_selects_dead_peers() {
+        let mut view = MembershipView::full(20, NodeId::new(0));
+        for i in 10..20 {
+            view.mark_dead(NodeId::new(i));
+        }
+        let mut r = rng();
+        for _ in 0..200 {
+            for id in UniformSampler::select(&view, 5, &mut r) {
+                assert!(id.index() < 10, "selected dead peer {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_approximately_uniform() {
+        // Chi-square style sanity check: every peer should be chosen a
+        // comparable number of times.
+        let view = MembershipView::full(21, NodeId::new(0));
+        let mut r = rng();
+        let mut counts: HashMap<NodeId, u32> = HashMap::new();
+        let rounds = 20_000;
+        for _ in 0..rounds {
+            for id in UniformSampler::select(&view, 4, &mut r) {
+                *counts.entry(id).or_default() += 1;
+            }
+        }
+        let expected = (rounds * 4) as f64 / 20.0;
+        for (&id, &c) in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.10, "peer {id} chosen {c} times, expected ~{expected}");
+        }
+        assert_eq!(counts.len(), 20);
+    }
+
+    #[test]
+    fn select_from_excludes_and_dedups() {
+        let candidates = vec![
+            NodeId::new(1),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        ];
+        let sel = UniformSampler::select_from(&candidates, NodeId::new(2), 10, &mut rng());
+        assert!(!sel.contains(&NodeId::new(2)));
+        assert!(sel.len() <= 3);
+        let sel2 = UniformSampler::select_from(&candidates, NodeId::new(9), 2, &mut rng());
+        assert_eq!(sel2.len(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Full membership view.
+
+use heap_simnet::node::NodeId;
+use heap_simnet::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A full membership view: the set of nodes a peer believes to be alive.
+///
+/// The paper's deployment assumes every node knows the full node list (system
+/// size is an input to the fanout rule `f = ln(n) + c`), and learns about
+/// failures with a configurable delay (≈10 s in §3.6). The view therefore
+/// distinguishes between nodes that *are* dead and nodes that this peer
+/// *knows* to be dead.
+///
+/// # Examples
+///
+/// ```
+/// use heap_membership::view::MembershipView;
+/// use heap_simnet::node::NodeId;
+///
+/// let mut view = MembershipView::full(5, NodeId::new(0));
+/// assert_eq!(view.live_peers().len(), 4); // everyone but self
+/// view.mark_dead(NodeId::new(3));
+/// assert_eq!(view.live_peers().len(), 3);
+/// assert!(!view.is_live(NodeId::new(3)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MembershipView {
+    owner: NodeId,
+    /// `alive[i]` is this peer's belief about node `i`.
+    alive: Vec<bool>,
+    /// Time at which each node was marked dead (by this peer), if ever.
+    death_noticed: Vec<Option<SimTime>>,
+}
+
+impl MembershipView {
+    /// Creates a view owned by `owner` containing all `n` nodes, all believed
+    /// alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is not within `0..n`.
+    pub fn full(n: usize, owner: NodeId) -> Self {
+        assert!(owner.index() < n, "owner must be one of the n nodes");
+        MembershipView {
+            owner,
+            alive: vec![true; n],
+            death_noticed: vec![None; n],
+        }
+    }
+
+    /// The node owning this view.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Total number of nodes in the system (alive or not).
+    pub fn system_size(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether this peer believes `id` to be alive.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Marks `id` as dead in this peer's view. Returns `true` if the belief
+    /// changed.
+    pub fn mark_dead(&mut self, id: NodeId) -> bool {
+        self.mark_dead_at(id, SimTime::ZERO)
+    }
+
+    /// Marks `id` as dead, recording when this peer noticed.
+    pub fn mark_dead_at(&mut self, id: NodeId, noticed: SimTime) -> bool {
+        if id.index() >= self.alive.len() || !self.alive[id.index()] {
+            return false;
+        }
+        self.alive[id.index()] = false;
+        self.death_noticed[id.index()] = Some(noticed);
+        true
+    }
+
+    /// Marks `id` as alive again (a re-join).
+    pub fn mark_alive(&mut self, id: NodeId) {
+        if id.index() < self.alive.len() {
+            self.alive[id.index()] = true;
+            self.death_noticed[id.index()] = None;
+        }
+    }
+
+    /// When this peer noticed `id`'s death, if it did.
+    pub fn death_noticed_at(&self, id: NodeId) -> Option<SimTime> {
+        self.death_noticed.get(id.index()).copied().flatten()
+    }
+
+    /// Nodes this peer believes alive, excluding itself. This is the
+    /// candidate set for `selectNodes(f)`.
+    pub fn live_peers(&self) -> Vec<NodeId> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|&(i, &alive)| alive && i != self.owner.index())
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+
+    /// Number of nodes believed alive (including the owner).
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_view_excludes_self_from_peers() {
+        let view = MembershipView::full(4, NodeId::new(2));
+        let peers = view.live_peers();
+        assert_eq!(peers.len(), 3);
+        assert!(!peers.contains(&NodeId::new(2)));
+        assert_eq!(view.owner(), NodeId::new(2));
+        assert_eq!(view.system_size(), 4);
+        assert_eq!(view.live_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner must be one of the n nodes")]
+    fn owner_out_of_range_panics() {
+        let _ = MembershipView::full(3, NodeId::new(3));
+    }
+
+    #[test]
+    fn mark_dead_and_alive_roundtrip() {
+        let mut view = MembershipView::full(3, NodeId::new(0));
+        assert!(view.mark_dead_at(NodeId::new(1), SimTime::from_secs(70)));
+        assert!(!view.mark_dead(NodeId::new(1)), "second mark is a no-op");
+        assert!(!view.is_live(NodeId::new(1)));
+        assert_eq!(
+            view.death_noticed_at(NodeId::new(1)),
+            Some(SimTime::from_secs(70))
+        );
+        assert_eq!(view.live_count(), 2);
+        view.mark_alive(NodeId::new(1));
+        assert!(view.is_live(NodeId::new(1)));
+        assert_eq!(view.death_noticed_at(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_safe() {
+        let mut view = MembershipView::full(2, NodeId::new(0));
+        assert!(!view.is_live(NodeId::new(10)));
+        assert!(!view.mark_dead(NodeId::new(10)));
+        assert_eq!(view.death_noticed_at(NodeId::new(10)), None);
+        view.mark_alive(NodeId::new(10)); // no-op, no panic
+    }
+}

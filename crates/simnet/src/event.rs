@@ -1,0 +1,175 @@
+//! The discrete-event queue.
+//!
+//! A thin wrapper around [`BinaryHeap`] that orders events by their firing
+//! time and breaks ties by insertion order, which makes simulations fully
+//! deterministic for a given seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point of virtual time.
+///
+/// `E` is the simulator-specific payload describing what should happen.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion sequence number, used to break ties.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of [`ScheduledEvent`]s ordered by time then insertion.
+///
+/// # Examples
+///
+/// ```
+/// use heap_simnet::event::EventQueue;
+/// use heap_simnet::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(20), "late");
+/// q.push(SimTime::from_millis(10), "early");
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`. Returns the sequence number
+    /// assigned to the event.
+    pub fn push(&mut self, time: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest scheduled event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), 5);
+        q.push(SimTime::from_millis(1), 1);
+        q.push(SimTime::from_millis(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(2), ());
+        q.push(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        let mut t = SimTime::ZERO;
+        let mut popped = Vec::new();
+        for round in 0..50u64 {
+            q.push(SimTime::from_micros(1_000 * (100 - round)), round);
+            q.push(SimTime::from_micros(1_000 * round), round + 1000);
+            if round % 3 == 0 {
+                if let Some(e) = q.pop() {
+                    assert!(e.time >= t, "time went backwards");
+                    t = e.time;
+                    popped.push(e.time);
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            assert!(e.time >= t);
+            t = e.time;
+            popped.push(e.time);
+        }
+        assert_eq!(popped.len(), 100);
+        let _ = t + SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,91 @@
+//! # heap-simnet
+//!
+//! A deterministic discrete-event network simulator used as the substrate for
+//! the reproduction of *Heterogeneous Gossip* (HEAP, Middleware 2009).
+//!
+//! The original paper evaluates HEAP on ~270 PlanetLab nodes whose upload
+//! bandwidth is artificially capped at the application level. This crate
+//! replaces that testbed with a simulated network that models the pieces the
+//! protocol actually interacts with:
+//!
+//! * **virtual time** ([`SimTime`], [`SimDuration`]) with microsecond
+//!   resolution,
+//! * an **event queue** with deterministic tie-breaking ([`event`]),
+//! * **per-node upload-capacity queues** that serialise outgoing messages at
+//!   the node's configured bandwidth, exactly like the application-level rate
+//!   limiter described in the paper ([`bandwidth`]),
+//! * configurable **link latency** and **message loss** models ([`latency`],
+//!   [`loss`]),
+//! * a protocol harness ([`sim::Simulator`], [`sim::Protocol`]) with timers,
+//!   node crashes and per-node deterministic randomness,
+//! * per-node **traffic statistics** ([`stats`]).
+//!
+//! Protocols are written against the [`sim::Protocol`] trait and the
+//! [`sim::Context`] command buffer, and are completely unaware of whether they
+//! run above a simulated or a real transport.
+//!
+//! ## Example
+//!
+//! ```
+//! use heap_simnet::prelude::*;
+//!
+//! /// A protocol in which node 0 pings every other node once.
+//! struct Ping { n: usize }
+//!
+//! #[derive(Clone, Debug)]
+//! struct Hello;
+//! impl WireSize for Hello {
+//!     fn wire_size(&self) -> usize { 32 }
+//! }
+//!
+//! impl Protocol for Ping {
+//!     type Message = Hello;
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Hello>) {
+//!         if ctx.node_id().index() == 0 {
+//!             for i in 1..self.n {
+//!                 ctx.send(NodeId::new(i as u32), Hello);
+//!             }
+//!         }
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, Hello>, _from: NodeId, _msg: Hello) {}
+//!     fn on_timer(&mut self, _ctx: &mut Context<'_, Hello>, _timer: TimerId, _tag: u64) {}
+//! }
+//!
+//! let mut sim = SimulatorBuilder::new(4, 42)
+//!     .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+//!     .build(|_id| Ping { n: 4 });
+//! sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(sim.stats().total_messages_delivered(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bandwidth;
+pub mod event;
+pub mod latency;
+pub mod loss;
+pub mod node;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use bandwidth::{Bandwidth, UploadQueue};
+pub use event::{EventQueue, ScheduledEvent};
+pub use latency::LatencyModel;
+pub use loss::LossModel;
+pub use node::NodeId;
+pub use sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
+pub use stats::{NetStats, NodeStats};
+pub use time::{SimDuration, SimTime};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::bandwidth::Bandwidth;
+    pub use crate::latency::LatencyModel;
+    pub use crate::loss::LossModel;
+    pub use crate::node::NodeId;
+    pub use crate::sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
+    pub use crate::time::{SimDuration, SimTime};
+}

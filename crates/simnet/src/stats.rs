@@ -1,0 +1,184 @@
+//! Per-node and network-wide traffic statistics.
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Message counters for a single node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Messages this node handed to its upload queue.
+    pub messages_sent: u64,
+    /// Bytes this node handed to its upload queue.
+    pub bytes_sent: u64,
+    /// Messages delivered to this node.
+    pub messages_delivered: u64,
+    /// Bytes delivered to this node.
+    pub bytes_delivered: u64,
+    /// Messages sent by this node that the network dropped.
+    pub messages_lost: u64,
+    /// Messages addressed to this node that were discarded because the node
+    /// had crashed.
+    pub messages_to_dead: u64,
+    /// Messages this node tried to send but dropped because its upload queue
+    /// backlog exceeded the configured limit.
+    pub messages_dropped_queue: u64,
+}
+
+/// Traffic statistics for the whole simulation.
+///
+/// # Examples
+///
+/// ```
+/// use heap_simnet::stats::NetStats;
+/// use heap_simnet::node::NodeId;
+/// let mut stats = NetStats::new(2);
+/// stats.record_send(NodeId::new(0), 100);
+/// stats.record_delivery(NodeId::new(1), 100);
+/// assert_eq!(stats.total_messages_sent(), 1);
+/// assert_eq!(stats.total_messages_delivered(), 1);
+/// assert_eq!(stats.node(NodeId::new(1)).bytes_delivered, 100);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    per_node: Vec<NodeStats>,
+    /// Sum of queueing delays experienced by all departed messages.
+    pub total_queueing_delay: SimDuration,
+}
+
+impl NetStats {
+    /// Creates statistics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            per_node: vec![NodeStats::default(); n],
+            total_queueing_delay: SimDuration::ZERO,
+        }
+    }
+
+    fn ensure(&mut self, id: NodeId) -> &mut NodeStats {
+        if id.index() >= self.per_node.len() {
+            self.per_node.resize(id.index() + 1, NodeStats::default());
+        }
+        &mut self.per_node[id.index()]
+    }
+
+    /// Records a message of `bytes` bytes handed to `from`'s upload queue.
+    pub fn record_send(&mut self, from: NodeId, bytes: usize) {
+        let s = self.ensure(from);
+        s.messages_sent += 1;
+        s.bytes_sent += bytes as u64;
+    }
+
+    /// Records a message of `bytes` bytes delivered to `to`.
+    pub fn record_delivery(&mut self, to: NodeId, bytes: usize) {
+        let s = self.ensure(to);
+        s.messages_delivered += 1;
+        s.bytes_delivered += bytes as u64;
+    }
+
+    /// Records a message from `from` dropped by the network.
+    pub fn record_loss(&mut self, from: NodeId) {
+        self.ensure(from).messages_lost += 1;
+    }
+
+    /// Records a message addressed to the crashed node `to`.
+    pub fn record_to_dead(&mut self, to: NodeId) {
+        self.ensure(to).messages_to_dead += 1;
+    }
+
+    /// Records a message dropped at `from` because its upload queue was full.
+    pub fn record_queue_drop(&mut self, from: NodeId) {
+        self.ensure(from).messages_dropped_queue += 1;
+    }
+
+    /// Total messages dropped because of full upload queues.
+    pub fn total_queue_drops(&self) -> u64 {
+        self.per_node.iter().map(|s| s.messages_dropped_queue).sum()
+    }
+
+    /// Counters of a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &NodeStats {
+        &self.per_node[id.index()]
+    }
+
+    /// Iterates over `(NodeId, &NodeStats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeStats)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::new(i as u32), s))
+    }
+
+    /// Total messages handed to upload queues.
+    pub fn total_messages_sent(&self) -> u64 {
+        self.per_node.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Total messages delivered.
+    pub fn total_messages_delivered(&self) -> u64 {
+        self.per_node.iter().map(|s| s.messages_delivered).sum()
+    }
+
+    /// Total messages dropped by the network.
+    pub fn total_messages_lost(&self) -> u64 {
+        self.per_node.iter().map(|s| s.messages_lost).sum()
+    }
+
+    /// Total bytes handed to upload queues.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_node.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Observed network-wide loss rate (lost / sent), or 0 if nothing was sent.
+    pub fn loss_rate(&self) -> f64 {
+        let sent = self.total_messages_sent();
+        if sent == 0 {
+            0.0
+        } else {
+            self.total_messages_lost() as f64 / sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::new(3);
+        s.record_send(NodeId::new(0), 10);
+        s.record_send(NodeId::new(0), 20);
+        s.record_delivery(NodeId::new(1), 10);
+        s.record_loss(NodeId::new(0));
+        s.record_to_dead(NodeId::new(2));
+        assert_eq!(s.node(NodeId::new(0)).messages_sent, 2);
+        assert_eq!(s.node(NodeId::new(0)).bytes_sent, 30);
+        assert_eq!(s.node(NodeId::new(0)).messages_lost, 1);
+        assert_eq!(s.node(NodeId::new(1)).messages_delivered, 1);
+        assert_eq!(s.node(NodeId::new(2)).messages_to_dead, 1);
+        assert_eq!(s.total_messages_sent(), 2);
+        assert_eq!(s.total_messages_delivered(), 1);
+        assert_eq!(s.total_messages_lost(), 1);
+        assert_eq!(s.total_bytes_sent(), 30);
+        assert!((s.loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_with_no_traffic_is_zero() {
+        let s = NetStats::new(1);
+        assert_eq!(s.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = NetStats::new(1);
+        s.record_send(NodeId::new(9), 1);
+        assert_eq!(s.node(NodeId::new(9)).messages_sent, 1);
+        assert_eq!(s.iter().count(), 10);
+    }
+}

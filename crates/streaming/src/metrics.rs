@@ -1,0 +1,470 @@
+//! Per-node stream-quality metrics.
+//!
+//! All metrics are derived offline from a node's [`ReceiverLog`] and the
+//! source's [`StreamSchedule`], mirroring how the paper's PlanetLab logs were
+//! post-processed. Per-window metrics are anchored at the instant the last
+//! packet of the window is published by the source (the earliest time the
+//! window is even complete at the source); per-packet metrics are anchored at
+//! each packet's own publication time.
+
+use crate::packet::{PacketId, WindowId};
+use crate::receiver::ReceiverLog;
+use crate::source::StreamSchedule;
+use heap_simnet::time::{SimDuration, SimTime};
+
+/// Stream-quality metrics of a single node.
+///
+/// # Examples
+///
+/// ```
+/// use heap_streaming::{NodeStreamMetrics, ReceiverLog, StreamConfig, StreamSchedule, PacketId};
+/// use heap_simnet::time::{SimDuration, SimTime};
+///
+/// let schedule = StreamSchedule::new(StreamConfig::small(2), SimTime::ZERO);
+/// let mut log = ReceiverLog::for_schedule(&schedule);
+/// // Deliver every packet 100 ms after publication.
+/// for p in schedule.iter() {
+///     log.record(p.id, p.published_at + SimDuration::from_millis(100));
+/// }
+/// let m = NodeStreamMetrics::compute(&schedule, &log);
+/// assert_eq!(m.jitter_free_fraction(SimDuration::from_secs(1)), 1.0);
+/// assert!(m.lag_for_full_delivery(0.99).unwrap() <= SimDuration::from_millis(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeStreamMetrics {
+    /// Decode lag of every window: time from the window's publication
+    /// completion until its `decode_threshold`-th packet arrived
+    /// (`None` = never became decodable).
+    window_decode_lags: Vec<Option<SimDuration>>,
+    /// For every window, arrival lags (relative to window publication) of the
+    /// *source* packets that did arrive.
+    window_source_lags: Vec<Vec<SimDuration>>,
+    /// Arrival lag of every packet relative to its own publication time
+    /// (`None` = never received).
+    packet_lags: Vec<Option<SimDuration>>,
+    data_packets_per_window: usize,
+    decode_threshold: usize,
+}
+
+impl NodeStreamMetrics {
+    /// Computes the metrics of one node from its receive log.
+    pub fn compute(schedule: &StreamSchedule, log: &ReceiverLog) -> Self {
+        let params = schedule.config().window;
+        let n_windows = schedule.total_windows();
+        let mut window_decode_lags = Vec::with_capacity(n_windows as usize);
+        let mut window_source_lags = Vec::with_capacity(n_windows as usize);
+
+        for w in 0..n_windows {
+            let window = WindowId::new(w);
+            let publish = schedule
+                .window_publish_time(window)
+                .expect("window index bounded by total_windows");
+            let arrivals = log.window_arrivals(schedule, window);
+
+            // Lag of each received packet of this window, relative to the
+            // window's publication completion (clamped at zero: packets
+            // relayed before the window is complete count as lag 0).
+            let mut lags: Vec<SimDuration> = arrivals
+                .iter()
+                .flatten()
+                .map(|&t| t.saturating_since(publish))
+                .collect();
+            lags.sort_unstable();
+            let decode_lag = if lags.len() >= params.decode_threshold() {
+                Some(lags[params.decode_threshold() - 1])
+            } else {
+                None
+            };
+            window_decode_lags.push(decode_lag);
+
+            let source_lags: Vec<SimDuration> = arrivals
+                .iter()
+                .take(params.data_packets)
+                .flatten()
+                .map(|&t| t.saturating_since(publish))
+                .collect();
+            window_source_lags.push(source_lags);
+        }
+
+        let packet_lags: Vec<Option<SimDuration>> = (0..schedule.total_packets())
+            .map(|seq| {
+                let id = PacketId::new(seq);
+                let publish = schedule
+                    .publish_time(id)
+                    .expect("sequence bounded by total_packets");
+                log.arrival(id).map(|t| t.saturating_since(publish))
+            })
+            .collect();
+
+        NodeStreamMetrics {
+            window_decode_lags,
+            window_source_lags,
+            packet_lags,
+            data_packets_per_window: params.data_packets,
+            decode_threshold: params.decode_threshold(),
+        }
+    }
+
+    /// Number of windows in the stream.
+    pub fn n_windows(&self) -> usize {
+        self.window_decode_lags.len()
+    }
+
+    /// The decode lag of a window: how long after the window was fully
+    /// published this node had enough packets to decode it.
+    pub fn window_decode_lag(&self, window: WindowId) -> Option<SimDuration> {
+        self.window_decode_lags
+            .get(window.index() as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Whether `window` is decodable (jitter-free) when viewed with the given
+    /// stream lag.
+    pub fn window_jitter_free(&self, window: WindowId, lag: SimDuration) -> bool {
+        matches!(self.window_decode_lag(window), Some(l) if l <= lag)
+    }
+
+    /// Fraction of windows that are jitter-free at the given stream lag.
+    pub fn jitter_free_fraction(&self, lag: SimDuration) -> f64 {
+        if self.window_decode_lags.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .window_decode_lags
+            .iter()
+            .filter(|l| matches!(l, Some(l) if *l <= lag))
+            .count();
+        ok as f64 / self.window_decode_lags.len() as f64
+    }
+
+    /// Fraction of windows that are jittered (not decodable) at the given
+    /// stream lag — the x-axis of Fig. 7.
+    pub fn jitter_fraction(&self, lag: SimDuration) -> f64 {
+        1.0 - self.jitter_free_fraction(lag)
+    }
+
+    /// Fraction of windows that eventually become decodable regardless of lag
+    /// ("offline viewing" in Fig. 7).
+    pub fn offline_jitter_free_fraction(&self) -> f64 {
+        if self.window_decode_lags.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .window_decode_lags
+            .iter()
+            .filter(|l| l.is_some())
+            .count();
+        ok as f64 / self.window_decode_lags.len() as f64
+    }
+
+    /// The smallest stream lag at which at most `max_jitter` (a fraction in
+    /// `[0, 1]`) of the windows are jittered, or `None` if even offline
+    /// viewing cannot achieve it.
+    ///
+    /// `max_jitter = 0.0` asks for a completely jitter-free stream (Fig. 8 and
+    /// 9's "no jitter" curves); `0.01` reproduces the "max 1 % jitter" curves.
+    pub fn lag_for_jitter_free(&self, max_jitter: f64) -> Option<SimDuration> {
+        let total = self.window_decode_lags.len();
+        if total == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        let allowed = (max_jitter * total as f64).floor() as usize;
+        let mut finite: Vec<SimDuration> =
+            self.window_decode_lags.iter().flatten().copied().collect();
+        finite.sort_unstable();
+        let needed = total - allowed;
+        if needed == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        if finite.len() < needed {
+            return None;
+        }
+        Some(finite[needed - 1])
+    }
+
+    /// The smallest stream lag at which at least `ratio` of all stream
+    /// packets have arrived (Fig. 1–3 plot the CDF over nodes of this value
+    /// for `ratio = 0.99`), or `None` if the node never received that much.
+    pub fn lag_for_full_delivery(&self, ratio: f64) -> Option<SimDuration> {
+        let total = self.packet_lags.len();
+        if total == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        let needed = (ratio * total as f64).ceil() as usize;
+        if needed == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        let mut finite: Vec<SimDuration> = self.packet_lags.iter().flatten().copied().collect();
+        if finite.len() < needed {
+            return None;
+        }
+        finite.sort_unstable();
+        Some(finite[needed - 1])
+    }
+
+    /// Overall fraction of stream packets this node eventually received.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packet_lags.is_empty() {
+            return 0.0;
+        }
+        self.packet_lags.iter().filter(|l| l.is_some()).count() as f64
+            / self.packet_lags.len() as f64
+    }
+
+    /// Delivery ratio of *source* packets inside a window at the given lag:
+    /// how much of the window is still viewable verbatim even if it cannot be
+    /// FEC-decoded (systematic coding, Table 2).
+    pub fn window_source_delivery_ratio(&self, window: WindowId, lag: SimDuration) -> f64 {
+        match self.window_source_lags.get(window.index() as usize) {
+            None => 0.0,
+            Some(lags) => {
+                let got = lags.iter().filter(|&&l| l <= lag).count();
+                got as f64 / self.data_packets_per_window as f64
+            }
+        }
+    }
+
+    /// Mean source-packet delivery ratio over the windows that are *jittered*
+    /// at the given lag (Table 2). Returns `None` when no window is jittered.
+    pub fn jittered_window_delivery_ratio(&self, lag: SimDuration) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for w in 0..self.window_decode_lags.len() {
+            let window = WindowId::new(w as u64);
+            if !self.window_jitter_free(window, lag) {
+                sum += self.window_source_delivery_ratio(window, lag);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// Per-window decodability at the given lag, indexed by window — the raw
+    /// series behind Fig. 10.
+    pub fn windows_decodable_at(&self, lag: SimDuration) -> Vec<bool> {
+        (0..self.window_decode_lags.len())
+            .map(|w| self.window_jitter_free(WindowId::new(w as u64), lag))
+            .collect()
+    }
+
+    /// The number of packets required to decode a window.
+    pub fn decode_threshold(&self) -> usize {
+        self.decode_threshold
+    }
+
+    /// Mean arrival lag of received packets (diagnostic; not a paper metric).
+    pub fn mean_packet_lag(&self) -> Option<SimDuration> {
+        let finite: Vec<SimDuration> = self.packet_lags.iter().flatten().copied().collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let total_micros: u64 = finite.iter().map(|d| d.as_micros()).sum();
+        Some(SimDuration::from_micros(total_micros / finite.len() as u64))
+    }
+}
+
+/// Convenience: computes metrics for many nodes at once.
+pub fn compute_all(
+    schedule: &StreamSchedule,
+    logs: &[ReceiverLog],
+) -> Vec<NodeStreamMetrics> {
+    logs.iter()
+        .map(|log| NodeStreamMetrics::compute(schedule, log))
+        .collect()
+}
+
+/// Helper used by tests and experiments: the instant a node could decode
+/// `window` (publication completion plus decode lag), if ever.
+pub fn window_decode_time(
+    schedule: &StreamSchedule,
+    metrics: &NodeStreamMetrics,
+    window: WindowId,
+) -> Option<SimTime> {
+    let publish = schedule.window_publish_time(window)?;
+    metrics.window_decode_lag(window).map(|lag| publish + lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StreamConfig;
+
+    fn schedule(windows: u64) -> StreamSchedule {
+        StreamSchedule::new(StreamConfig::small(windows), SimTime::ZERO)
+    }
+
+    /// Delivers packets of the given windows with a fixed lag after the
+    /// *window* publication time; other windows get nothing.
+    fn log_with_window_lags(
+        schedule: &StreamSchedule,
+        lags: &[Option<SimDuration>],
+    ) -> ReceiverLog {
+        let mut log = ReceiverLog::for_schedule(schedule);
+        for p in schedule.iter() {
+            let w = p.window.index() as usize;
+            if let Some(Some(lag)) = lags.get(w) {
+                let publish = schedule.window_publish_time(p.window).unwrap();
+                log.record(p.id, publish + *lag);
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn perfect_delivery_gives_perfect_metrics() {
+        let s = schedule(3);
+        let mut log = ReceiverLog::for_schedule(&s);
+        for p in s.iter() {
+            log.record(p.id, p.published_at + SimDuration::from_millis(50));
+        }
+        let m = NodeStreamMetrics::compute(&s, &log);
+        assert_eq!(m.n_windows(), 3);
+        assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.jitter_free_fraction(SimDuration::from_millis(60)), 1.0);
+        assert_eq!(m.offline_jitter_free_fraction(), 1.0);
+        assert_eq!(m.jitter_fraction(SimDuration::from_secs(1)), 0.0);
+        // Packets arrive 50ms after their own publication, so 99% delivery
+        // needs at most 50ms of lag.
+        assert!(m.lag_for_full_delivery(0.99).unwrap() <= SimDuration::from_millis(50));
+        assert!(m.mean_packet_lag().unwrap() <= SimDuration::from_millis(50));
+        // Decode lag is measured from window completion. Most of the window's
+        // packets were published (and thus delivered) before the window was
+        // complete, so the decode lag is below the 50ms per-packet lag but the
+        // window still needs the 10th packet, which arrives shortly after
+        // completion.
+        let decode_lag = m.window_decode_lag(WindowId::new(0)).unwrap();
+        assert!(decode_lag > SimDuration::ZERO && decode_lag <= SimDuration::from_millis(50));
+        assert_eq!(
+            window_decode_time(&s, &m, WindowId::new(0)),
+            Some(s.window_publish_time(WindowId::new(0)).unwrap() + decode_lag)
+        );
+    }
+
+    #[test]
+    fn missing_windows_are_jittered_forever() {
+        let s = schedule(4);
+        let lags = vec![
+            Some(SimDuration::from_secs(1)),
+            None,
+            Some(SimDuration::from_secs(3)),
+            Some(SimDuration::from_secs(1)),
+        ];
+        let log = log_with_window_lags(&s, &lags);
+        let m = NodeStreamMetrics::compute(&s, &log);
+
+        assert_eq!(m.window_decode_lag(WindowId::new(1)), None);
+        assert!(!m.window_jitter_free(WindowId::new(1), SimDuration::from_secs(100)));
+        assert_eq!(m.offline_jitter_free_fraction(), 0.75);
+        assert_eq!(m.jitter_free_fraction(SimDuration::from_secs(1)), 0.5);
+        assert_eq!(m.jitter_free_fraction(SimDuration::from_secs(3)), 0.75);
+
+        // A fully jitter-free stream is impossible (window 1 never arrives).
+        assert_eq!(m.lag_for_jitter_free(0.0), None);
+        // Allowing 25% jitter, a 3s lag suffices.
+        assert_eq!(m.lag_for_jitter_free(0.25), Some(SimDuration::from_secs(3)));
+        // Allowing 50% jitter, 1s suffices.
+        assert_eq!(m.lag_for_jitter_free(0.5), Some(SimDuration::from_secs(1)));
+        // 99% delivery is impossible with a whole window missing (25% of packets).
+        assert_eq!(m.lag_for_full_delivery(0.99), None);
+        // 75% delivery is achievable.
+        assert!(m.lag_for_full_delivery(0.75).is_some());
+    }
+
+    #[test]
+    fn decode_lag_is_kth_smallest_arrival() {
+        let s = schedule(1);
+        let params = s.config().window;
+        let publish = s.window_publish_time(WindowId::new(0)).unwrap();
+        let mut log = ReceiverLog::for_schedule(&s);
+        // Deliver exactly `decode_threshold` packets with staggered lags
+        // 100ms, 200ms, ...; drop the rest.
+        for (i, p) in s.iter().enumerate() {
+            if i < params.decode_threshold() {
+                log.record(p.id, publish + SimDuration::from_millis(100 * (i as u64 + 1)));
+            }
+        }
+        let m = NodeStreamMetrics::compute(&s, &log);
+        assert_eq!(
+            m.window_decode_lag(WindowId::new(0)),
+            Some(SimDuration::from_millis(100 * params.decode_threshold() as u64))
+        );
+        assert_eq!(m.decode_threshold(), params.decode_threshold());
+        // Dropping one more packet makes the window undecodable.
+        let mut log2 = ReceiverLog::for_schedule(&s);
+        for (i, p) in s.iter().enumerate() {
+            if i + 1 < params.decode_threshold() {
+                log2.record(p.id, publish);
+            }
+        }
+        let m2 = NodeStreamMetrics::compute(&s, &log2);
+        assert_eq!(m2.window_decode_lag(WindowId::new(0)), None);
+    }
+
+    #[test]
+    fn jittered_window_delivery_ratio_counts_source_packets_only() {
+        let s = schedule(1);
+        let params = s.config().window;
+        let publish = s.window_publish_time(WindowId::new(0)).unwrap();
+        let mut log = ReceiverLog::for_schedule(&s);
+        // Deliver half the source packets (and no parity): undecodable window
+        // with a 50% source delivery ratio.
+        for (i, p) in s.iter().enumerate() {
+            if !p.is_parity && i < params.data_packets / 2 {
+                log.record(p.id, publish + SimDuration::from_millis(10));
+            }
+        }
+        let m = NodeStreamMetrics::compute(&s, &log);
+        let lag = SimDuration::from_secs(10);
+        assert!(!m.window_jitter_free(WindowId::new(0), lag));
+        let ratio = m.jittered_window_delivery_ratio(lag).unwrap();
+        assert!((ratio - 0.5).abs() < 1e-9);
+        assert!((m.window_source_delivery_ratio(WindowId::new(0), lag) - 0.5).abs() < 1e-9);
+        // Out-of-range window has zero ratio.
+        assert_eq!(m.window_source_delivery_ratio(WindowId::new(9), lag), 0.0);
+    }
+
+    #[test]
+    fn no_jittered_windows_yields_none_ratio() {
+        let s = schedule(2);
+        let lags = vec![Some(SimDuration::ZERO), Some(SimDuration::ZERO)];
+        let log = log_with_window_lags(&s, &lags);
+        let m = NodeStreamMetrics::compute(&s, &log);
+        assert_eq!(m.jittered_window_delivery_ratio(SimDuration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn windows_decodable_series_matches_lags() {
+        let s = schedule(3);
+        let lags = vec![
+            Some(SimDuration::from_secs(1)),
+            Some(SimDuration::from_secs(5)),
+            None,
+        ];
+        let log = log_with_window_lags(&s, &lags);
+        let m = NodeStreamMetrics::compute(&s, &log);
+        assert_eq!(
+            m.windows_decodable_at(SimDuration::from_secs(2)),
+            vec![true, false, false]
+        );
+        assert_eq!(
+            m.windows_decodable_at(SimDuration::from_secs(6)),
+            vec![true, true, false]
+        );
+    }
+
+    #[test]
+    fn compute_all_handles_multiple_nodes() {
+        let s = schedule(1);
+        let logs = vec![ReceiverLog::for_schedule(&s), ReceiverLog::for_schedule(&s)];
+        let all = compute_all(&s, &logs);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].delivery_ratio(), 0.0);
+        assert_eq!(all[0].mean_packet_lag(), None);
+        assert_eq!(all[0].lag_for_jitter_free(1.0), Some(SimDuration::ZERO));
+    }
+}

@@ -1,0 +1,109 @@
+//! Stream packet and window identifiers.
+
+use heap_simnet::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique, monotonically increasing identifier of a stream packet.
+///
+/// The id doubles as the packet's position in the publication order, which is
+/// what gossip [Propose] messages carry around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet id from its global sequence number.
+    pub const fn new(seq: u64) -> Self {
+        PacketId(seq)
+    }
+
+    /// The global sequence number.
+    pub const fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// Identifier of an FEC window (consecutive packets grouped for decoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WindowId(u64);
+
+impl WindowId {
+    /// Creates a window id from its index in the stream.
+    pub const fn new(index: u64) -> Self {
+        WindowId(index)
+    }
+
+    /// The window's index in the stream.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "win#{}", self.0)
+    }
+}
+
+/// Descriptor of one stream packet: identity, position within its FEC window
+/// and publication time. The payload itself is synthetic (the simulation only
+/// needs its size), but the descriptor carries everything needed to
+/// reconstruct playout deadlines and FEC decodability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamPacket {
+    /// Global packet id.
+    pub id: PacketId,
+    /// The FEC window this packet belongs to.
+    pub window: WindowId,
+    /// Position of the packet inside its window (`0..total_packets`).
+    pub index_in_window: usize,
+    /// Whether the packet is one of the window's parity packets.
+    pub is_parity: bool,
+    /// When the source published the packet.
+    pub published_at: SimTime,
+    /// Payload size in bytes (1316 in the paper).
+    pub payload_bytes: usize,
+}
+
+impl StreamPacket {
+    /// Returns `true` if this is a source (non-parity) packet.
+    pub fn is_source(&self) -> bool {
+        !self.is_parity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(PacketId::new(1) < PacketId::new(2));
+        assert_eq!(PacketId::new(7).seq(), 7);
+        assert_eq!(PacketId::new(7).to_string(), "pkt#7");
+        assert!(WindowId::new(0) < WindowId::new(1));
+        assert_eq!(WindowId::new(3).index(), 3);
+        assert_eq!(WindowId::new(3).to_string(), "win#3");
+    }
+
+    #[test]
+    fn packet_source_parity_flag() {
+        let p = StreamPacket {
+            id: PacketId::new(0),
+            window: WindowId::new(0),
+            index_in_window: 0,
+            is_parity: false,
+            published_at: SimTime::ZERO,
+            payload_bytes: 1316,
+        };
+        assert!(p.is_source());
+        let q = StreamPacket { is_parity: true, ..p };
+        assert!(!q.is_source());
+    }
+}

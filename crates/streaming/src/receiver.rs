@@ -1,0 +1,159 @@
+//! Per-node receive log.
+//!
+//! Every node records the arrival time of every stream packet it delivers;
+//! all stream-quality metrics (lag CDFs, jitter percentages, delivery ratios)
+//! are later derived offline from these logs, which is exactly how the
+//! paper's PlanetLab experiments were analysed.
+
+use crate::packet::{PacketId, WindowId};
+use crate::source::StreamSchedule;
+use heap_simnet::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The receive log of a single node: which packets arrived, and when.
+///
+/// # Examples
+///
+/// ```
+/// use heap_streaming::{ReceiverLog, PacketId};
+/// use heap_simnet::time::SimTime;
+///
+/// let mut log = ReceiverLog::new(100);
+/// assert!(log.record(PacketId::new(3), SimTime::from_secs(1)));
+/// assert!(!log.record(PacketId::new(3), SimTime::from_secs(2)), "duplicates ignored");
+/// assert_eq!(log.received_count(), 1);
+/// assert_eq!(log.arrival(PacketId::new(3)), Some(SimTime::from_secs(1)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReceiverLog {
+    /// Arrival time per global packet sequence number (`None` = not received).
+    arrivals: Vec<Option<SimTime>>,
+    received: u64,
+}
+
+impl ReceiverLog {
+    /// Creates an empty log able to hold `total_packets` packets.
+    pub fn new(total_packets: u64) -> Self {
+        ReceiverLog {
+            arrivals: vec![None; total_packets as usize],
+            received: 0,
+        }
+    }
+
+    /// Creates a log sized for the given schedule.
+    pub fn for_schedule(schedule: &StreamSchedule) -> Self {
+        ReceiverLog::new(schedule.total_packets())
+    }
+
+    /// Records the first arrival of `id` at `at`. Returns `true` if the
+    /// packet was new, `false` for duplicates or out-of-range ids.
+    pub fn record(&mut self, id: PacketId, at: SimTime) -> bool {
+        match self.arrivals.get_mut(id.seq() as usize) {
+            Some(slot @ None) => {
+                *slot = Some(at);
+                self.received += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The arrival time of `id`, if it was received.
+    pub fn arrival(&self, id: PacketId) -> Option<SimTime> {
+        self.arrivals.get(id.seq() as usize).copied().flatten()
+    }
+
+    /// Whether `id` has been received.
+    pub fn has(&self, id: PacketId) -> bool {
+        self.arrival(id).is_some()
+    }
+
+    /// Number of distinct packets received.
+    pub fn received_count(&self) -> u64 {
+        self.received
+    }
+
+    /// Capacity of the log (total packets in the stream).
+    pub fn total_packets(&self) -> u64 {
+        self.arrivals.len() as u64
+    }
+
+    /// Fraction of the stream received, in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.arrivals.is_empty() {
+            0.0
+        } else {
+            self.received as f64 / self.arrivals.len() as f64
+        }
+    }
+
+    /// Arrival times of the packets belonging to `window` under `schedule`,
+    /// one entry per packet of the window (`None` = never received).
+    pub fn window_arrivals(
+        &self,
+        schedule: &StreamSchedule,
+        window: WindowId,
+    ) -> Vec<Option<SimTime>> {
+        let per_window = schedule.config().window.total_packets() as u64;
+        let first = window.index() * per_window;
+        (first..first + per_window)
+            .map(|seq| self.arrivals.get(seq as usize).copied().flatten())
+            .collect()
+    }
+
+    /// Iterates over `(PacketId, SimTime)` for every received packet.
+    pub fn iter_received(&self) -> impl Iterator<Item = (PacketId, SimTime)> + '_ {
+        self.arrivals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (PacketId::new(i as u64), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StreamConfig;
+
+    #[test]
+    fn record_and_query() {
+        let mut log = ReceiverLog::new(10);
+        assert_eq!(log.total_packets(), 10);
+        assert!(log.record(PacketId::new(0), SimTime::from_secs(1)));
+        assert!(log.record(PacketId::new(9), SimTime::from_secs(2)));
+        assert!(!log.record(PacketId::new(10), SimTime::from_secs(3)), "out of range");
+        assert!(!log.record(PacketId::new(0), SimTime::from_secs(4)), "duplicate");
+        assert_eq!(log.received_count(), 2);
+        assert!(log.has(PacketId::new(9)));
+        assert!(!log.has(PacketId::new(5)));
+        assert_eq!(log.arrival(PacketId::new(0)), Some(SimTime::from_secs(1)));
+        assert!((log.delivery_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(log.iter_received().count(), 2);
+    }
+
+    #[test]
+    fn empty_log_has_zero_ratio() {
+        let log = ReceiverLog::new(0);
+        assert_eq!(log.delivery_ratio(), 0.0);
+        assert_eq!(log.received_count(), 0);
+    }
+
+    #[test]
+    fn window_arrivals_follow_schedule() {
+        let schedule = StreamSchedule::new(StreamConfig::small(2), SimTime::ZERO);
+        let mut log = ReceiverLog::for_schedule(&schedule);
+        assert_eq!(log.total_packets(), 24);
+        // Receive every packet of window 1, none of window 0.
+        for seq in 12..24 {
+            log.record(PacketId::new(seq), SimTime::from_secs(seq));
+        }
+        let w0 = log.window_arrivals(&schedule, WindowId::new(0));
+        assert_eq!(w0.len(), 12);
+        assert!(w0.iter().all(|a| a.is_none()));
+        let w1 = log.window_arrivals(&schedule, WindowId::new(1));
+        assert!(w1.iter().all(|a| a.is_some()));
+        // Out-of-range windows yield all-None entries rather than panicking.
+        let w5 = log.window_arrivals(&schedule, WindowId::new(5));
+        assert!(w5.iter().all(|a| a.is_none()));
+    }
+}

@@ -1,0 +1,292 @@
+//! The stream source: configuration and deterministic publication schedule.
+
+use crate::packet::{PacketId, StreamPacket, WindowId};
+use heap_fec::WindowParams;
+use heap_simnet::bandwidth::Bandwidth;
+use heap_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the streamed content.
+///
+/// The defaults reproduce the paper's setup: 1316-byte packets, an effective
+/// rate of 600 kbps (551 kbps of source data plus FEC overhead), windows of
+/// 101 source + 9 parity packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// FEC window geometry.
+    pub window: WindowParams,
+    /// Effective stream rate including FEC overhead.
+    pub effective_rate: Bandwidth,
+    /// Number of FEC windows to stream.
+    pub n_windows: u64,
+}
+
+impl StreamConfig {
+    /// The paper's configuration, streaming for the given number of windows.
+    ///
+    /// One window of 110 × 1316-byte packets at 600 kbps spans about 1.93 s,
+    /// so the paper's ~180 s experiments stream on the order of 90 windows.
+    pub fn paper(n_windows: u64) -> Self {
+        StreamConfig {
+            window: WindowParams::PAPER,
+            effective_rate: Bandwidth::from_kbps(600),
+            n_windows,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests: small windows and a small
+    /// packet size while preserving the paper's rate structure.
+    pub fn small(n_windows: u64) -> Self {
+        StreamConfig {
+            window: WindowParams {
+                data_packets: 10,
+                parity_packets: 2,
+                packet_bytes: 1316,
+            },
+            effective_rate: Bandwidth::from_kbps(600),
+            n_windows,
+        }
+    }
+
+    /// Interval between consecutive packet publications.
+    pub fn packet_interval(&self) -> SimDuration {
+        self.effective_rate
+            .transmission_time(self.window.packet_bytes)
+    }
+
+    /// Total number of packets (source + parity) in the stream.
+    pub fn total_packets(&self) -> u64 {
+        self.n_windows * self.window.total_packets() as u64
+    }
+
+    /// Duration of the whole stream.
+    pub fn stream_duration(&self) -> SimDuration {
+        self.packet_interval() * self.total_packets()
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig::paper(90)
+    }
+}
+
+/// The deterministic publication schedule derived from a [`StreamConfig`].
+///
+/// Packets are published one [`StreamConfig::packet_interval`] apart starting
+/// at `start`; window `w` consists of packets
+/// `w * total_packets ..< (w+1) * total_packets`, the first
+/// [`WindowParams::data_packets`] of which are source packets.
+///
+/// # Examples
+///
+/// ```
+/// use heap_streaming::source::{StreamConfig, StreamSchedule};
+/// use heap_simnet::time::SimTime;
+///
+/// let schedule = StreamSchedule::new(StreamConfig::paper(3), SimTime::ZERO);
+/// assert_eq!(schedule.total_packets(), 330);
+/// let p = schedule.packet(heap_streaming::PacketId::new(110)).unwrap();
+/// assert_eq!(p.window.index(), 1);
+/// assert_eq!(p.index_in_window, 0);
+/// assert!(!p.is_parity);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSchedule {
+    config: StreamConfig,
+    start: SimTime,
+}
+
+impl StreamSchedule {
+    /// Creates a schedule starting at `start`.
+    pub fn new(config: StreamConfig, start: SimTime) -> Self {
+        StreamSchedule { config, start }
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// When the stream starts.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Total number of packets in the stream.
+    pub fn total_packets(&self) -> u64 {
+        self.config.total_packets()
+    }
+
+    /// Total number of windows in the stream.
+    pub fn total_windows(&self) -> u64 {
+        self.config.n_windows
+    }
+
+    /// Number of source (non-parity) packets in the stream.
+    pub fn total_source_packets(&self) -> u64 {
+        self.config.n_windows * self.config.window.data_packets as u64
+    }
+
+    /// The instant packet `id` is published, or `None` past the end of the
+    /// stream.
+    pub fn publish_time(&self, id: PacketId) -> Option<SimTime> {
+        if id.seq() >= self.total_packets() {
+            return None;
+        }
+        Some(self.start + self.config.packet_interval() * id.seq())
+    }
+
+    /// The full descriptor of packet `id`, or `None` past the end of the
+    /// stream.
+    pub fn packet(&self, id: PacketId) -> Option<StreamPacket> {
+        let publish = self.publish_time(id)?;
+        let per_window = self.config.window.total_packets() as u64;
+        let window = id.seq() / per_window;
+        let index_in_window = (id.seq() % per_window) as usize;
+        Some(StreamPacket {
+            id,
+            window: WindowId::new(window),
+            index_in_window,
+            is_parity: index_in_window >= self.config.window.data_packets,
+            published_at: publish,
+            payload_bytes: self.config.window.packet_bytes,
+        })
+    }
+
+    /// The instant at which the *last* packet of `window` is published, i.e.
+    /// the earliest time the window can possibly be decoded. Per-window
+    /// stream-lag metrics are anchored at this instant.
+    pub fn window_publish_time(&self, window: WindowId) -> Option<SimTime> {
+        if window.index() >= self.config.n_windows {
+            return None;
+        }
+        let last_packet =
+            (window.index() + 1) * self.config.window.total_packets() as u64 - 1;
+        self.publish_time(PacketId::new(last_packet))
+    }
+
+    /// The id of the next packet to publish at or after `now`, or `None` if
+    /// the stream has ended.
+    pub fn next_packet_at(&self, now: SimTime) -> Option<PacketId> {
+        if now <= self.start {
+            return Some(PacketId::new(0));
+        }
+        let elapsed = now - self.start;
+        let interval = self.config.packet_interval().as_micros();
+        let idx = elapsed.as_micros().div_ceil(interval);
+        if idx >= self.total_packets() {
+            None
+        } else {
+            Some(PacketId::new(idx))
+        }
+    }
+
+    /// Iterates over every packet of the stream in publication order.
+    pub fn iter(&self) -> impl Iterator<Item = StreamPacket> + '_ {
+        (0..self.total_packets()).map(move |i| {
+            self.packet(PacketId::new(i))
+                .expect("index bounded by total_packets")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_the_paper() {
+        let c = StreamConfig::paper(90);
+        assert_eq!(c.window.packet_bytes, 1316);
+        assert_eq!(c.window.total_packets(), 110);
+        // 1316 bytes at 600kbps = 17.55ms per packet.
+        let interval = c.packet_interval();
+        assert!((interval.as_secs_f64() - 0.01755).abs() < 1e-4);
+        // A window spans ~1.93s.
+        let window_span = interval * 110;
+        assert!((window_span.as_secs_f64() - 1.93).abs() < 0.01);
+        assert_eq!(c.total_packets(), 9900);
+        // 90 windows last about 174 seconds.
+        assert!((c.stream_duration().as_secs_f64() - 173.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_config_is_paper_sized() {
+        let c = StreamConfig::default();
+        assert_eq!(c.window, WindowParams::PAPER);
+        assert_eq!(c.n_windows, 90);
+    }
+
+    #[test]
+    fn schedule_maps_ids_to_windows() {
+        let s = StreamSchedule::new(StreamConfig::small(4), SimTime::from_secs(10));
+        assert_eq!(s.total_packets(), 48);
+        assert_eq!(s.total_windows(), 4);
+        assert_eq!(s.total_source_packets(), 40);
+        assert_eq!(s.start(), SimTime::from_secs(10));
+
+        let p0 = s.packet(PacketId::new(0)).unwrap();
+        assert_eq!(p0.window, WindowId::new(0));
+        assert_eq!(p0.published_at, SimTime::from_secs(10));
+        assert!(p0.is_source());
+
+        let p11 = s.packet(PacketId::new(11)).unwrap();
+        assert_eq!(p11.window, WindowId::new(0));
+        assert!(p11.is_parity);
+
+        let p12 = s.packet(PacketId::new(12)).unwrap();
+        assert_eq!(p12.window, WindowId::new(1));
+        assert_eq!(p12.index_in_window, 0);
+
+        assert!(s.packet(PacketId::new(48)).is_none());
+        assert!(s.publish_time(PacketId::new(1000)).is_none());
+    }
+
+    #[test]
+    fn publish_times_are_evenly_spaced() {
+        let s = StreamSchedule::new(StreamConfig::small(2), SimTime::ZERO);
+        let interval = s.config().packet_interval();
+        for i in 1..s.total_packets() {
+            let prev = s.publish_time(PacketId::new(i - 1)).unwrap();
+            let cur = s.publish_time(PacketId::new(i)).unwrap();
+            assert_eq!(cur - prev, interval);
+        }
+    }
+
+    #[test]
+    fn window_publish_time_is_last_packet() {
+        let s = StreamSchedule::new(StreamConfig::small(3), SimTime::ZERO);
+        let last_of_w1 = s.publish_time(PacketId::new(23)).unwrap();
+        assert_eq!(s.window_publish_time(WindowId::new(1)).unwrap(), last_of_w1);
+        assert!(s.window_publish_time(WindowId::new(3)).is_none());
+    }
+
+    #[test]
+    fn next_packet_at_boundaries() {
+        let s = StreamSchedule::new(StreamConfig::small(1), SimTime::from_secs(1));
+        assert_eq!(s.next_packet_at(SimTime::ZERO), Some(PacketId::new(0)));
+        assert_eq!(s.next_packet_at(SimTime::from_secs(1)), Some(PacketId::new(0)));
+        let interval = s.config().packet_interval();
+        assert_eq!(
+            s.next_packet_at(SimTime::from_secs(1) + interval),
+            Some(PacketId::new(1))
+        );
+        // Just after a publication instant, the next packet is the following one.
+        assert_eq!(
+            s.next_packet_at(SimTime::from_secs(1) + interval + SimDuration::from_micros(1)),
+            Some(PacketId::new(2))
+        );
+        // Far beyond the end of the stream.
+        assert_eq!(s.next_packet_at(SimTime::from_secs(100)), None);
+    }
+
+    #[test]
+    fn iter_yields_all_packets_in_order() {
+        let s = StreamSchedule::new(StreamConfig::small(2), SimTime::ZERO);
+        let packets: Vec<_> = s.iter().collect();
+        assert_eq!(packets.len(), 24);
+        assert!(packets.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(packets.iter().filter(|p| p.is_parity).count(), 4);
+    }
+}

@@ -1,0 +1,362 @@
+//! Upload-capability distributions (Table 1 of the paper).
+//!
+//! The paper constrains the upload bandwidth of its ~270 PlanetLab nodes to
+//! ADSL-like values drawn from three-class distributions. The *capability
+//! supply ratio* (CSR) is the average upload capability divided by the stream
+//! rate; all experiments keep it barely above 1, which is exactly the regime
+//! where heterogeneity awareness matters.
+
+use heap_simnet::bandwidth::Bandwidth;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::Serialize;
+
+/// One class of a bandwidth distribution: a capability and the fraction of
+/// nodes that have it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BandwidthClass {
+    /// Human-readable label ("512 kbps", "3 Mbps", ...), used in per-class
+    /// figures and tables.
+    pub label: &'static str,
+    /// The upload capability of nodes in this class.
+    pub capability: Bandwidth,
+    /// Fraction of nodes in this class (all fractions sum to 1).
+    pub fraction: f64,
+}
+
+/// A named distribution of upload capabilities.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum BandwidthDistribution {
+    /// Every node has unlimited upload capability (Fig. 1's baseline).
+    Unconstrained,
+    /// A discrete distribution over a small number of classes (Table 1).
+    Classes {
+        /// Distribution name as used in the paper ("ref-691", "ms-691", ...).
+        name: &'static str,
+        /// The classes, poorest first.
+        classes: Vec<BandwidthClass>,
+    },
+    /// Capabilities drawn uniformly from `[min, max]` (the paper's "dist2").
+    Uniform {
+        /// Distribution name.
+        name: &'static str,
+        /// Lower bound of the capability range.
+        min: Bandwidth,
+        /// Upper bound of the capability range.
+        max: Bandwidth,
+    },
+}
+
+impl BandwidthDistribution {
+    /// The unconstrained baseline of Fig. 1.
+    pub fn unconstrained() -> Self {
+        BandwidthDistribution::Unconstrained
+    }
+
+    /// `ref-691`: 10 % at 2 Mbps, 50 % at 768 kbps, 40 % at 256 kbps
+    /// (average 691 kbps, CSR 1.15).
+    pub fn ref_691() -> Self {
+        BandwidthDistribution::Classes {
+            name: "ref-691",
+            classes: vec![
+                BandwidthClass {
+                    label: "256kbps",
+                    capability: Bandwidth::from_kbps(256),
+                    fraction: 0.40,
+                },
+                BandwidthClass {
+                    label: "768kbps",
+                    capability: Bandwidth::from_kbps(768),
+                    fraction: 0.50,
+                },
+                BandwidthClass {
+                    label: "2Mbps",
+                    capability: Bandwidth::from_mbps(2),
+                    fraction: 0.10,
+                },
+            ],
+        }
+    }
+
+    /// `ref-724`: 15 % at 2 Mbps, 39 % at 768 kbps, 46 % at 256 kbps
+    /// (average 724 kbps, CSR 1.20).
+    pub fn ref_724() -> Self {
+        BandwidthDistribution::Classes {
+            name: "ref-724",
+            classes: vec![
+                BandwidthClass {
+                    label: "256kbps",
+                    capability: Bandwidth::from_kbps(256),
+                    fraction: 0.46,
+                },
+                BandwidthClass {
+                    label: "768kbps",
+                    capability: Bandwidth::from_kbps(768),
+                    fraction: 0.39,
+                },
+                BandwidthClass {
+                    label: "2Mbps",
+                    capability: Bandwidth::from_mbps(2),
+                    fraction: 0.15,
+                },
+            ],
+        }
+    }
+
+    /// `ms-691` (the paper's "dist1"): 5 % at 3 Mbps, 10 % at 1 Mbps, 85 % at
+    /// 512 kbps (average 691 kbps, CSR 1.15) — the most skewed distribution.
+    pub fn ms_691() -> Self {
+        BandwidthDistribution::Classes {
+            name: "ms-691",
+            classes: vec![
+                BandwidthClass {
+                    label: "512kbps",
+                    capability: Bandwidth::from_kbps(512),
+                    fraction: 0.85,
+                },
+                BandwidthClass {
+                    label: "1Mbps",
+                    capability: Bandwidth::from_kbps(1000),
+                    fraction: 0.10,
+                },
+                BandwidthClass {
+                    label: "3Mbps",
+                    capability: Bandwidth::from_mbps(3),
+                    fraction: 0.05,
+                },
+            ],
+        }
+    }
+
+    /// The paper's "dist2": a uniform distribution with the same 691 kbps
+    /// average capability as ms-691, spanning 256 kbps to 1126 kbps.
+    pub fn uniform_691() -> Self {
+        BandwidthDistribution::Uniform {
+            name: "uniform-691",
+            min: Bandwidth::from_kbps(256),
+            max: Bandwidth::from_kbps(1126),
+        }
+    }
+
+    /// The distribution's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BandwidthDistribution::Unconstrained => "unconstrained",
+            BandwidthDistribution::Classes { name, .. } => name,
+            BandwidthDistribution::Uniform { name, .. } => name,
+        }
+    }
+
+    /// The classes of a discrete distribution (empty otherwise).
+    pub fn classes(&self) -> &[BandwidthClass] {
+        match self {
+            BandwidthDistribution::Classes { classes, .. } => classes,
+            _ => &[],
+        }
+    }
+
+    /// The average capability, or `None` for the unconstrained distribution.
+    pub fn average(&self) -> Option<Bandwidth> {
+        match self {
+            BandwidthDistribution::Unconstrained => None,
+            BandwidthDistribution::Classes { classes, .. } => {
+                let avg: f64 = classes
+                    .iter()
+                    .map(|c| c.capability.as_bps() as f64 * c.fraction)
+                    .sum();
+                Some(Bandwidth::from_bps(avg.round() as u64))
+            }
+            BandwidthDistribution::Uniform { min, max, .. } => {
+                Some(Bandwidth::from_bps((min.as_bps() + max.as_bps()) / 2))
+            }
+        }
+    }
+
+    /// The capability-supply ratio for a given stream rate, or `None` for the
+    /// unconstrained distribution.
+    pub fn capability_supply_ratio(&self, stream_rate: Bandwidth) -> Option<f64> {
+        self.average()
+            .map(|avg| avg.as_bps() as f64 / stream_rate.as_bps() as f64)
+    }
+
+    /// Assigns a capability to each of `n` nodes.
+    ///
+    /// For class distributions the class sizes are deterministic
+    /// (`round(fraction * n)`, remainder going to the largest class) and the
+    /// assignment to nodes is a random permutation, matching how the paper
+    /// provisions PlanetLab nodes. Returns `None` entries for the
+    /// unconstrained distribution.
+    pub fn assign<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Option<Bandwidth>> {
+        match self {
+            BandwidthDistribution::Unconstrained => vec![None; n],
+            BandwidthDistribution::Classes { classes, .. } => {
+                let mut caps: Vec<Option<Bandwidth>> = Vec::with_capacity(n);
+                for class in classes {
+                    let count = (class.fraction * n as f64).round() as usize;
+                    caps.extend(std::iter::repeat(Some(class.capability)).take(count));
+                }
+                // Rounding may leave us short or long; fix up with the most
+                // common class (the first by convention: poorest nodes).
+                let filler = classes
+                    .iter()
+                    .max_by(|a, b| a.fraction.partial_cmp(&b.fraction).expect("finite"))
+                    .map(|c| c.capability)
+                    .expect("at least one class");
+                while caps.len() < n {
+                    caps.push(Some(filler));
+                }
+                caps.truncate(n);
+                caps.shuffle(rng);
+                caps
+            }
+            BandwidthDistribution::Uniform { min, max, .. } => (0..n)
+                .map(|_| {
+                    Some(Bandwidth::from_bps(
+                        rng.gen_range(min.as_bps()..=max.as_bps()),
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// The class label of a node with the given capability (for per-class
+    /// breakdowns). Unconstrained and uniform distributions use coarse
+    /// buckets.
+    pub fn class_label(&self, capability: Option<Bandwidth>) -> &'static str {
+        match self {
+            BandwidthDistribution::Unconstrained => "unconstrained",
+            BandwidthDistribution::Classes { classes, .. } => {
+                let Some(cap) = capability else {
+                    return "unconstrained";
+                };
+                classes
+                    .iter()
+                    .find(|c| c.capability == cap)
+                    .map(|c| c.label)
+                    .unwrap_or("other")
+            }
+            BandwidthDistribution::Uniform { .. } => match capability {
+                None => "unconstrained",
+                Some(c) if c.as_kbps() < 600.0 => "below-stream-rate",
+                Some(_) => "above-stream-rate",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn table1_averages_and_csr_match_the_paper() {
+        let stream = Bandwidth::from_kbps(600);
+        let ref691 = BandwidthDistribution::ref_691();
+        // 0.4*256 + 0.5*768 + 0.1*2000 = 686.4 kbps, within rounding of the paper's 691.
+        assert!((ref691.average().unwrap().as_kbps() - 691.0).abs() < 10.0);
+        assert!((ref691.capability_supply_ratio(stream).unwrap() - 1.15).abs() < 0.01);
+
+        let ref724 = BandwidthDistribution::ref_724();
+        assert_eq!(ref724.average().unwrap().as_kbps().round(), 717.0); // 0.46*256+0.39*768+0.15*2000 = 717.3 ≈ paper's 724
+        assert!((ref724.capability_supply_ratio(stream).unwrap() - 1.20).abs() < 0.03);
+
+        let ms691 = BandwidthDistribution::ms_691();
+        assert_eq!(ms691.average().unwrap().as_kbps().round(), 685.0); // 0.85*512+0.1*1000+0.05*3000 = 685.2 ≈ paper's 691
+        assert!((ms691.capability_supply_ratio(stream).unwrap() - 1.15).abs() < 0.02);
+
+        let uni = BandwidthDistribution::uniform_691();
+        assert_eq!(uni.average().unwrap().as_kbps().round(), 691.0);
+
+        assert_eq!(BandwidthDistribution::unconstrained().average(), None);
+        assert_eq!(
+            BandwidthDistribution::unconstrained().capability_supply_ratio(stream),
+            None
+        );
+    }
+
+    #[test]
+    fn names_and_classes() {
+        assert_eq!(BandwidthDistribution::ref_691().name(), "ref-691");
+        assert_eq!(BandwidthDistribution::ms_691().name(), "ms-691");
+        assert_eq!(BandwidthDistribution::uniform_691().name(), "uniform-691");
+        assert_eq!(BandwidthDistribution::unconstrained().name(), "unconstrained");
+        assert_eq!(BandwidthDistribution::ref_691().classes().len(), 3);
+        assert!(BandwidthDistribution::uniform_691().classes().is_empty());
+    }
+
+    #[test]
+    fn assignment_respects_class_fractions() {
+        let dist = BandwidthDistribution::ms_691();
+        let caps = dist.assign(270, &mut rng());
+        assert_eq!(caps.len(), 270);
+        let count = |kbps: u64| {
+            caps.iter()
+                .filter(|c| **c == Some(Bandwidth::from_kbps(kbps)))
+                .count()
+        };
+        // 85% of 270 = 229.5, 10% = 27, 5% = 13.5 (rounding may shift by 1-2).
+        assert!((228..=232).contains(&count(512)), "512kbps count {}", count(512));
+        assert!((26..=28).contains(&count(1000)));
+        assert!((13..=15).contains(&count(3000)));
+    }
+
+    #[test]
+    fn assignment_is_shuffled_but_deterministic_per_seed() {
+        let dist = BandwidthDistribution::ref_691();
+        let a = dist.assign(100, &mut SmallRng::seed_from_u64(1));
+        let b = dist.assign(100, &mut SmallRng::seed_from_u64(1));
+        let c = dist.assign(100, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds give different permutations");
+        // Not sorted: the rich nodes are spread around.
+        let first_rich = a.iter().position(|c| *c == Some(Bandwidth::from_mbps(2)));
+        assert!(first_rich.is_some());
+    }
+
+    #[test]
+    fn unconstrained_and_uniform_assignment() {
+        let caps = BandwidthDistribution::unconstrained().assign(10, &mut rng());
+        assert!(caps.iter().all(|c| c.is_none()));
+        let uni = BandwidthDistribution::uniform_691();
+        let caps = uni.assign(1000, &mut rng());
+        assert!(caps.iter().all(|c| c.is_some()));
+        let mean: f64 = caps
+            .iter()
+            .map(|c| c.unwrap().as_kbps())
+            .sum::<f64>()
+            / 1000.0;
+        assert!((mean - 691.0).abs() < 20.0, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn class_labels() {
+        let dist = BandwidthDistribution::ref_691();
+        assert_eq!(dist.class_label(Some(Bandwidth::from_kbps(256))), "256kbps");
+        assert_eq!(dist.class_label(Some(Bandwidth::from_mbps(2))), "2Mbps");
+        assert_eq!(dist.class_label(Some(Bandwidth::from_kbps(999))), "other");
+        assert_eq!(dist.class_label(None), "unconstrained");
+        let uni = BandwidthDistribution::uniform_691();
+        assert_eq!(uni.class_label(Some(Bandwidth::from_kbps(300))), "below-stream-rate");
+        assert_eq!(uni.class_label(Some(Bandwidth::from_kbps(900))), "above-stream-rate");
+        assert_eq!(
+            BandwidthDistribution::unconstrained().class_label(None),
+            "unconstrained"
+        );
+    }
+
+    #[test]
+    fn assignment_handles_small_n() {
+        let dist = BandwidthDistribution::ref_691();
+        for n in 1..20 {
+            let caps = dist.assign(n, &mut rng());
+            assert_eq!(caps.len(), n);
+            assert!(caps.iter().all(|c| c.is_some()));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 1 — unconstrained PlanetLab baseline.
+//!
+//! Without any upload-bandwidth cap, standard gossip with fanout 7 delivers a
+//! high-quality stream to almost every node with a small stream lag: the CDF
+//! of the lag needed to receive ≥ 99 % of the stream rises steeply within a
+//! few seconds.
+
+use super::common::{lag_cdf_series, Figure, LagKind};
+use crate::bandwidth_dist::BandwidthDistribution;
+use crate::runner::run_scenario;
+use crate::scale::Scale;
+use crate::scenario::{ProtocolChoice, Scenario};
+
+/// Runs the Figure 1 experiment: unconstrained bandwidth, standard gossip,
+/// fanout 7.
+pub fn run(scale: Scale) -> Figure {
+    let scenario = Scenario::new(
+        "fig1/unconstrained/standard-f7",
+        scale,
+        BandwidthDistribution::unconstrained(),
+        ProtocolChoice::Standard { fanout: 7.0 },
+    );
+    let result = run_scenario(&scenario);
+    let mut fig = Figure::new(
+        "Figure 1",
+        "CDF of stream lag for 99% delivery, unconstrained bandwidth, standard gossip f=7",
+    );
+    fig.series
+        .push(lag_cdf_series(&result, LagKind::Delivery99, "99% delivery"));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_gossip_reaches_almost_everyone_quickly() {
+        let fig = run(Scale::test());
+        let series = fig.series_named("99% delivery").expect("series present");
+        // By the right edge of the plot practically every node has 99% of the
+        // stream, and most reach it within a few seconds of lag.
+        let final_pct = series.y_max().unwrap();
+        assert!(final_pct > 95.0, "only {final_pct}% of nodes reached 99% delivery");
+        let at_10s = series.y_at(10.0).unwrap();
+        assert!(at_10s > 90.0, "only {at_10s}% within 10s of lag");
+    }
+}

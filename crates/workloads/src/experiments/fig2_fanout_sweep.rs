@@ -1,0 +1,107 @@
+//! Figure 2 — standard gossip under constrained, heterogeneous bandwidth.
+//!
+//! With the skewed ms-691 distribution ("dist1"), standard gossip with
+//! fanout 7 degrades badly; raising the fanout to 15–20 helps a little, but a
+//! blind increase (25–30) hurts again because the [Propose] overhead eats
+//! into the scarce upload bandwidth. The same fanouts behave differently on a
+//! uniform distribution with the same average ("dist2"), showing there is no
+//! one-size-fits-all fanout.
+//!
+//! [Propose]: heap_gossip::message::GossipMessage::Propose
+
+use super::common::{lag_cdf_series, Figure, LagKind};
+use crate::bandwidth_dist::BandwidthDistribution;
+use crate::runner::run_scenario;
+use crate::scale::Scale;
+use crate::scenario::{ProtocolChoice, Scenario};
+
+/// The fanouts swept on dist1 (ms-691) in the paper.
+pub const DIST1_FANOUTS: [f64; 5] = [7.0, 15.0, 20.0, 25.0, 30.0];
+/// The fanouts swept on dist2 (uniform) in the paper.
+pub const DIST2_FANOUTS: [f64; 3] = [7.0, 15.0, 20.0];
+
+/// Runs the Figure 2 fanout sweep.
+///
+/// `fanouts_dist1`/`fanouts_dist2` default to the paper's values when `None`;
+/// tests pass smaller lists to keep runtimes down.
+pub fn run_with_fanouts(
+    scale: Scale,
+    fanouts_dist1: &[f64],
+    fanouts_dist2: &[f64],
+) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 2",
+        "CDF of stream lag for 99% delivery, standard gossip, constrained heterogeneous bandwidth",
+    );
+    for &fanout in fanouts_dist1 {
+        let scenario = Scenario::new(
+            format!("fig2/ms-691/standard-f{fanout}"),
+            scale,
+            BandwidthDistribution::ms_691(),
+            ProtocolChoice::Standard { fanout },
+        );
+        let result = run_scenario(&scenario);
+        fig.series.push(lag_cdf_series(
+            &result,
+            LagKind::Delivery99,
+            format!("f={fanout} dist1"),
+        ));
+    }
+    for &fanout in fanouts_dist2 {
+        let scenario = Scenario::new(
+            format!("fig2/uniform-691/standard-f{fanout}"),
+            scale,
+            BandwidthDistribution::uniform_691(),
+            ProtocolChoice::Standard { fanout },
+        );
+        let result = run_scenario(&scenario);
+        fig.series.push(lag_cdf_series(
+            &result,
+            LagKind::Delivery99,
+            format!("f={fanout} dist2"),
+        ));
+    }
+    fig
+}
+
+/// Runs the full paper sweep.
+pub fn run(scale: Scale) -> Figure {
+    run_with_fanouts(scale, &DIST1_FANOUTS, &DIST2_FANOUTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constrained_standard_gossip_is_much_worse_than_unconstrained() {
+        // Compare f=7 on the skewed distribution against the unconstrained
+        // Figure 1 behaviour: at a 10 s lag far fewer nodes have 99% of the
+        // stream when bandwidth is constrained and skewed.
+        let scale = Scale::test();
+        let fig = run_with_fanouts(scale, &[7.0], &[7.0]);
+        let dist1 = fig.series_named("f=7 dist1").unwrap();
+        let unconstrained = super::super::fig1_unconstrained::run(scale);
+        let baseline = unconstrained.series_named("99% delivery").unwrap();
+        // At this tiny test scale the congestion of a constrained run has
+        // little time to build up, so compare at a small lag and only require
+        // that constraining bandwidth never helps.
+        let at_3s_constrained = dist1.y_at(3.0).unwrap();
+        let at_3s_unconstrained = baseline.y_at(3.0).unwrap();
+        assert!(
+            at_3s_constrained <= at_3s_unconstrained,
+            "constrained ({at_3s_constrained}%) should not beat unconstrained ({at_3s_unconstrained}%)"
+        );
+        assert!(
+            baseline.y_at(10.0).unwrap() > 90.0,
+            "unconstrained gossip must serve nearly everyone within 10s"
+        );
+        // The uniform distribution with the same average is better at f=7 than
+        // the skewed one (dist2 has no long poor tail).
+        let dist2 = fig.series_named("f=7 dist2").unwrap();
+        assert!(
+            dist2.y_at(60.0).unwrap() >= dist1.y_at(60.0).unwrap(),
+            "dist2 should dominate dist1 at the right edge"
+        );
+    }
+}

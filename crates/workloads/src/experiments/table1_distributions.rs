@@ -1,0 +1,64 @@
+//! Table 1 — the bandwidth distributions used throughout the evaluation.
+//!
+//! This is configuration rather than measurement: the table lists, for each
+//! distribution, its capability-supply ratio (CSR), its average capability
+//! and the fraction of nodes in each class, matching Table 1 of the paper.
+
+use super::common::Figure;
+use crate::bandwidth_dist::BandwidthDistribution;
+use heap_analytics::TextTable;
+use heap_simnet::bandwidth::Bandwidth;
+
+/// The stream rate the CSR is computed against (600 kbps effective).
+pub const STREAM_RATE: Bandwidth = Bandwidth::from_kbps(600);
+
+/// Builds Table 1.
+pub fn run() -> Figure {
+    let mut fig = Figure::new("Table 1", "Upload-capability distributions");
+    let mut table = TextTable::new("Table 1 — reference and skewed distributions");
+    table.header(vec!["name", "CSR", "average", "classes (capability: fraction)"]);
+    for dist in [
+        BandwidthDistribution::ref_691(),
+        BandwidthDistribution::ref_724(),
+        BandwidthDistribution::ms_691(),
+        BandwidthDistribution::uniform_691(),
+    ] {
+        let avg = dist
+            .average()
+            .map(|b| format!("{:.0} kbps", b.as_kbps()))
+            .unwrap_or_else(|| "-".into());
+        let csr = dist
+            .capability_supply_ratio(STREAM_RATE)
+            .map(|c| format!("{c:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let classes = if dist.classes().is_empty() {
+            "uniform in [256 kbps, 1126 kbps]".to_string()
+        } else {
+            dist.classes()
+                .iter()
+                .map(|c| format!("{}: {:.2}", c.label, c.fraction))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        table.row(vec![dist.name().to_string(), csr, avg, classes]);
+    }
+    fig.tables.push(table);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_four_distributions() {
+        let fig = run();
+        assert_eq!(fig.tables.len(), 1);
+        let t = &fig.tables[0];
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.cell(0, 0), Some("ref-691"));
+        assert_eq!(t.cell(2, 0), Some("ms-691"));
+        // CSR of ref-691 is ~1.15 as in the paper.
+        assert!(t.cell(0, 1).unwrap().starts_with("1.1"));
+    }
+}

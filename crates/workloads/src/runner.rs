@@ -1,0 +1,398 @@
+//! Executes a [`Scenario`] on the simulator and collects per-node results.
+
+use crate::scenario::{ChurnSpec, Scenario};
+use heap_gossip::fanout::FanoutPolicy;
+use heap_gossip::node::{GossipNode, ProtocolStats, Role};
+use heap_membership::churn::ChurnSchedule;
+use heap_simnet::bandwidth::{Bandwidth, UploadCapacity};
+use heap_simnet::node::NodeId;
+use heap_simnet::rng::stream_rng;
+use heap_simnet::sim::{Simulator, SimulatorBuilder};
+use heap_simnet::time::{SimDuration, SimTime};
+use heap_streaming::metrics::NodeStreamMetrics;
+use heap_streaming::source::{StreamConfig, StreamSchedule};
+use rand::Rng;
+
+/// How long the system runs before the source starts streaming, giving the
+/// aggregation protocol a few rounds to seed its capability estimates (the
+/// paper's deployment similarly runs the aggregation protocol continuously).
+pub const WARMUP: SimDuration = SimDuration::from_secs(5);
+
+/// Results collected for one receiving node.
+#[derive(Debug, Clone)]
+pub struct NodeResult {
+    /// The node.
+    pub node: NodeId,
+    /// Class label under the scenario's bandwidth distribution.
+    pub class: &'static str,
+    /// Advertised upload capability (`None` = unconstrained).
+    pub capability: Option<Bandwidth>,
+    /// Whether the node crashed during the run (churn scenarios).
+    pub crashed: bool,
+    /// Stream-quality metrics derived from the node's receive log.
+    pub metrics: NodeStreamMetrics,
+    /// Fraction of the node's upload capacity actually used during the
+    /// streaming phase (capped at 1; `None` for unconstrained nodes).
+    pub upload_utilization: Option<f64>,
+    /// Raw achieved upload rate during the streaming phase, in kbps
+    /// (includes data still queued at the end for saturated nodes).
+    pub upload_rate_kbps: f64,
+    /// Protocol message counters.
+    pub protocol_stats: ProtocolStats,
+}
+
+/// The outcome of running one scenario.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Name of the scenario that produced this result.
+    pub scenario_name: String,
+    /// The stream schedule used (needed to interpret per-window metrics).
+    pub schedule: StreamSchedule,
+    /// Per-receiver results (the source is excluded, as in the paper).
+    pub nodes: Vec<NodeResult>,
+    /// Number of receivers that crashed during the run.
+    pub crashed_count: usize,
+}
+
+impl ExperimentResult {
+    /// Receivers that survived the whole run.
+    pub fn survivors(&self) -> impl Iterator<Item = &NodeResult> {
+        self.nodes.iter().filter(|n| !n.crashed)
+    }
+
+    /// The distinct class labels present, ordered by increasing capability.
+    pub fn classes(&self) -> Vec<&'static str> {
+        let mut seen: Vec<(&'static str, u64)> = Vec::new();
+        for n in &self.nodes {
+            let cap = n.capability.map(|c| c.as_bps()).unwrap_or(u64::MAX);
+            if !seen.iter().any(|(label, _)| *label == n.class) {
+                seen.push((n.class, cap));
+            }
+        }
+        seen.sort_by_key(|&(_, cap)| cap);
+        seen.into_iter().map(|(label, _)| label).collect()
+    }
+
+    /// Surviving receivers of one class.
+    pub fn class_survivors<'a>(
+        &'a self,
+        class: &'a str,
+    ) -> impl Iterator<Item = &'a NodeResult> + 'a {
+        self.survivors().filter(move |n| n.class == class)
+    }
+}
+
+/// Runs a scenario to completion and collects per-node results.
+///
+/// The simulation is fully deterministic for a given scenario (including its
+/// [`Scale::seed`](crate::scale::Scale)).
+///
+/// # Panics
+///
+/// Panics if the scenario's gossip configuration is invalid or the scale has
+/// fewer than two nodes.
+pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
+    let scale = scenario.scale;
+    assert!(scale.n_nodes >= 2, "need at least a source and one receiver");
+    let n = scale.n_nodes;
+    let mut setup_rng = stream_rng(scale.seed, 0xC0FF_EE00);
+
+    // --- Capabilities -----------------------------------------------------
+    // Node 0 is the source; receivers get capabilities from the distribution.
+    let receiver_caps = scenario.distribution.assign(n - 1, &mut setup_rng);
+    let mut advertised: Vec<Option<Bandwidth>> = Vec::with_capacity(n);
+    advertised.push(Some(scenario.source_capability));
+    advertised.extend(receiver_caps.iter().copied());
+
+    // Stragglers: a fraction of receivers whose *actual* capacity is half of
+    // what they advertise (overloaded PlanetLab nodes).
+    let mut actual: Vec<Option<Bandwidth>> = advertised.clone();
+    if scenario.straggler_fraction > 0.0 {
+        for slot in actual.iter_mut().skip(1) {
+            if let Some(cap) = slot {
+                if setup_rng.gen_bool(scenario.straggler_fraction) {
+                    *slot = Some(Bandwidth::from_bps((cap.as_bps() / 2).max(1)));
+                }
+            }
+        }
+    }
+    let capacities: Vec<UploadCapacity> = actual
+        .iter()
+        .map(|c| c.map(UploadCapacity::Limited).unwrap_or(UploadCapacity::Unlimited))
+        .collect();
+
+    // --- Stream and nodes --------------------------------------------------
+    let stream_config = StreamConfig::paper(scale.n_windows);
+    let schedule = StreamSchedule::new(stream_config, SimTime::ZERO + WARMUP);
+    let policy = scenario.protocol.policy(scenario.distribution.average());
+    let gossip_config = scenario.gossip.clone();
+
+    let mut builder = SimulatorBuilder::new(n, scale.seed)
+        .latency(scenario.latency.clone())
+        .loss(scenario.loss.clone())
+        .capacities(capacities);
+    if let Some(limit) = scenario.upload_queue_limit {
+        builder = builder.upload_queue_limit(limit);
+    }
+    let mut sim: Simulator<GossipNode> = builder
+        .build(|id| {
+            let capability = advertised[id.index()]
+                .unwrap_or_else(|| Bandwidth::from_mbps(100));
+            let (role, node_policy) = if id.index() == 0 {
+                // The source always gossips with the reference fanout: its job
+                // is to inject each packet, not to carry the relay load, and
+                // letting it scale its fanout with its (large) capability
+                // would make it the target of most first-hand requests.
+                (Role::Source, FanoutPolicy::fixed(gossip_config.fanout))
+            } else {
+                (Role::Receiver, policy)
+            };
+            GossipNode::builder(id, n, schedule)
+                .config(gossip_config.clone())
+                .fanout(node_policy)
+                .capability(capability)
+                .role(role)
+                .build()
+        });
+
+    // --- Churn --------------------------------------------------------------
+    let churn_schedule = match scenario.churn {
+        ChurnSpec::None => ChurnSchedule::none(),
+        ChurnSpec::Catastrophic {
+            fraction,
+            at_secs,
+            detection_secs,
+        } => {
+            let at = schedule.start() + SimDuration::from_secs(at_secs);
+            ChurnSchedule::catastrophic(n, fraction, at, &[0], &mut setup_rng)
+                .with_detection_mean(SimDuration::from_secs(detection_secs))
+        }
+    };
+    for event in churn_schedule.events() {
+        sim.schedule_crash(event.node, event.at);
+    }
+    // Failure-detection notifications: every surviving node learns about each
+    // crash after ~the configured mean delay (one detection instant per
+    // crashed node, shared by all survivors — the simulated failure detector).
+    let mut notifications: Vec<(SimTime, NodeId)> = churn_schedule
+        .events()
+        .iter()
+        .map(|e| (churn_schedule.sample_detection_time(e.at, &mut setup_rng), e.node))
+        .collect();
+    notifications.sort_by_key(|(t, _)| *t);
+
+    // --- Run ----------------------------------------------------------------
+    let end = schedule.start() + scenario.run_duration();
+    for (at, crashed) in notifications {
+        let at = at.min(end);
+        sim.run_until(at);
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            if sim.is_alive(id) {
+                sim.node_mut(id).notify_failure(crashed, at);
+            }
+        }
+    }
+    sim.run_until(end);
+
+    // --- Collect -------------------------------------------------------------
+    // Bandwidth usage is measured over the streaming phase (start of stream to
+    // end of stream), the period Fig. 4 reports about.
+    let streaming_span = stream_config.stream_duration();
+    let crashed_nodes: std::collections::HashSet<NodeId> =
+        churn_schedule.crashed_nodes().into_iter().collect();
+
+    let mut nodes = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        let id = NodeId::new(i as u32);
+        let node = sim.node(id);
+        let metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
+        let queue = sim.upload_queue(id);
+        let upload_utilization = match queue.capacity() {
+            UploadCapacity::Unlimited => None,
+            UploadCapacity::Limited(_) => {
+                Some((queue.busy_time().as_secs_f64() / streaming_span.as_secs_f64()).min(1.0))
+            }
+        };
+        let upload_rate_kbps = queue.achieved_rate_bps(streaming_span) / 1_000.0;
+        nodes.push(NodeResult {
+            node: id,
+            class: scenario.distribution.class_label(advertised[i]),
+            capability: advertised[i],
+            crashed: crashed_nodes.contains(&id),
+            metrics,
+            upload_utilization,
+            upload_rate_kbps,
+            protocol_stats: node.stats(),
+        });
+    }
+
+    ExperimentResult {
+        scenario_name: scenario.name.clone(),
+        schedule,
+        nodes,
+        crashed_count: crashed_nodes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth_dist::BandwidthDistribution;
+    use crate::scenario::ProtocolChoice;
+    use crate::scale::Scale;
+    use heap_simnet::latency::LatencyModel;
+    use heap_simnet::loss::LossModel;
+
+    fn quick_scenario(
+        dist: BandwidthDistribution,
+        protocol: ProtocolChoice,
+        churn: ChurnSpec,
+    ) -> Scenario {
+        Scenario::new("test-run", Scale::test(), dist, protocol)
+            .with_latency(LatencyModel::uniform(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(50),
+            ))
+            .with_loss(LossModel::none())
+            .with_churn(churn)
+    }
+
+    #[test]
+    fn unconstrained_standard_gossip_delivers_everything() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::unconstrained(),
+            ProtocolChoice::Standard { fanout: 6.0 },
+            ChurnSpec::None,
+        );
+        let result = run_scenario(&scenario);
+        assert_eq!(result.nodes.len(), Scale::test().n_receivers());
+        assert_eq!(result.crashed_count, 0);
+        assert_eq!(result.classes(), vec!["unconstrained"]);
+        for node in &result.nodes {
+            assert!(!node.crashed);
+            assert_eq!(node.capability, None);
+            assert_eq!(node.upload_utilization, None);
+            assert!(
+                node.metrics.delivery_ratio() > 0.99,
+                "node {} delivered {}",
+                node.node,
+                node.metrics.delivery_ratio()
+            );
+            assert!(node.metrics.lag_for_full_delivery(0.99).is_some());
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::None,
+        );
+        let a = run_scenario(&scenario);
+        let b = run_scenario(&scenario);
+        let ratios = |r: &ExperimentResult| -> Vec<f64> {
+            r.nodes.iter().map(|n| n.metrics.delivery_ratio()).collect()
+        };
+        assert_eq!(ratios(&a), ratios(&b));
+        let rates = |r: &ExperimentResult| -> Vec<u64> {
+            r.nodes.iter().map(|n| n.protocol_stats.packets_served).collect()
+        };
+        assert_eq!(rates(&a), rates(&b));
+    }
+
+    #[test]
+    fn constrained_run_reports_classes_and_utilization() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ms_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::None,
+        );
+        let result = run_scenario(&scenario);
+        let classes = result.classes();
+        assert_eq!(classes, vec!["512kbps", "1Mbps", "3Mbps"]);
+        for node in &result.nodes {
+            assert!(node.capability.is_some());
+            let u = node.upload_utilization.expect("constrained node has utilization");
+            assert!((0.0..=1.0).contains(&u));
+            assert!(node.upload_rate_kbps >= 0.0);
+        }
+        // At least some dissemination happened everywhere.
+        let mean_delivery: f64 = result
+            .nodes
+            .iter()
+            .map(|n| n.metrics.delivery_ratio())
+            .sum::<f64>()
+            / result.nodes.len() as f64;
+        assert!(mean_delivery > 0.8, "mean delivery {mean_delivery}");
+    }
+
+    #[test]
+    fn catastrophic_churn_crashes_the_requested_fraction() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::Catastrophic {
+                fraction: 0.5,
+                at_secs: 4,
+                detection_secs: 5,
+            },
+        );
+        let result = run_scenario(&scenario);
+        let expected_crashes = (Scale::test().n_nodes as f64 * 0.5).round() as usize;
+        assert_eq!(result.crashed_count, expected_crashes);
+        assert_eq!(
+            result.nodes.iter().filter(|n| n.crashed).count(),
+            expected_crashes
+        );
+        // Survivors still make progress after the crash.
+        let survivors: Vec<_> = result.survivors().collect();
+        assert!(!survivors.is_empty());
+        let mean_delivery: f64 = survivors
+            .iter()
+            .map(|n| n.metrics.delivery_ratio())
+            .sum::<f64>()
+            / survivors.len() as f64;
+        assert!(mean_delivery > 0.6, "survivor mean delivery {mean_delivery}");
+        // class_survivors filters by class.
+        for class in result.classes() {
+            for n in result.class_survivors(class) {
+                assert_eq!(n.class, class);
+                assert!(!n.crashed);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_fraction_halves_some_capacities() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Standard { fanout: 6.0 },
+            ChurnSpec::None,
+        )
+        .with_stragglers(0.5);
+        // The run must complete and keep advertised capabilities intact in the
+        // results (stragglers only affect the *actual* simulated capacity).
+        let result = run_scenario(&scenario);
+        for node in &result.nodes {
+            let cap = node.capability.unwrap();
+            assert!(
+                [256, 768, 2000].contains(&(cap.as_kbps() as u64)),
+                "advertised capability unchanged, got {cap}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a source and one receiver")]
+    fn rejects_degenerate_scale() {
+        let scenario = Scenario::new(
+            "bad",
+            Scale::test().with_nodes(1),
+            BandwidthDistribution::unconstrained(),
+            ProtocolChoice::Standard { fanout: 3.0 },
+        );
+        let _ = run_scenario(&scenario);
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment sizing.
+//!
+//! The paper's experiments run ~270 nodes for about three minutes of stream.
+//! Re-running every figure at that scale takes a while even on the simulator,
+//! so the harness supports three sizes: the full paper scale, a default
+//! reduced scale that preserves every qualitative effect while finishing in
+//! minutes, and a tiny scale for unit/integration tests.
+
+use serde::{Deserialize, Serialize};
+
+/// The size of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Total number of nodes, including the stream source.
+    pub n_nodes: usize,
+    /// Number of FEC windows streamed (one window ≈ 1.93 s of stream).
+    pub n_windows: u64,
+    /// Root random seed (node placement, capabilities, latencies, losses).
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's scale: ~270 nodes, ~90 windows (≈ 174 s of stream).
+    pub fn paper() -> Self {
+        Scale {
+            n_nodes: 271,
+            n_windows: 90,
+            seed: 42,
+        }
+    }
+
+    /// The default harness scale: 151 nodes, 45 windows (≈ 87 s of stream).
+    /// Keeps all qualitative effects (CSR, skew, congestion collapse) while
+    /// each run completes in seconds rather than minutes.
+    pub fn default_scale() -> Self {
+        Scale {
+            n_nodes: 151,
+            n_windows: 45,
+            seed: 42,
+        }
+    }
+
+    /// A tiny scale for tests: 40 nodes, 4 windows.
+    pub fn test() -> Self {
+        Scale {
+            n_nodes: 40,
+            n_windows: 4,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the node count.
+    pub fn with_nodes(mut self, n_nodes: usize) -> Self {
+        self.n_nodes = n_nodes;
+        self
+    }
+
+    /// Overrides the window count.
+    pub fn with_windows(mut self, n_windows: u64) -> Self {
+        self.n_windows = n_windows;
+        self
+    }
+
+    /// Number of receiving nodes (everything but the source).
+    pub fn n_receivers(&self) -> usize {
+        self.n_nodes.saturating_sub(1)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_scales() {
+        let p = Scale::paper();
+        assert_eq!(p.n_nodes, 271);
+        assert_eq!(p.n_receivers(), 270);
+        assert_eq!(p.n_windows, 90);
+        let d = Scale::default();
+        assert_eq!(d, Scale::default_scale());
+        assert!(d.n_nodes < p.n_nodes);
+        let t = Scale::test();
+        assert!(t.n_nodes < d.n_nodes);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = Scale::test().with_seed(99).with_nodes(10).with_windows(2);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.n_nodes, 10);
+        assert_eq!(s.n_windows, 2);
+        assert_eq!(s.n_receivers(), 9);
+    }
+}

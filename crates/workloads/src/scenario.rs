@@ -1,0 +1,256 @@
+//! Declarative description of one experiment run.
+
+use crate::bandwidth_dist::BandwidthDistribution;
+use crate::scale::Scale;
+use heap_gossip::config::GossipConfig;
+use heap_gossip::fanout::FanoutPolicy;
+use heap_simnet::bandwidth::Bandwidth;
+use heap_simnet::latency::LatencyModel;
+use heap_simnet::loss::LossModel;
+use heap_simnet::time::SimDuration;
+use serde::Serialize;
+
+/// Which dissemination protocol a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ProtocolChoice {
+    /// Standard homogeneous gossip with the given fanout.
+    Standard {
+        /// The fanout every node uses.
+        fanout: f64,
+    },
+    /// HEAP with the given *average* fanout and the gossip-based capability
+    /// estimate.
+    Heap {
+        /// The average fanout.
+        fanout: f64,
+    },
+    /// HEAP with an oracle average capability (ablation).
+    HeapOracle {
+        /// The average fanout.
+        fanout: f64,
+    },
+}
+
+impl ProtocolChoice {
+    /// A short label for figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            ProtocolChoice::Standard { fanout } => format!("standard f={fanout}"),
+            ProtocolChoice::Heap { fanout } => format!("HEAP f={fanout}"),
+            ProtocolChoice::HeapOracle { fanout } => format!("HEAP-oracle f={fanout}"),
+        }
+    }
+
+    /// The reference fanout of the protocol.
+    pub fn fanout(&self) -> f64 {
+        match self {
+            ProtocolChoice::Standard { fanout }
+            | ProtocolChoice::Heap { fanout }
+            | ProtocolChoice::HeapOracle { fanout } => *fanout,
+        }
+    }
+
+    /// Resolves the choice into a [`FanoutPolicy`], given the distribution's
+    /// true average capability (only used by the oracle variant).
+    pub fn policy(&self, true_average: Option<Bandwidth>) -> FanoutPolicy {
+        match *self {
+            ProtocolChoice::Standard { fanout } => FanoutPolicy::fixed(fanout),
+            ProtocolChoice::Heap { fanout } => FanoutPolicy::heap(fanout),
+            ProtocolChoice::HeapOracle { fanout } => FanoutPolicy::heap_oracle(
+                fanout,
+                true_average.unwrap_or_else(|| Bandwidth::from_kbps(691)),
+            ),
+        }
+    }
+}
+
+/// Churn injected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ChurnSpec {
+    /// No churn.
+    None,
+    /// The catastrophic-failure scenario of §3.6: `fraction` of the nodes
+    /// crash simultaneously at `at_secs` seconds, survivors detect each crash
+    /// after ~`detection_secs` seconds on average.
+    Catastrophic {
+        /// Fraction of nodes that crash (0.2 and 0.5 in the paper).
+        fraction: f64,
+        /// When the crash happens, in seconds from the start.
+        at_secs: u64,
+        /// Mean failure-detection delay, in seconds.
+        detection_secs: u64,
+    },
+}
+
+impl ChurnSpec {
+    /// Returns `true` if the spec injects no churn.
+    pub fn is_none(&self) -> bool {
+        matches!(self, ChurnSpec::None)
+    }
+}
+
+/// A complete, reproducible description of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Human-readable name (used in logs and result labels).
+    pub name: String,
+    /// Experiment size and seed.
+    pub scale: Scale,
+    /// Upload-capability distribution of the receivers.
+    pub distribution: BandwidthDistribution,
+    /// Protocol under test.
+    pub protocol: ProtocolChoice,
+    /// Gossip parameters (period, retransmission, aggregation).
+    pub gossip: GossipConfig,
+    /// Link-latency model.
+    pub latency: LatencyModel,
+    /// Message-loss model.
+    pub loss: LossModel,
+    /// Churn injected during the run.
+    pub churn: ChurnSpec,
+    /// Upload capability of the stream source (the paper's source is a
+    /// well-provisioned node; it is excluded from all per-class metrics).
+    pub source_capability: Bandwidth,
+    /// Fraction of receivers whose *actual* capacity is halved relative to
+    /// their advertised capability, emulating the overloaded PlanetLab nodes
+    /// the paper mentions (5–7 % of nodes under-contribute). Defaults to 6 %.
+    pub straggler_fraction: f64,
+    /// Maximum upload-queue backlog before a node starts dropping outgoing
+    /// messages (the finite application/UDP send buffer of the paper's
+    /// rate limiter). `None` = unbounded queue (ablation).
+    pub upload_queue_limit: Option<SimDuration>,
+}
+
+impl Scenario {
+    /// A scenario with the paper's default parameters for the given
+    /// distribution and protocol.
+    pub fn new(
+        name: impl Into<String>,
+        scale: Scale,
+        distribution: BandwidthDistribution,
+        protocol: ProtocolChoice,
+    ) -> Self {
+        let gossip = GossipConfig::paper().with_fanout(protocol.fanout());
+        Scenario {
+            name: name.into(),
+            scale,
+            distribution,
+            protocol,
+            gossip,
+            latency: LatencyModel::planetlab_like(),
+            loss: LossModel::bernoulli(0.01),
+            churn: ChurnSpec::None,
+            source_capability: Bandwidth::from_mbps(5),
+            straggler_fraction: 0.06,
+            upload_queue_limit: Some(SimDuration::from_secs(4)),
+        }
+    }
+
+    /// Sets the churn spec.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Sets the loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the gossip configuration.
+    pub fn with_gossip(mut self, gossip: GossipConfig) -> Self {
+        self.gossip = gossip;
+        self
+    }
+
+    /// Sets the straggler fraction.
+    pub fn with_stragglers(mut self, fraction: f64) -> Self {
+        self.straggler_fraction = fraction;
+        self
+    }
+
+    /// Sets (or removes) the upload-queue backlog limit.
+    pub fn with_queue_limit(mut self, limit: Option<SimDuration>) -> Self {
+        self.upload_queue_limit = limit;
+        self
+    }
+
+    /// How long the simulation must run to let the stream finish and the
+    /// tail of the dissemination settle: stream duration plus a drain margin.
+    pub fn run_duration(&self) -> SimDuration {
+        let stream = heap_streaming::source::StreamConfig::paper(self.scale.n_windows)
+            .stream_duration();
+        stream + SimDuration::from_secs(60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_labels_and_policies() {
+        let s = ProtocolChoice::Standard { fanout: 7.0 };
+        assert_eq!(s.label(), "standard f=7");
+        assert_eq!(s.fanout(), 7.0);
+        assert!(!s.policy(None).is_adaptive());
+
+        let h = ProtocolChoice::Heap { fanout: 7.0 };
+        assert_eq!(h.label(), "HEAP f=7");
+        assert!(h.policy(None).is_adaptive());
+
+        let o = ProtocolChoice::HeapOracle { fanout: 7.0 };
+        assert!(o.label().contains("oracle"));
+        assert!(o.policy(Some(Bandwidth::from_kbps(691))).is_adaptive());
+        assert!(o.policy(None).is_adaptive());
+    }
+
+    #[test]
+    fn churn_spec_flags() {
+        assert!(ChurnSpec::None.is_none());
+        assert!(!ChurnSpec::Catastrophic {
+            fraction: 0.2,
+            at_secs: 60,
+            detection_secs: 10
+        }
+        .is_none());
+    }
+
+    #[test]
+    fn scenario_defaults_follow_the_paper() {
+        let sc = Scenario::new(
+            "test",
+            Scale::test(),
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        );
+        assert_eq!(sc.gossip.fanout, 7.0);
+        assert!(sc.churn.is_none());
+        assert_eq!(sc.straggler_fraction, 0.06);
+        assert!(sc.run_duration() > SimDuration::from_secs(60));
+        // Builders.
+        let sc = sc
+            .with_churn(ChurnSpec::Catastrophic {
+                fraction: 0.5,
+                at_secs: 60,
+                detection_secs: 10,
+            })
+            .with_loss(LossModel::none())
+            .with_latency(LatencyModel::constant(SimDuration::from_millis(10)))
+            .with_stragglers(0.06)
+            .with_gossip(GossipConfig::paper().with_fanout(15.0));
+        assert!(!sc.churn.is_none());
+        assert_eq!(sc.gossip.fanout, 15.0);
+        assert_eq!(sc.straggler_fraction, 0.06);
+        assert_eq!(sc.upload_queue_limit, Some(SimDuration::from_secs(4)));
+        let sc = sc.with_queue_limit(None);
+        assert_eq!(sc.upload_queue_limit, None);
+    }
+}

@@ -1,0 +1,72 @@
+//! Fanout sweep: why a bigger homogeneous fanout is not the answer.
+//!
+//! ```text
+//! cargo run --release --example fanout_sweep
+//! ```
+//!
+//! Runs standard gossip with several fanouts on the skewed ms-691
+//! distribution (the experiment behind Figure 2) and prints, for each fanout,
+//! the stream lag needed for 50 % / 75 % / 90 % of the nodes to receive 99 %
+//! of the stream. A moderate increase helps, a blind increase hurts —
+//! motivating HEAP's capability-proportional adaptation instead.
+
+use heap::analytics::EmpiricalCdf;
+use heap::workloads::experiments::common::{node_lag, LagKind};
+use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario};
+
+fn main() {
+    let scale = Scale::default_scale().with_nodes(81).with_windows(12);
+    println!("standard gossip on ms-691, {} nodes, {} windows", scale.n_nodes, scale.n_windows);
+    println!("{:>7}  {:>12}  {:>12}  {:>12}", "fanout", "50% of nodes", "75% of nodes", "90% of nodes");
+
+    for fanout in [7.0, 15.0, 20.0, 25.0, 30.0] {
+        let result = run_scenario(&Scenario::new(
+            format!("example/fanout-{fanout}"),
+            scale,
+            BandwidthDistribution::ms_691(),
+            ProtocolChoice::Standard { fanout },
+        ));
+        let lags: Vec<Option<f64>> = result
+            .survivors()
+            .map(|n| node_lag(n, LagKind::Delivery99))
+            .collect();
+        let cdf = EmpiricalCdf::with_missing(lags);
+        let show = |p: f64| {
+            cdf.percentile(p)
+                .map(|v| format!("{v:.1}s"))
+                .unwrap_or_else(|| "never".to_string())
+        };
+        println!(
+            "{:>7}  {:>12}  {:>12}  {:>12}",
+            fanout,
+            show(0.5),
+            show(0.75),
+            show(0.9)
+        );
+    }
+
+    // And HEAP with the same *average* fanout of 7 for comparison.
+    let result = run_scenario(&Scenario::new(
+        "example/heap-f7",
+        scale,
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Heap { fanout: 7.0 },
+    ));
+    let lags: Vec<Option<f64>> = result
+        .survivors()
+        .map(|n| node_lag(n, LagKind::Delivery99))
+        .collect();
+    let cdf = EmpiricalCdf::with_missing(lags);
+    let show = |p: f64| {
+        cdf.percentile(p)
+            .map(|v| format!("{v:.1}s"))
+            .unwrap_or_else(|| "never".to_string())
+    };
+    println!(
+        "{:>7}  {:>12}  {:>12}  {:>12}   <- HEAP, average fanout 7",
+        "HEAP",
+        show(0.5),
+        show(0.75),
+        show(0.9)
+    );
+}

@@ -1,0 +1,95 @@
+//! Heterogeneous streaming: standard gossip vs HEAP on the paper's skewed
+//! ms-691 distribution.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_streaming
+//! ```
+//!
+//! Runs both protocols at a reduced scale and prints the per-class bandwidth
+//! usage, jitter-free window percentages and stream lags — the headline
+//! comparison of the paper (Figures 4–9).
+
+use heap::analytics::TextTable;
+use heap::simnet::time::SimDuration;
+use heap::workloads::experiments::fig4_bandwidth_usage::usage_by_class;
+use heap::workloads::experiments::fig5_6_jitter_free::jitter_free_by_class;
+use heap::workloads::experiments::fig8_lag_by_class::lag_by_class;
+use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario};
+
+fn main() {
+    // A reduced scale keeps the example fast; bump to Scale::paper() to match
+    // the paper's 270 nodes and ~3 minutes of stream.
+    let scale = Scale::default_scale().with_nodes(81).with_windows(12);
+    let dist = BandwidthDistribution::ms_691();
+    println!(
+        "distribution {}: average capability {} kbps, CSR {:.2}\n",
+        dist.name(),
+        dist.average().unwrap().as_kbps(),
+        dist.capability_supply_ratio(heap::simnet::bandwidth::Bandwidth::from_kbps(600))
+            .unwrap()
+    );
+
+    let standard = run_scenario(&Scenario::new(
+        "example/standard",
+        scale,
+        dist.clone(),
+        ProtocolChoice::Standard { fanout: 7.0 },
+    ));
+    let heap_run = run_scenario(&Scenario::new(
+        "example/heap",
+        scale,
+        dist,
+        ProtocolChoice::Heap { fanout: 7.0 },
+    ));
+
+    let lag = SimDuration::from_secs(10);
+    let mut table = TextTable::new("standard gossip vs HEAP (ms-691, 10s viewing lag)");
+    table.header(vec![
+        "class",
+        "usage std",
+        "usage HEAP",
+        "jitter-free std",
+        "jitter-free HEAP",
+        "lag std",
+        "lag HEAP",
+    ]);
+
+    let std_usage = usage_by_class(&standard);
+    let heap_usage = usage_by_class(&heap_run);
+    let std_jf = jitter_free_by_class(&standard, lag);
+    let heap_jf = jitter_free_by_class(&heap_run, lag);
+    let std_lag = lag_by_class(&standard);
+    let heap_lag = lag_by_class(&heap_run);
+
+    let pct = |v: Option<f64>| v.map(|x| format!("{:.0}%", 100.0 * x)).unwrap_or("n/a".into());
+    let secs = |v: Option<f64>| v.map(|x| format!("{x:.1}s")).unwrap_or("never".into());
+    let find = |v: &[(&'static str, Option<f64>)], class: &str| {
+        v.iter().find(|(c, _)| *c == class).and_then(|(_, x)| *x)
+    };
+
+    for class in standard.classes() {
+        table.row(vec![
+            class.to_string(),
+            pct(find(&std_usage, class)),
+            pct(find(&heap_usage, class)),
+            pct(find(&std_jf, class)),
+            pct(find(&heap_jf, class)),
+            secs(find(&std_lag, class)),
+            secs(find(&heap_lag, class)),
+        ]);
+    }
+    println!("{table}");
+
+    let overall = |r: &heap::workloads::ExperimentResult| {
+        let v: Vec<f64> = r
+            .survivors()
+            .map(|n| n.metrics.jitter_free_fraction(lag))
+            .collect();
+        100.0 * v.iter().sum::<f64>() / v.len() as f64
+    };
+    println!(
+        "overall jitter-free windows at 10s lag: standard {:.1}%, HEAP {:.1}%",
+        overall(&standard),
+        overall(&heap_run)
+    );
+}

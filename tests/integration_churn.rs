@@ -1,0 +1,79 @@
+//! Cross-crate integration: resilience to catastrophic failures (§3.6).
+
+use heap::simnet::time::SimDuration;
+use heap::streaming::packet::WindowId;
+use heap::workloads::{
+    run_scenario, BandwidthDistribution, ChurnSpec, ProtocolChoice, Scale, Scenario,
+};
+
+fn churn_scenario(fraction: f64, protocol: ProtocolChoice) -> Scenario {
+    Scenario::new(
+        format!("it/churn/{}", protocol.label()),
+        Scale::test().with_nodes(60).with_windows(6),
+        BandwidthDistribution::ref_691(),
+        protocol,
+    )
+    .with_churn(ChurnSpec::Catastrophic {
+        fraction,
+        at_secs: 4, // one third into the 6-window (~11.6 s) stream
+        detection_secs: 5,
+    })
+}
+
+#[test]
+fn exactly_the_requested_fraction_crashes_and_the_source_survives() {
+    let result = run_scenario(&churn_scenario(0.2, ProtocolChoice::Heap { fanout: 7.0 }));
+    let expected = (60.0f64 * 0.2).round() as usize;
+    assert_eq!(result.crashed_count, expected);
+    // The source (node 0) is never crashed, so every crashed entry is a receiver.
+    assert_eq!(result.nodes.iter().filter(|n| n.crashed).count(), expected);
+}
+
+#[test]
+fn heap_survivors_keep_decoding_windows_published_after_the_failure() {
+    let result = run_scenario(&churn_scenario(0.5, ProtocolChoice::Heap { fanout: 7.0 }));
+    let n_windows = result.schedule.total_windows();
+    let last_window = WindowId::new(n_windows - 1);
+    let lag = SimDuration::from_secs(20);
+
+    let survivors: Vec<_> = result.survivors().collect();
+    assert!(!survivors.is_empty());
+    let decoding = survivors
+        .iter()
+        .filter(|n| n.metrics.window_jitter_free(last_window, lag))
+        .count();
+    let fraction = decoding as f64 / survivors.len() as f64;
+    assert!(
+        fraction > 0.5,
+        "only {fraction:.2} of survivors decode the last window after a 50% failure"
+    );
+}
+
+#[test]
+fn crashed_nodes_stop_receiving_but_keep_their_earlier_windows() {
+    let result = run_scenario(&churn_scenario(0.5, ProtocolChoice::Heap { fanout: 7.0 }));
+    let lag = SimDuration::from_secs(20);
+    let n_windows = result.schedule.total_windows();
+    let crashed: Vec<_> = result.nodes.iter().filter(|n| n.crashed).collect();
+    assert!(!crashed.is_empty());
+
+    // The failure happens about one third into the stream: crashed nodes must
+    // not be able to decode the final window, but most should have decoded
+    // the very first one before dying.
+    let decode_last = crashed
+        .iter()
+        .filter(|n| n.metrics.window_jitter_free(WindowId::new(n_windows - 1), lag))
+        .count();
+    assert_eq!(decode_last, 0, "crashed nodes cannot decode windows published after their death");
+
+    let decode_first = crashed
+        .iter()
+        .filter(|n| n.metrics.window_jitter_free(WindowId::new(0), lag))
+        .count();
+    assert!(
+        decode_first as f64 / crashed.len() as f64 > 0.5,
+        "crashed nodes should still have decoded the first window ({} of {})",
+        decode_first,
+        crashed.len()
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the full stack (simulator + membership + gossip +
+//! streaming metrics) disseminates a stream correctly through the facade
+//! crate's public API.
+
+use heap::gossip::prelude::*;
+use heap::gossip::fanout::FanoutPolicy;
+use heap::simnet::prelude::*;
+use heap::streaming::metrics::NodeStreamMetrics;
+use heap::streaming::{StreamConfig, StreamSchedule};
+
+fn build_sim(
+    n: usize,
+    seed: u64,
+    windows: u64,
+    loss: LossModel,
+    policy: FanoutPolicy,
+) -> (Simulator<GossipNode>, StreamSchedule) {
+    let schedule = StreamSchedule::new(StreamConfig::small(windows), SimTime::from_secs(1));
+    let sim = SimulatorBuilder::new(n, seed)
+        .latency(LatencyModel::uniform(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(80),
+        ))
+        .loss(loss)
+        .build(|id| {
+            GossipNode::builder(id, n, schedule)
+                .config(GossipConfig::paper().with_fanout(6.0))
+                .fanout(if id.index() == 0 {
+                    FanoutPolicy::fixed(6.0)
+                } else {
+                    policy
+                })
+                .capability(Bandwidth::from_mbps(10))
+                .role(if id.index() == 0 { Role::Source } else { Role::Receiver })
+                .build()
+        });
+    (sim, schedule)
+}
+
+#[test]
+fn full_stack_lossless_dissemination_is_complete_and_fast() {
+    let (mut sim, schedule) = build_sim(30, 11, 3, LossModel::none(), FanoutPolicy::fixed(6.0));
+    sim.run_until(SimTime::from_secs(30));
+
+    // Gossip with a finite fanout gives probabilistic coverage: a node can
+    // miss a packet simply because nobody happened to propose it to it. At
+    // this size that is a rare-but-possible event, so we assert near-perfect
+    // delivery rather than perfection (that is exactly why the stream carries
+    // FEC parity packets).
+    let mut deliveries = Vec::new();
+    let mut perfect_nodes = 0usize;
+    for (id, node) in sim.iter_nodes().skip(1) {
+        let metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
+        let ratio = metrics.delivery_ratio();
+        assert!(ratio >= 0.95, "node {id} only delivered {ratio}");
+        if ratio == 1.0 {
+            perfect_nodes += 1;
+            let lag = metrics
+                .lag_for_full_delivery(0.99)
+                .expect("99% delivery reached");
+            assert!(lag < SimDuration::from_secs(10), "node {id} lag {lag}");
+            assert_eq!(metrics.offline_jitter_free_fraction(), 1.0, "node {id}");
+        }
+        deliveries.push(ratio);
+        // The three-phase protocol never delivers a payload twice.
+        assert_eq!(node.engine().stats().duplicate_payloads, 0);
+    }
+    let mean: f64 = deliveries.iter().sum::<f64>() / deliveries.len() as f64;
+    assert!(mean > 0.99, "mean delivery {mean}");
+    assert!(
+        perfect_nodes >= deliveries.len() * 9 / 10,
+        "only {perfect_nodes}/{} nodes received the complete stream",
+        deliveries.len()
+    );
+}
+
+#[test]
+fn full_stack_with_loss_still_converges_thanks_to_retransmissions() {
+    let (mut sim, schedule) = build_sim(
+        30,
+        5,
+        2,
+        LossModel::bernoulli(0.05),
+        FanoutPolicy::fixed(6.0),
+    );
+    sim.run_until(SimTime::from_secs(40));
+    let mut total = 0.0;
+    for (_, node) in sim.iter_nodes().skip(1) {
+        let metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
+        total += metrics.delivery_ratio();
+    }
+    let mean = total / 29.0;
+    assert!(mean > 0.98, "mean delivery {mean}");
+    assert!(sim.stats().total_messages_lost() > 0, "loss model was exercised");
+}
+
+#[test]
+fn heap_policy_runs_through_facade_and_adapts() {
+    let n = 30;
+    let schedule = StreamSchedule::new(StreamConfig::small(3), SimTime::from_secs(1));
+    let capability = |id: NodeId| {
+        if id.index() == 0 {
+            Bandwidth::from_mbps(5)
+        } else if id.index() < 4 {
+            Bandwidth::from_mbps(3)
+        } else {
+            Bandwidth::from_kbps(512)
+        }
+    };
+    let mut sim = SimulatorBuilder::new(n, 3)
+        .latency(LatencyModel::planetlab_like())
+        .capacities((0..n).map(|i| capability(NodeId::new(i as u32)).into()).collect())
+        .build(|id| {
+            GossipNode::builder(id, n, schedule)
+                .config(GossipConfig::paper().with_fanout(6.0))
+                .fanout(if id.index() == 0 {
+                    FanoutPolicy::fixed(6.0)
+                } else {
+                    FanoutPolicy::heap(6.0)
+                })
+                .capability(capability(id))
+                .role(if id.index() == 0 { Role::Source } else { Role::Receiver })
+                .build()
+        });
+    sim.run_until(SimTime::from_secs(45));
+
+    // Rich receivers end up with a clearly larger target fanout than poor ones.
+    let rich = sim.node(NodeId::new(1)).current_target_fanout();
+    let poor = sim.node(NodeId::new(20)).current_target_fanout();
+    assert!(rich > poor * 2.0, "rich {rich} vs poor {poor}");
+
+    // And they serve more payload.
+    let rich_served = sim.node(NodeId::new(1)).stats().packets_served;
+    let poor_served = sim.node(NodeId::new(20)).stats().packets_served;
+    assert!(
+        rich_served > poor_served,
+        "rich served {rich_served}, poor served {poor_served}"
+    );
+}

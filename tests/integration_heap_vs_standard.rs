@@ -1,0 +1,119 @@
+//! Cross-crate integration: the paper's headline comparison — on a skewed,
+//! constrained bandwidth distribution HEAP beats standard gossip on stream
+//! quality, while matching each node's contribution to its capability.
+
+use heap::simnet::time::SimDuration;
+use heap::workloads::experiments::fig4_bandwidth_usage::usage_by_class;
+use heap::workloads::{
+    run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario,
+};
+
+fn scale() -> Scale {
+    // Slightly larger than Scale::test() so class effects are visible, still
+    // fast enough for CI.
+    Scale::test().with_nodes(60).with_windows(5)
+}
+
+#[test]
+fn heap_improves_stream_quality_on_skewed_distribution() {
+    let standard = run_scenario(&Scenario::new(
+        "it/standard",
+        scale(),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Standard { fanout: 7.0 },
+    ));
+    let heap = run_scenario(&Scenario::new(
+        "it/heap",
+        scale(),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Heap { fanout: 7.0 },
+    ));
+
+    let lag = SimDuration::from_secs(10);
+    let mean_jitter_free = |r: &heap::workloads::ExperimentResult| {
+        let v: Vec<f64> = r
+            .survivors()
+            .map(|n| n.metrics.jitter_free_fraction(lag))
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let std_q = mean_jitter_free(&standard);
+    let heap_q = mean_jitter_free(&heap);
+    assert!(
+        heap_q >= std_q,
+        "HEAP jitter-free fraction {heap_q:.3} must be at least standard's {std_q:.3}"
+    );
+
+    // Contribution proportional to capability: under HEAP the ratio of
+    // served packets between the 3 Mbps class and the 512 kbps class should
+    // be clearly larger than under standard gossip.
+    let served_ratio = |r: &heap::workloads::ExperimentResult| {
+        let class_mean = |class: &str| {
+            let v: Vec<f64> = r
+                .class_survivors(class)
+                .map(|n| n.protocol_stats.packets_served as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        class_mean("3Mbps") / class_mean("512kbps").max(1.0)
+    };
+    let heap_ratio = served_ratio(&heap);
+    let std_ratio = served_ratio(&standard);
+    assert!(
+        heap_ratio > std_ratio,
+        "HEAP rich/poor serve ratio {heap_ratio:.2} should exceed standard's {std_ratio:.2}"
+    );
+}
+
+#[test]
+fn heap_keeps_average_fanout_at_the_reference_value() {
+    // HEAP redistributes fanout but must preserve the system-wide average
+    // (the reliability invariant the paper builds on).
+    let heap = run_scenario(&Scenario::new(
+        "it/heap-avg-fanout",
+        scale(),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Heap { fanout: 7.0 },
+    ));
+    let (sum, count) = heap
+        .survivors()
+        .map(|n| n.protocol_stats)
+        .filter(|s| s.gossip_emissions > 0)
+        .fold((0.0, 0usize), |(sum, count), s| {
+            (sum + s.average_fanout(), count + 1)
+        });
+    let mean_fanout = sum / count as f64;
+    assert!(
+        (mean_fanout - 7.0).abs() < 1.5,
+        "population mean fanout {mean_fanout:.2} strayed from the reference 7"
+    );
+}
+
+#[test]
+fn heap_lifts_rich_node_utilization() {
+    let standard = run_scenario(&Scenario::new(
+        "it/standard-usage",
+        scale(),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Standard { fanout: 7.0 },
+    ));
+    let heap = run_scenario(&Scenario::new(
+        "it/heap-usage",
+        scale(),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Heap { fanout: 7.0 },
+    ));
+    let rich = |r: &heap::workloads::ExperimentResult| {
+        usage_by_class(r)
+            .into_iter()
+            .find(|(c, _)| *c == "3Mbps")
+            .and_then(|(_, u)| u)
+            .unwrap_or(0.0)
+    };
+    assert!(
+        rich(&heap) > rich(&standard),
+        "HEAP must raise the 3 Mbps class utilization ({:.2} vs {:.2})",
+        rich(&heap),
+        rich(&standard)
+    );
+}
