@@ -80,7 +80,10 @@ impl ClassSummary {
 
     /// Adds one observation to a class.
     pub fn add(&mut self, class: &str, value: f64) {
-        self.groups.entry(class.to_string()).or_default().push(value);
+        self.groups
+            .entry(class.to_string())
+            .or_default()
+            .push(value);
     }
 
     /// Adds many observations to a class.

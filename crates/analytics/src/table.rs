@@ -71,7 +71,10 @@ impl TextTable {
 
     /// The cell at (`row`, `col`), if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 
     fn column_widths(&self) -> Vec<usize> {
@@ -105,7 +108,11 @@ impl fmt::Display for TextTable {
         };
         if !self.header.is_empty() {
             writeln!(f, "{}", render_row(&self.header))?;
-            writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+            writeln!(
+                f,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+            )?;
         }
         for row in &self.rows {
             writeln!(f, "{}", render_row(row))?;

@@ -11,9 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use heap_bench::bench_scale;
 use heap_simnet::loss::LossModel;
-use heap_workloads::{
-    run_scenario, BandwidthDistribution, ChurnSpec, ProtocolChoice, Scenario,
-};
+use heap_workloads::{run_scenario, BandwidthDistribution, ChurnSpec, ProtocolChoice, Scenario};
 
 fn scenario(name: &str, protocol: ProtocolChoice) -> Scenario {
     Scenario::new(
@@ -29,10 +27,20 @@ fn bench_fanout_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_fanout_policy");
     group.sample_size(10);
     group.bench_function("standard_f7", |b| {
-        b.iter(|| run_scenario(&scenario("ablation/standard", ProtocolChoice::Standard { fanout: 7.0 })));
+        b.iter(|| {
+            run_scenario(&scenario(
+                "ablation/standard",
+                ProtocolChoice::Standard { fanout: 7.0 },
+            ))
+        });
     });
     group.bench_function("heap_estimated", |b| {
-        b.iter(|| run_scenario(&scenario("ablation/heap", ProtocolChoice::Heap { fanout: 7.0 })));
+        b.iter(|| {
+            run_scenario(&scenario(
+                "ablation/heap",
+                ProtocolChoice::Heap { fanout: 7.0 },
+            ))
+        });
     });
     group.bench_function("heap_oracle", |b| {
         b.iter(|| {

@@ -76,14 +76,19 @@ fn main() {
     );
 
     // The six baseline runs are shared by most figures; compute them lazily.
-    let needs_baseline = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3"]
-        .iter()
-        .any(|e| wanted.contains(**&e));
+    let needs_baseline = [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3",
+    ]
+    .iter()
+    .any(|e| wanted.contains(**&e));
     let baseline = if needs_baseline {
         let start = Instant::now();
         eprintln!("computing the six baseline runs (3 distributions x 2 protocols)...");
         let runs = StandardRuns::compute(scale);
-        eprintln!("baseline runs done in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "baseline runs done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
         Some(runs)
     } else {
         None
@@ -100,17 +105,35 @@ fn main() {
             "table1" => emit("table1", table1_distributions::run()),
             "fig1" => emit("fig1", fig1_unconstrained::run(scale)),
             "fig2" => emit("fig2", fig2_fanout_sweep::run(scale)),
-            "fig3" => emit("fig3", fig3_heap_dist1::run(baseline.as_ref().expect("baseline"))),
-            "fig4" => emit("fig4", fig4_bandwidth_usage::run(baseline.as_ref().expect("baseline"))),
+            "fig3" => emit(
+                "fig3",
+                fig3_heap_dist1::run(baseline.as_ref().expect("baseline")),
+            ),
+            "fig4" => emit(
+                "fig4",
+                fig4_bandwidth_usage::run(baseline.as_ref().expect("baseline")),
+            ),
             // Figures 5 and 6 come from the same experiment module.
             "fig5" | "fig6" => {
                 if name == "fig5" || !wanted.contains("fig5") {
-                    emit("fig5/6", fig5_6_jitter_free::run(baseline.as_ref().expect("baseline")));
+                    emit(
+                        "fig5/6",
+                        fig5_6_jitter_free::run(baseline.as_ref().expect("baseline")),
+                    );
                 }
             }
-            "fig7" => emit("fig7", fig7_jitter_cdf::run(baseline.as_ref().expect("baseline"))),
-            "fig8" => emit("fig8", fig8_lag_by_class::run(baseline.as_ref().expect("baseline"))),
-            "fig9" => emit("fig9", fig9_lag_cdf::run(baseline.as_ref().expect("baseline"))),
+            "fig7" => emit(
+                "fig7",
+                fig7_jitter_cdf::run(baseline.as_ref().expect("baseline")),
+            ),
+            "fig8" => emit(
+                "fig8",
+                fig8_lag_by_class::run(baseline.as_ref().expect("baseline")),
+            ),
+            "fig9" => emit(
+                "fig9",
+                fig9_lag_cdf::run(baseline.as_ref().expect("baseline")),
+            ),
             "fig10" => emit("fig10", fig10_churn::run(scale)),
             "table2" => emit(
                 "table2",

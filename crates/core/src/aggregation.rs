@@ -225,7 +225,9 @@ mod tests {
         assert_eq!(freshest[0].node, NodeId::new(0));
         assert_eq!(freshest[0].timestamp, SimTime::from_secs(100));
         // The rest are in decreasing timestamp order.
-        assert!(freshest.windows(2).all(|w| w[0].timestamp >= w[1].timestamp));
+        assert!(freshest
+            .windows(2)
+            .all(|w| w[0].timestamp >= w[1].timestamp));
     }
 
     #[test]
@@ -270,7 +272,9 @@ mod tests {
         let mut aggs: Vec<CapabilityAggregator> = caps
             .iter()
             .enumerate()
-            .map(|(i, &c)| CapabilityAggregator::new(NodeId::new(i as u32), Bandwidth::from_kbps(c)))
+            .map(|(i, &c)| {
+                CapabilityAggregator::new(NodeId::new(i as u32), Bandwidth::from_kbps(c))
+            })
             .collect();
         for round in 0..10 {
             let now = SimTime::from_secs(round + 1);

@@ -295,7 +295,10 @@ mod tests {
         let mut e = engine();
         let wanted = e.handle_propose(&[PacketId::new(1_000_000)]);
         assert!(wanted.is_empty());
-        assert!(e.is_requested(PacketId::new(1_000_000)), "out of range treated as non-pullable");
+        assert!(
+            e.is_requested(PacketId::new(1_000_000)),
+            "out of range treated as non-pullable"
+        );
     }
 
     #[test]

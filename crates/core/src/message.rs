@@ -74,7 +74,10 @@ impl GossipMessage {
     pub fn serve(packets: Vec<StreamPacket>, config: &GossipConfig) -> Self {
         let payload: usize = packets.iter().map(|p| p.payload_bytes).sum();
         let wire_bytes = config.serve_message_bytes(payload);
-        GossipMessage::Serve { packets, wire_bytes }
+        GossipMessage::Serve {
+            packets,
+            wire_bytes,
+        }
     }
 
     /// Builds an [Aggregation] message for the given samples.
@@ -82,7 +85,10 @@ impl GossipMessage {
     /// [Aggregation]: GossipMessage::Aggregation
     pub fn aggregation(samples: Vec<CapabilitySample>, config: &GossipConfig) -> Self {
         let wire_bytes = config.aggregation_message_bytes(samples.len());
-        GossipMessage::Aggregation { samples, wire_bytes }
+        GossipMessage::Aggregation {
+            samples,
+            wire_bytes,
+        }
     }
 
     /// A short human-readable tag for logging.

@@ -67,7 +67,10 @@ impl Matrix {
     ///
     /// Panics if `rows > 256` (row indices would repeat in GF(2⁸)).
     pub fn vandermonde(rows: usize, cols: usize) -> Self {
-        assert!(rows <= 256, "a GF(256) Vandermonde matrix supports at most 256 rows");
+        assert!(
+            rows <= 256,
+            "a GF(256) Vandermonde matrix supports at most 256 rows"
+        );
         let mut m = Matrix::zero(rows, cols);
         for r in 0..rows {
             for c in 0..cols {

@@ -256,7 +256,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn make_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -281,7 +280,10 @@ mod tests {
         let rs = ReedSolomon::new(3, 2).unwrap();
         assert_eq!(
             rs.encode(&[vec![1u8, 2]]).unwrap_err(),
-            RsError::WrongShardCount { provided: 1, expected: 3 }
+            RsError::WrongShardCount {
+                provided: 1,
+                expected: 3
+            }
         );
         assert_eq!(
             rs.encode(&[vec![1u8, 2], vec![3], vec![4, 5]]).unwrap_err(),
@@ -307,8 +309,12 @@ mod tests {
         let rs = ReedSolomon::new(3, 2).unwrap();
         let data = make_data(3, 16, 2);
         let parity = rs.encode(&data).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().chain(parity.iter().cloned()).map(Some).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.iter().cloned())
+            .map(Some)
+            .collect();
         let before = shards.clone();
         rs.reconstruct(&mut shards).unwrap();
         assert_eq!(shards, before);
@@ -325,7 +331,10 @@ mod tests {
         let mut missing = vec![Some(vec![1u8]), None, None, None, None];
         assert!(matches!(
             rs.reconstruct(&mut missing).unwrap_err(),
-            RsError::NotEnoughShards { present: 1, required: 3 }
+            RsError::NotEnoughShards {
+                present: 1,
+                required: 3
+            }
         ));
         let mut mismatched = vec![
             Some(vec![1u8, 2]),
@@ -347,8 +356,12 @@ mod tests {
         let rs = ReedSolomon::new(101, 9).unwrap();
         let data = make_data(101, 32, 3);
         let parity = rs.encode(&data).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().chain(parity.iter().cloned()).map(Some).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.iter().cloned())
+            .map(Some)
+            .collect();
         // Drop 9 shards: 5 data + 4 parity.
         for &i in &[0, 13, 50, 87, 100, 101, 104, 107, 109] {
             shards[i] = None;
@@ -358,8 +371,12 @@ mod tests {
             assert_eq!(shards[i].as_ref().unwrap(), d, "data shard {i}");
         }
         // One more loss than parity shards must fail.
-        let mut shards: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().chain(parity.iter().cloned()).map(Some).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.iter().cloned())
+            .map(Some)
+            .collect();
         for i in 0..10 {
             shards[i * 10] = None;
         }
@@ -371,9 +388,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = RsError::NotEnoughShards { present: 3, required: 5 };
+        let e = RsError::NotEnoughShards {
+            present: 3,
+            required: 5,
+        };
         assert!(e.to_string().contains("3 present"));
-        let e = RsError::WrongShardCount { provided: 1, expected: 2 };
+        let e = RsError::WrongShardCount {
+            provided: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("1 provided"));
         assert!(RsError::ShardLengthMismatch.to_string().contains("length"));
     }

@@ -99,7 +99,10 @@ impl WindowEncoder {
     /// Returns an error if the shard count or shard lengths do not match the
     /// geometry.
     pub fn encode<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, RsError> {
-        if data.iter().any(|d| d.as_ref().len() != self.params.packet_bytes) {
+        if data
+            .iter()
+            .any(|d| d.as_ref().len() != self.params.packet_bytes)
+        {
             return Err(RsError::ShardLengthMismatch);
         }
         let parity = self.rs.encode(data)?;
@@ -224,7 +227,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn small_params() -> WindowParams {
         WindowParams {

@@ -192,8 +192,14 @@ mod tests {
     #[test]
     fn from_events_sorts_by_time() {
         let s = ChurnSchedule::from_events(vec![
-            ChurnEvent { at: SimTime::from_secs(20), node: NodeId::new(2) },
-            ChurnEvent { at: SimTime::from_secs(10), node: NodeId::new(1) },
+            ChurnEvent {
+                at: SimTime::from_secs(20),
+                node: NodeId::new(2),
+            },
+            ChurnEvent {
+                at: SimTime::from_secs(10),
+                node: NodeId::new(1),
+            },
         ]);
         assert_eq!(s.events()[0].node, NodeId::new(1));
         assert_eq!(s.events()[1].node, NodeId::new(2));

@@ -107,10 +107,7 @@ impl PartialView {
     /// evicts stale (possibly dead) descriptors fastest. Returns `None` if
     /// the view is empty.
     pub fn oldest_peer(&self) -> Option<NodeId> {
-        self.entries
-            .iter()
-            .max_by_key(|e| e.age)
-            .map(|e| e.peer)
+        self.entries.iter().max_by_key(|e| e.age).map(|e| e.peer)
     }
 
     /// Starts a shuffle: ages all entries and returns up to `exchange_size`
@@ -196,13 +193,12 @@ mod tests {
         let mut view = PartialView::new(NodeId::new(7), 8);
         view.seed(&ids(&[1, 2, 3]));
         let exchange = view.start_shuffle(3, &mut rng());
-        assert!(exchange.iter().any(|e| e.peer == NodeId::new(7) && e.age == 0));
+        assert!(exchange
+            .iter()
+            .any(|e| e.peer == NodeId::new(7) && e.age == 0));
         assert!(exchange.len() <= 3);
         // All retained entries aged by one.
-        assert!(view
-            .entries
-            .iter()
-            .all(|e| e.age == 1));
+        assert!(view.entries.iter().all(|e| e.age == 1));
         assert_eq!(view.oldest_peer().map(|p| p.index() < 4), Some(true));
     }
 
@@ -214,14 +210,27 @@ mod tests {
             e.age = 10;
         }
         view.merge(&[
-            ViewEntry { peer: NodeId::new(2), age: 1 },
-            ViewEntry { peer: NodeId::new(4), age: 0 },
-            ViewEntry { peer: NodeId::new(0), age: 0 }, // self, ignored
+            ViewEntry {
+                peer: NodeId::new(2),
+                age: 1,
+            },
+            ViewEntry {
+                peer: NodeId::new(4),
+                age: 0,
+            },
+            ViewEntry {
+                peer: NodeId::new(0),
+                age: 0,
+            }, // self, ignored
         ]);
         assert_eq!(view.len(), 3);
         // The fresher descriptor for peer 2 wins.
         assert_eq!(
-            view.entries.iter().find(|e| e.peer == NodeId::new(2)).unwrap().age,
+            view.entries
+                .iter()
+                .find(|e| e.peer == NodeId::new(2))
+                .unwrap()
+                .age,
             1
         );
         // Peer 4 (age 0) must have been kept over one of the stale ones.

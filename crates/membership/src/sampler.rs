@@ -144,7 +144,10 @@ mod tests {
         let expected = (rounds * 4) as f64 / 20.0;
         for (&id, &c) in &counts {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.10, "peer {id} chosen {c} times, expected ~{expected}");
+            assert!(
+                dev < 0.10,
+                "peer {id} chosen {c} times, expected ~{expected}"
+            );
         }
         assert_eq!(counts.len(), 20);
     }

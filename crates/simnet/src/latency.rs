@@ -162,7 +162,10 @@ mod tests {
                 saw_high = true;
             }
         }
-        assert!(saw_low && saw_high, "uniform samples should cover the range");
+        assert!(
+            saw_low && saw_high,
+            "uniform samples should cover the range"
+        );
     }
 
     #[test]
@@ -186,7 +189,10 @@ mod tests {
         let mut r = rng();
         let n = 50_000;
         let sum: f64 = (0..n)
-            .map(|_| m.sample(&mut r, NodeId::new(0), NodeId::new(1)).as_secs_f64())
+            .map(|_| {
+                m.sample(&mut r, NodeId::new(0), NodeId::new(1))
+                    .as_secs_f64()
+            })
             .sum();
         let mean = sum / n as f64;
         // Expected mean = 25ms + 25ms = 50ms; allow 10% tolerance.

@@ -51,7 +51,10 @@ impl LossModel {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn bernoulli(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         LossModel::Bernoulli { p }
     }
 
@@ -128,7 +131,11 @@ impl LossState {
                 let loss_p = if in_bad { *p_bad } else { *p_good };
                 let lost = rng.gen_bool(loss_p);
                 // Transition after the draw.
-                let flip_p = if in_bad { *p_bad_to_good } else { *p_good_to_bad };
+                let flip_p = if in_bad {
+                    *p_bad_to_good
+                } else {
+                    *p_good_to_bad
+                };
                 if rng.gen_bool(flip_p) {
                     self.bad[idx] = !in_bad;
                 }

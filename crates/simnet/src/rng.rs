@@ -72,15 +72,27 @@ mod tests {
 
     #[test]
     fn stream_rng_sequences_are_reproducible() {
-        let a: Vec<u32> = stream_rng(99, 3).sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u32> = stream_rng(99, 3).sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u32> = stream_rng(99, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u32> = stream_rng(99, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn stream_rng_streams_are_independent() {
-        let a: Vec<u32> = stream_rng(99, 3).sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u32> = stream_rng(99, 4).sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u32> = stream_rng(99, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u32> = stream_rng(99, 4)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_ne!(a, b);
     }
 }

@@ -54,7 +54,12 @@ pub trait Protocol {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
 
     /// Invoked when a message from `from` is delivered to this node.
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Message>, from: NodeId, msg: Self::Message);
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: NodeId,
+        msg: Self::Message,
+    );
 
     /// Invoked when a timer armed with [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, timer: TimerId, tag: u64);
@@ -67,9 +72,18 @@ pub trait Protocol {
 /// Commands a protocol can issue during a callback.
 #[derive(Debug)]
 enum Command<M> {
-    Send { to: NodeId, msg: M },
-    SetTimer { id: TimerId, delay: SimDuration, tag: u64 },
-    CancelTimer { id: TimerId },
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        tag: u64,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
 }
 
 /// Command buffer handed to protocol callbacks.
@@ -125,9 +139,20 @@ impl<'a, M> Context<'a, M> {
 /// What an event in the simulator queue does when it fires.
 #[derive(Debug, Clone)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M, bytes: usize },
-    Timer { node: NodeId, timer: TimerId, tag: u64 },
-    Crash { node: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+    },
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
+    Crash {
+        node: NodeId,
+    },
 }
 
 struct NodeSlot<P> {
@@ -373,7 +398,12 @@ impl<P: Protocol> Simulator<P> {
 
     fn dispatch(&mut self, event: EventKind<P::Message>) {
         match event {
-            EventKind::Deliver { from, to, msg, bytes } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+            } => {
                 if !self.nodes[to.index()].alive {
                     self.stats.record_to_dead(to);
                     return;

@@ -19,7 +19,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(d.as_micros(), 200_000);
 /// assert_eq!(d * 3, SimDuration::from_millis(600));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -171,7 +173,9 @@ impl Div<u64> for SimDuration {
 /// assert_eq!(t.as_secs_f64(), 60.0);
 /// assert_eq!(t - SimTime::from_secs(30), SimDuration::from_secs(30));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -279,11 +283,11 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
         );
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
     }
 
     #[test]

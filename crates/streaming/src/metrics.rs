@@ -269,10 +269,7 @@ impl NodeStreamMetrics {
 }
 
 /// Convenience: computes metrics for many nodes at once.
-pub fn compute_all(
-    schedule: &StreamSchedule,
-    logs: &[ReceiverLog],
-) -> Vec<NodeStreamMetrics> {
+pub fn compute_all(schedule: &StreamSchedule, logs: &[ReceiverLog]) -> Vec<NodeStreamMetrics> {
     logs.iter()
         .map(|log| NodeStreamMetrics::compute(schedule, log))
         .collect()
@@ -385,13 +382,18 @@ mod tests {
         // 100ms, 200ms, ...; drop the rest.
         for (i, p) in s.iter().enumerate() {
             if i < params.decode_threshold() {
-                log.record(p.id, publish + SimDuration::from_millis(100 * (i as u64 + 1)));
+                log.record(
+                    p.id,
+                    publish + SimDuration::from_millis(100 * (i as u64 + 1)),
+                );
             }
         }
         let m = NodeStreamMetrics::compute(&s, &log);
         assert_eq!(
             m.window_decode_lag(WindowId::new(0)),
-            Some(SimDuration::from_millis(100 * params.decode_threshold() as u64))
+            Some(SimDuration::from_millis(
+                100 * params.decode_threshold() as u64
+            ))
         );
         assert_eq!(m.decode_threshold(), params.decode_threshold());
         // Dropping one more packet makes the window undecodable.
@@ -434,7 +436,10 @@ mod tests {
         let lags = vec![Some(SimDuration::ZERO), Some(SimDuration::ZERO)];
         let log = log_with_window_lags(&s, &lags);
         let m = NodeStreamMetrics::compute(&s, &log);
-        assert_eq!(m.jittered_window_delivery_ratio(SimDuration::from_secs(1)), None);
+        assert_eq!(
+            m.jittered_window_delivery_ratio(SimDuration::from_secs(1)),
+            None
+        );
     }
 
     #[test]

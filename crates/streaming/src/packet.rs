@@ -103,7 +103,10 @@ mod tests {
             payload_bytes: 1316,
         };
         assert!(p.is_source());
-        let q = StreamPacket { is_parity: true, ..p };
+        let q = StreamPacket {
+            is_parity: true,
+            ..p
+        };
         assert!(!q.is_source());
     }
 }

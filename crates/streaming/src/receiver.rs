@@ -121,8 +121,14 @@ mod tests {
         assert_eq!(log.total_packets(), 10);
         assert!(log.record(PacketId::new(0), SimTime::from_secs(1)));
         assert!(log.record(PacketId::new(9), SimTime::from_secs(2)));
-        assert!(!log.record(PacketId::new(10), SimTime::from_secs(3)), "out of range");
-        assert!(!log.record(PacketId::new(0), SimTime::from_secs(4)), "duplicate");
+        assert!(
+            !log.record(PacketId::new(10), SimTime::from_secs(3)),
+            "out of range"
+        );
+        assert!(
+            !log.record(PacketId::new(0), SimTime::from_secs(4)),
+            "duplicate"
+        );
         assert_eq!(log.received_count(), 2);
         assert!(log.has(PacketId::new(9)));
         assert!(!log.has(PacketId::new(5)));

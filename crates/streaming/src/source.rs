@@ -161,8 +161,7 @@ impl StreamSchedule {
         if window.index() >= self.config.n_windows {
             return None;
         }
-        let last_packet =
-            (window.index() + 1) * self.config.window.total_packets() as u64 - 1;
+        let last_packet = (window.index() + 1) * self.config.window.total_packets() as u64 - 1;
         self.publish_time(PacketId::new(last_packet))
     }
 
@@ -266,7 +265,10 @@ mod tests {
     fn next_packet_at_boundaries() {
         let s = StreamSchedule::new(StreamConfig::small(1), SimTime::from_secs(1));
         assert_eq!(s.next_packet_at(SimTime::ZERO), Some(PacketId::new(0)));
-        assert_eq!(s.next_packet_at(SimTime::from_secs(1)), Some(PacketId::new(0)));
+        assert_eq!(
+            s.next_packet_at(SimTime::from_secs(1)),
+            Some(PacketId::new(0))
+        );
         let interval = s.config().packet_interval();
         assert_eq!(
             s.next_packet_at(SimTime::from_secs(1) + interval),

@@ -285,7 +285,10 @@ mod tests {
         assert_eq!(BandwidthDistribution::ref_691().name(), "ref-691");
         assert_eq!(BandwidthDistribution::ms_691().name(), "ms-691");
         assert_eq!(BandwidthDistribution::uniform_691().name(), "uniform-691");
-        assert_eq!(BandwidthDistribution::unconstrained().name(), "unconstrained");
+        assert_eq!(
+            BandwidthDistribution::unconstrained().name(),
+            "unconstrained"
+        );
         assert_eq!(BandwidthDistribution::ref_691().classes().len(), 3);
         assert!(BandwidthDistribution::uniform_691().classes().is_empty());
     }
@@ -301,7 +304,11 @@ mod tests {
                 .count()
         };
         // 85% of 270 = 229.5, 10% = 27, 5% = 13.5 (rounding may shift by 1-2).
-        assert!((228..=232).contains(&count(512)), "512kbps count {}", count(512));
+        assert!(
+            (228..=232).contains(&count(512)),
+            "512kbps count {}",
+            count(512)
+        );
         assert!((26..=28).contains(&count(1000)));
         assert!((13..=15).contains(&count(3000)));
     }
@@ -326,11 +333,7 @@ mod tests {
         let uni = BandwidthDistribution::uniform_691();
         let caps = uni.assign(1000, &mut rng());
         assert!(caps.iter().all(|c| c.is_some()));
-        let mean: f64 = caps
-            .iter()
-            .map(|c| c.unwrap().as_kbps())
-            .sum::<f64>()
-            / 1000.0;
+        let mean: f64 = caps.iter().map(|c| c.unwrap().as_kbps()).sum::<f64>() / 1000.0;
         assert!((mean - 691.0).abs() < 20.0, "uniform mean {mean}");
     }
 
@@ -342,8 +345,14 @@ mod tests {
         assert_eq!(dist.class_label(Some(Bandwidth::from_kbps(999))), "other");
         assert_eq!(dist.class_label(None), "unconstrained");
         let uni = BandwidthDistribution::uniform_691();
-        assert_eq!(uni.class_label(Some(Bandwidth::from_kbps(300))), "below-stream-rate");
-        assert_eq!(uni.class_label(Some(Bandwidth::from_kbps(900))), "above-stream-rate");
+        assert_eq!(
+            uni.class_label(Some(Bandwidth::from_kbps(300))),
+            "below-stream-rate"
+        );
+        assert_eq!(
+            uni.class_label(Some(Bandwidth::from_kbps(900))),
+            "above-stream-rate"
+        );
         assert_eq!(
             BandwidthDistribution::unconstrained().class_label(None),
             "unconstrained"

@@ -243,7 +243,8 @@ mod tests {
     #[test]
     fn figure_construction_and_lookup() {
         let mut fig = Figure::new("Figure 1", "demo");
-        fig.series.push(Series::new("a").with_points(vec![(0.0, 1.0)]));
+        fig.series
+            .push(Series::new("a").with_points(vec![(0.0, 1.0)]));
         let mut t = TextTable::new("t");
         t.row(vec!["x".into()]);
         fig.tables.push(t);

@@ -131,7 +131,13 @@ mod tests {
         let first = heap.points.first().unwrap().1;
         let last = heap.points.last().unwrap().1;
         assert!(first > 60.0, "first-window coverage only {first}%");
-        assert!(last <= 55.0, "coverage after a 50% failure cannot exceed survivors ({last}%)");
-        assert!(last > 20.0, "HEAP should keep serving survivors, got {last}%");
+        assert!(
+            last <= 55.0,
+            "coverage after a 50% failure cannot exceed survivors ({last}%)"
+        );
+        assert!(
+            last > 20.0,
+            "HEAP should keep serving survivors, got {last}%"
+        );
     }
 }

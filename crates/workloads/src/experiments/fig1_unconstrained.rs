@@ -41,7 +41,10 @@ mod tests {
         // By the right edge of the plot practically every node has 99% of the
         // stream, and most reach it within a few seconds of lag.
         let final_pct = series.y_max().unwrap();
-        assert!(final_pct > 95.0, "only {final_pct}% of nodes reached 99% delivery");
+        assert!(
+            final_pct > 95.0,
+            "only {final_pct}% of nodes reached 99% delivery"
+        );
         let at_10s = series.y_at(10.0).unwrap();
         assert!(at_10s > 90.0, "only {at_10s}% within 10s of lag");
     }

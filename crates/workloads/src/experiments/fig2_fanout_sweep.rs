@@ -24,11 +24,7 @@ pub const DIST2_FANOUTS: [f64; 3] = [7.0, 15.0, 20.0];
 ///
 /// `fanouts_dist1`/`fanouts_dist2` default to the paper's values when `None`;
 /// tests pass smaller lists to keep runtimes down.
-pub fn run_with_fanouts(
-    scale: Scale,
-    fanouts_dist1: &[f64],
-    fanouts_dist2: &[f64],
-) -> Figure {
+pub fn run_with_fanouts(scale: Scale, fanouts_dist1: &[f64], fanouts_dist2: &[f64]) -> Figure {
     let mut fig = Figure::new(
         "Figure 2",
         "CDF of stream lag for 99% delivery, standard gossip, constrained heterogeneous bandwidth",

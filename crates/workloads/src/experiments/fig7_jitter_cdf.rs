@@ -30,8 +30,11 @@ pub fn run(runs: &StandardRuns) -> Figure {
         None,
         "standard gossip - offline viewing",
     ));
-    fig.series
-        .push(jitter_cdf_series(heap, Some(VIEW_LAG), "HEAP - 10s stream lag"));
+    fig.series.push(jitter_cdf_series(
+        heap,
+        Some(VIEW_LAG),
+        "HEAP - 10s stream lag",
+    ));
     fig.series
         .push(jitter_cdf_series(heap, None, "HEAP - offline viewing"));
     fig

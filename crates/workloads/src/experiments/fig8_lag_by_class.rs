@@ -37,7 +37,9 @@ pub fn run(runs: &StandardRuns) -> Figure {
     for (paper_id, dist) in [("Figure 8a", "ref-691"), ("Figure 8b", "ms-691")] {
         let standard = runs.standard(dist);
         let heap = runs.heap(dist);
-        let mut table = TextTable::new(format!("{paper_id} — lag for a jitter-free stream ({dist})"));
+        let mut table = TextTable::new(format!(
+            "{paper_id} — lag for a jitter-free stream ({dist})"
+        ));
         table.header(vec!["class", "standard gossip", "HEAP"]);
         for class in standard.classes() {
             let std_lag = class_mean(standard, class, |n| {
@@ -95,7 +97,10 @@ mod tests {
             .filter(|n| n.metrics.lag_for_jitter_free(0.0).is_some())
             .count();
         // HEAP lets at least as many nodes reach a jitter-free stream.
-        assert!(heap_reach >= std_reach, "HEAP {heap_reach} vs standard {std_reach}");
+        assert!(
+            heap_reach >= std_reach,
+            "HEAP {heap_reach} vs standard {std_reach}"
+        );
         let _ = mean_lag(runs.heap("ms-691"));
     }
 }

@@ -7,6 +7,7 @@
 //! each of them in turn; `EXPERIMENTS.md` records the measured outcomes.
 
 pub mod common;
+pub mod fig10_churn;
 pub mod fig1_unconstrained;
 pub mod fig2_fanout_sweep;
 pub mod fig3_heap_dist1;
@@ -15,7 +16,6 @@ pub mod fig5_6_jitter_free;
 pub mod fig7_jitter_cdf;
 pub mod fig8_lag_by_class;
 pub mod fig9_lag_cdf;
-pub mod fig10_churn;
 pub mod table1_distributions;
 pub mod table2_jittered_delivery;
 pub mod table3_jitter_free_nodes;

@@ -16,7 +16,12 @@ pub const STREAM_RATE: Bandwidth = Bandwidth::from_kbps(600);
 pub fn run() -> Figure {
     let mut fig = Figure::new("Table 1", "Upload-capability distributions");
     let mut table = TextTable::new("Table 1 — reference and skewed distributions");
-    table.header(vec!["name", "CSR", "average", "classes (capability: fraction)"]);
+    table.header(vec![
+        "name",
+        "CSR",
+        "average",
+        "classes (capability: fraction)",
+    ]);
     for dist in [
         BandwidthDistribution::ref_691(),
         BandwidthDistribution::ref_724(),

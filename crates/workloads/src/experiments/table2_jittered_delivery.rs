@@ -9,7 +9,7 @@
 //! jittered windows, so its averages are computed over a much smaller (and
 //! more adverse) set.
 
-use super::common::{class_mean, pct, Figure, StandardRuns, table1_distributions};
+use super::common::{class_mean, pct, table1_distributions, Figure, StandardRuns};
 use crate::runner::ExperimentResult;
 use crate::scale::Scale;
 use heap_analytics::TextTable;
@@ -19,9 +19,7 @@ use heap_simnet::time::SimDuration;
 pub const VIEW_LAG: SimDuration = SimDuration::from_secs(10);
 
 /// Mean delivery ratio inside jittered windows, per class.
-pub fn jittered_delivery_by_class(
-    result: &ExperimentResult,
-) -> Vec<(&'static str, Option<f64>)> {
+pub fn jittered_delivery_by_class(result: &ExperimentResult) -> Vec<(&'static str, Option<f64>)> {
     result
         .classes()
         .into_iter()

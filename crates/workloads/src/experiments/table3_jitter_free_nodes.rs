@@ -6,7 +6,7 @@
 //! class manages a jitter-free stream; HEAP brings every class to a large
 //! majority of jitter-free nodes.
 
-use super::common::{Figure, StandardRuns, table1_distributions};
+use super::common::{table1_distributions, Figure, StandardRuns};
 use crate::runner::ExperimentResult;
 use crate::scale::Scale;
 use heap_analytics::TextTable;
@@ -46,7 +46,12 @@ pub fn run(runs: &StandardRuns) -> Figure {
         "Percentage of nodes receiving a jitter-free stream by capability class",
     );
     let mut table = TextTable::new("Table 3 — nodes with a fully jitter-free stream");
-    table.header(vec!["distribution (lag)", "class", "standard gossip", "HEAP"]);
+    table.header(vec![
+        "distribution (lag)",
+        "class",
+        "standard gossip",
+        "HEAP",
+    ]);
     for dist in table1_distributions() {
         let lag = view_lag(dist.name());
         let standard = runs.standard(dist.name());

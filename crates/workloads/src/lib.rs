@@ -26,6 +26,6 @@ pub mod scale;
 pub mod scenario;
 
 pub use bandwidth_dist::{BandwidthClass, BandwidthDistribution};
-pub use runner::{ExperimentResult, NodeResult, run_scenario};
+pub use runner::{run_scenario, ExperimentResult, NodeResult};
 pub use scale::Scale;
 pub use scenario::{ChurnSpec, ProtocolChoice, Scenario};

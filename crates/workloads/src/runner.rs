@@ -93,7 +93,10 @@ impl ExperimentResult {
 /// fewer than two nodes.
 pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     let scale = scenario.scale;
-    assert!(scale.n_nodes >= 2, "need at least a source and one receiver");
+    assert!(
+        scale.n_nodes >= 2,
+        "need at least a source and one receiver"
+    );
     let n = scale.n_nodes;
     let mut setup_rng = stream_rng(scale.seed, 0xC0FF_EE00);
 
@@ -118,7 +121,10 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     }
     let capacities: Vec<UploadCapacity> = actual
         .iter()
-        .map(|c| c.map(UploadCapacity::Limited).unwrap_or(UploadCapacity::Unlimited))
+        .map(|c| {
+            c.map(UploadCapacity::Limited)
+                .unwrap_or(UploadCapacity::Unlimited)
+        })
         .collect();
 
     // --- Stream and nodes --------------------------------------------------
@@ -134,26 +140,24 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     if let Some(limit) = scenario.upload_queue_limit {
         builder = builder.upload_queue_limit(limit);
     }
-    let mut sim: Simulator<GossipNode> = builder
-        .build(|id| {
-            let capability = advertised[id.index()]
-                .unwrap_or_else(|| Bandwidth::from_mbps(100));
-            let (role, node_policy) = if id.index() == 0 {
-                // The source always gossips with the reference fanout: its job
-                // is to inject each packet, not to carry the relay load, and
-                // letting it scale its fanout with its (large) capability
-                // would make it the target of most first-hand requests.
-                (Role::Source, FanoutPolicy::fixed(gossip_config.fanout))
-            } else {
-                (Role::Receiver, policy)
-            };
-            GossipNode::builder(id, n, schedule)
-                .config(gossip_config.clone())
-                .fanout(node_policy)
-                .capability(capability)
-                .role(role)
-                .build()
-        });
+    let mut sim: Simulator<GossipNode> = builder.build(|id| {
+        let capability = advertised[id.index()].unwrap_or_else(|| Bandwidth::from_mbps(100));
+        let (role, node_policy) = if id.index() == 0 {
+            // The source always gossips with the reference fanout: its job
+            // is to inject each packet, not to carry the relay load, and
+            // letting it scale its fanout with its (large) capability
+            // would make it the target of most first-hand requests.
+            (Role::Source, FanoutPolicy::fixed(gossip_config.fanout))
+        } else {
+            (Role::Receiver, policy)
+        };
+        GossipNode::builder(id, n, schedule)
+            .config(gossip_config.clone())
+            .fanout(node_policy)
+            .capability(capability)
+            .role(role)
+            .build()
+    });
 
     // --- Churn --------------------------------------------------------------
     let churn_schedule = match scenario.churn {
@@ -177,7 +181,12 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     let mut notifications: Vec<(SimTime, NodeId)> = churn_schedule
         .events()
         .iter()
-        .map(|e| (churn_schedule.sample_detection_time(e.at, &mut setup_rng), e.node))
+        .map(|e| {
+            (
+                churn_schedule.sample_detection_time(e.at, &mut setup_rng),
+                e.node,
+            )
+        })
         .collect();
     notifications.sort_by_key(|(t, _)| *t);
 
@@ -239,8 +248,8 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
 mod tests {
     use super::*;
     use crate::bandwidth_dist::BandwidthDistribution;
-    use crate::scenario::ProtocolChoice;
     use crate::scale::Scale;
+    use crate::scenario::ProtocolChoice;
     use heap_simnet::latency::LatencyModel;
     use heap_simnet::loss::LossModel;
 
@@ -297,7 +306,10 @@ mod tests {
         };
         assert_eq!(ratios(&a), ratios(&b));
         let rates = |r: &ExperimentResult| -> Vec<u64> {
-            r.nodes.iter().map(|n| n.protocol_stats.packets_served).collect()
+            r.nodes
+                .iter()
+                .map(|n| n.protocol_stats.packets_served)
+                .collect()
         };
         assert_eq!(rates(&a), rates(&b));
     }
@@ -314,7 +326,9 @@ mod tests {
         assert_eq!(classes, vec!["512kbps", "1Mbps", "3Mbps"]);
         for node in &result.nodes {
             assert!(node.capability.is_some());
-            let u = node.upload_utilization.expect("constrained node has utilization");
+            let u = node
+                .upload_utilization
+                .expect("constrained node has utilization");
             assert!((0.0..=1.0).contains(&u));
             assert!(node.upload_rate_kbps >= 0.0);
         }
@@ -354,7 +368,10 @@ mod tests {
             .map(|n| n.metrics.delivery_ratio())
             .sum::<f64>()
             / survivors.len() as f64;
-        assert!(mean_delivery > 0.6, "survivor mean delivery {mean_delivery}");
+        assert!(
+            mean_delivery > 0.6,
+            "survivor mean delivery {mean_delivery}"
+        );
         // class_survivors filters by class.
         for class in result.classes() {
             for n in result.class_survivors(class) {

@@ -185,8 +185,8 @@ impl Scenario {
     /// How long the simulation must run to let the stream finish and the
     /// tail of the dissemination settle: stream duration plus a drain margin.
     pub fn run_duration(&self) -> SimDuration {
-        let stream = heap_streaming::source::StreamConfig::paper(self.scale.n_windows)
-            .stream_duration();
+        let stream =
+            heap_streaming::source::StreamConfig::paper(self.scale.n_windows).stream_duration();
         stream + SimDuration::from_secs(60)
     }
 }

@@ -49,12 +49,14 @@ fn main() {
     );
 
     let heap_cov = window_coverage_series(&heap_run, SimDuration::from_secs(12), "HEAP 12s");
-    let std_cov =
-        window_coverage_series(&standard_run, SimDuration::from_secs(20), "standard 20s");
+    let std_cov = window_coverage_series(&standard_run, SimDuration::from_secs(20), "standard 20s");
 
     println!("window  stream-time  HEAP@12s lag  standard@20s lag");
-    for (i, ((t, heap_pct), (_, std_pct))) in
-        heap_cov.points.iter().zip(std_cov.points.iter()).enumerate()
+    for (i, ((t, heap_pct), (_, std_pct))) in heap_cov
+        .points
+        .iter()
+        .zip(std_cov.points.iter())
+        .enumerate()
     {
         println!(
             "{:>6}  {:>10.1}s  {:>11.1}%  {:>15.1}%",
@@ -67,6 +69,7 @@ fn main() {
         "\nlast-window coverage: HEAP {:.1}% vs standard {:.1}% (survivors are {:.1}% of nodes)",
         tail(&heap_cov),
         tail(&std_cov),
-        100.0 * (heap_run.nodes.len() - heap_run.crashed_count) as f64 / heap_run.nodes.len() as f64
+        100.0 * (heap_run.nodes.len() - heap_run.crashed_count) as f64
+            / heap_run.nodes.len() as f64
     );
 }

@@ -16,8 +16,14 @@ use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale
 
 fn main() {
     let scale = Scale::default_scale().with_nodes(81).with_windows(12);
-    println!("standard gossip on ms-691, {} nodes, {} windows", scale.n_nodes, scale.n_windows);
-    println!("{:>7}  {:>12}  {:>12}  {:>12}", "fanout", "50% of nodes", "75% of nodes", "90% of nodes");
+    println!(
+        "standard gossip on ms-691, {} nodes, {} windows",
+        scale.n_nodes, scale.n_windows
+    );
+    println!(
+        "{:>7}  {:>12}  {:>12}  {:>12}",
+        "fanout", "50% of nodes", "75% of nodes", "90% of nodes"
+    );
 
     for fanout in [7.0, 15.0, 20.0, 25.0, 30.0] {
         let result = run_scenario(&Scenario::new(

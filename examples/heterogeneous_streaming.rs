@@ -61,7 +61,10 @@ fn main() {
     let std_lag = lag_by_class(&standard);
     let heap_lag = lag_by_class(&heap_run);
 
-    let pct = |v: Option<f64>| v.map(|x| format!("{:.0}%", 100.0 * x)).unwrap_or("n/a".into());
+    let pct = |v: Option<f64>| {
+        v.map(|x| format!("{:.0}%", 100.0 * x))
+            .unwrap_or("n/a".into())
+    };
     let secs = |v: Option<f64>| v.map(|x| format!("{x:.1}s")).unwrap_or("never".into());
     let find = |v: &[(&'static str, Option<f64>)], class: &str| {
         v.iter().find(|(c, _)| *c == class).and_then(|(_, x)| *x)

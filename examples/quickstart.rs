@@ -50,7 +50,11 @@ fn main() {
                     FanoutPolicy::heap(7.0)
                 })
                 .capability(capability(id))
-                .role(if id.index() == 0 { Role::Source } else { Role::Receiver })
+                .role(if id.index() == 0 {
+                    Role::Source
+                } else {
+                    Role::Receiver
+                })
                 .build()
         });
 
@@ -77,7 +81,11 @@ fn main() {
         .map(|(_, node)| node.receiver_log().delivery_ratio())
         .sum::<f64>()
         / (n - 1) as f64;
-    println!("\naverage delivery ratio over {} receivers: {:.2}%", n - 1, 100.0 * mean);
+    println!(
+        "\naverage delivery ratio over {} receivers: {:.2}%",
+        n - 1,
+        100.0 * mean
+    );
     println!(
         "network totals: {} messages sent, {} lost ({:.2}% loss)",
         sim.stats().total_messages_sent(),

@@ -1,0 +1,227 @@
+//! Minimal, API-compatible stand-in for the subset of `criterion` used by
+//! the workspace's benches.
+//!
+//! The build environment has no access to a cargo registry, so the external
+//! `criterion` bench dependency is replaced by this in-tree shim. Benches are
+//! declared exactly as with real criterion (`criterion_group!` /
+//! `criterion_main!` with `harness = false`); running them executes each
+//! benchmark a fixed number of iterations after a short warm-up and prints
+//! mean wall-clock time per iteration (plus throughput when configured).
+//! There is no statistical analysis, no HTML report and no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. Ignored by the shim (every
+/// iteration gets its own setup), the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration (binary units in real criterion).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units in real criterion).
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` value per iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        black_box(routine(&mut setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
+}
+
+fn report(id: &str, iters: u64, total: Duration, throughput: Option<Throughput>) {
+    let per_iter = total.as_secs_f64() / iters.max(1) as f64;
+    let mut line = format!(
+        "{id:<50} {:>12.3?}/iter ({iters} iters)",
+        Duration::from_secs_f64(per_iter)
+    );
+    if let Some(t) = throughput {
+        let rate = match t {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                format!("{:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(n) => format!("{:>10.0} elem/s", n as f64 / per_iter),
+        };
+        line.push_str("  ");
+        line.push_str(&rate);
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (a drastically simplified `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, b.iters, b.total, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<u64>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no fixed time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is one untimed iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iters = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(iters);
+        f(&mut b);
+        report(
+            &format!("{}/{id}", self.name),
+            b.iters,
+            b.total,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ( $group:ident, $($target:path),+ $(,)? ) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

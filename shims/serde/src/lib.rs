@@ -1,0 +1,17 @@
+//! Minimal in-tree stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on plain data types
+//! (nothing serializes at runtime yet), so the traits are markers that are
+//! blanket-implemented for every type, and the derive macros expand to
+//! nothing. When a real serialization format is needed, replace this shim
+//! with the actual serde crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace only ever *derives* the serde traits (no code calls
+//! `serialize`/`deserialize`), and the in-tree `serde` shim blanket-implements
+//! its marker traits for every type — so the derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the serde shim's `Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the serde shim's `Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

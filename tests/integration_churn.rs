@@ -62,9 +62,15 @@ fn crashed_nodes_stop_receiving_but_keep_their_earlier_windows() {
     // the very first one before dying.
     let decode_last = crashed
         .iter()
-        .filter(|n| n.metrics.window_jitter_free(WindowId::new(n_windows - 1), lag))
+        .filter(|n| {
+            n.metrics
+                .window_jitter_free(WindowId::new(n_windows - 1), lag)
+        })
         .count();
-    assert_eq!(decode_last, 0, "crashed nodes cannot decode windows published after their death");
+    assert_eq!(
+        decode_last, 0,
+        "crashed nodes cannot decode windows published after their death"
+    );
 
     let decode_first = crashed
         .iter()

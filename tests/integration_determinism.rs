@@ -3,9 +3,7 @@
 //! Every run is a pure function of its scenario (including the seed); this is
 //! what makes the reproduced figures reproducible bit-for-bit.
 
-use heap::workloads::{
-    run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario,
-};
+use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario};
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::new(

@@ -2,8 +2,8 @@
 //! streaming metrics) disseminates a stream correctly through the facade
 //! crate's public API.
 
-use heap::gossip::prelude::*;
 use heap::gossip::fanout::FanoutPolicy;
+use heap::gossip::prelude::*;
 use heap::simnet::prelude::*;
 use heap::streaming::metrics::NodeStreamMetrics;
 use heap::streaming::{StreamConfig, StreamSchedule};
@@ -31,7 +31,11 @@ fn build_sim(
                     policy
                 })
                 .capability(Bandwidth::from_mbps(10))
-                .role(if id.index() == 0 { Role::Source } else { Role::Receiver })
+                .role(if id.index() == 0 {
+                    Role::Source
+                } else {
+                    Role::Receiver
+                })
                 .build()
         });
     (sim, schedule)
@@ -91,7 +95,10 @@ fn full_stack_with_loss_still_converges_thanks_to_retransmissions() {
     }
     let mean = total / 29.0;
     assert!(mean > 0.98, "mean delivery {mean}");
-    assert!(sim.stats().total_messages_lost() > 0, "loss model was exercised");
+    assert!(
+        sim.stats().total_messages_lost() > 0,
+        "loss model was exercised"
+    );
 }
 
 #[test]
@@ -109,7 +116,11 @@ fn heap_policy_runs_through_facade_and_adapts() {
     };
     let mut sim = SimulatorBuilder::new(n, 3)
         .latency(LatencyModel::planetlab_like())
-        .capacities((0..n).map(|i| capability(NodeId::new(i as u32)).into()).collect())
+        .capacities(
+            (0..n)
+                .map(|i| capability(NodeId::new(i as u32)).into())
+                .collect(),
+        )
         .build(|id| {
             GossipNode::builder(id, n, schedule)
                 .config(GossipConfig::paper().with_fanout(6.0))
@@ -119,7 +130,11 @@ fn heap_policy_runs_through_facade_and_adapts() {
                     FanoutPolicy::heap(6.0)
                 })
                 .capability(capability(id))
-                .role(if id.index() == 0 { Role::Source } else { Role::Receiver })
+                .role(if id.index() == 0 {
+                    Role::Source
+                } else {
+                    Role::Receiver
+                })
                 .build()
         });
     sim.run_until(SimTime::from_secs(45));

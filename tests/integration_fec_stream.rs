@@ -74,10 +74,15 @@ fn metrics_decodability_matches_actual_fec_decoding() {
             "window {w}: metrics and codec disagree on decodability"
         );
         if claimed_decodable {
-            let decoded = decoder.decode().expect("codec must decode what metrics claim");
+            let decoded = decoder
+                .decode()
+                .expect("codec must decode what metrics claim");
             assert_eq!(decoded.len(), params.data_packets);
             // Systematic code: decoded source packets equal the originals.
-            assert_eq!(decoded, payloads[w as usize][..params.data_packets].to_vec());
+            assert_eq!(
+                decoded,
+                payloads[w as usize][..params.data_packets].to_vec()
+            );
         }
     }
 

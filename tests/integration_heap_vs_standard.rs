@@ -4,9 +4,7 @@
 
 use heap::simnet::time::SimDuration;
 use heap::workloads::experiments::fig4_bandwidth_usage::usage_by_class;
-use heap::workloads::{
-    run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario,
-};
+use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario};
 
 fn scale() -> Scale {
     // Slightly larger than Scale::test() so class effects are visible, still

@@ -1,0 +1,51 @@
+//! Cross-crate determinism property: a `Scenario` is a pure function of its
+//! seed. Running the same scenario twice must produce bit-identical
+//! `ExperimentResult`s, and different seeds must explore different runs.
+//!
+//! This is the property every later perf/scale PR must preserve: the
+//! simulator, membership sampling, churn draws, capability assignment and
+//! stream metrics all derive from the single root seed in `Scale`.
+
+use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Collapses a full `ExperimentResult` into a 64-bit fingerprint.
+///
+/// The `Debug` rendering covers every per-node field (metrics, protocol
+/// counters, upload rates), so any divergence between two runs changes the
+/// fingerprint.
+fn fingerprint(scenario: &Scenario) -> u64 {
+    let result = run_scenario(scenario);
+    let mut hasher = DefaultHasher::new();
+    format!("{result:?}").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A quick scenario: small enough that three runs per case stay cheap, while
+/// still crossing every crate (simnet, membership, gossip, streaming, fec
+/// geometry, workloads, analytics-facing metrics).
+fn scenario(seed: u64) -> Scenario {
+    Scenario::new(
+        format!("prop/determinism/{seed}"),
+        Scale::test().with_nodes(20).with_windows(2).with_seed(seed),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Heap { fanout: 7.0 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed ⇒ identical fingerprint; a different seed ⇒ a different one.
+    #[test]
+    fn same_seed_same_fingerprint_different_seed_differs(seed in 0u64..1_000_000) {
+        let first = fingerprint(&scenario(seed));
+        let second = fingerprint(&scenario(seed));
+        prop_assert_eq!(first, second, "same seed diverged");
+
+        let other = fingerprint(&scenario(seed ^ 0x5DEE_CE66_D154_21C5));
+        prop_assert_ne!(first, other, "different seeds collided");
+    }
+}

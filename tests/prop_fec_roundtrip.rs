@@ -1,0 +1,103 @@
+//! Cross-crate property tests of the FEC layer through the `heap` facade:
+//! GF(256) field identities and the Reed-Solomon encode → erase → decode
+//! round trip the streaming substrate depends on.
+
+use heap::fec::gf256;
+use heap::fec::{ReedSolomon, WindowDecoder, WindowEncoder, WindowParams};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    /// GF(256) multiplicative identities: commutativity, the multiplicative
+    /// inverse (`a * inv(a) = 1` for `a != 0`), and division as the inverse
+    /// of multiplication.
+    #[test]
+    fn gf256_mul_inv_identities(a: u8, b in 1u8..=255) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::mul(b, gf256::inv(b)), 1);
+        prop_assert_eq!(gf256::inv(gf256::inv(b)), b);
+        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+        prop_assert_eq!(gf256::mul(gf256::div(a, b), b), a);
+    }
+
+    /// GF(256) additive structure: addition is XOR, self-inverse, and
+    /// multiplication distributes over it.
+    #[test]
+    fn gf256_add_identities(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf256::add(a, b), gf256::add(b, a));
+        prop_assert_eq!(gf256::add(a, a), 0);
+        prop_assert_eq!(gf256::sub(gf256::add(a, b), b), a);
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+    }
+
+    /// Systematic Reed-Solomon round trip: encode `k` data shards, erase any
+    /// `<= m` shards (data or parity), reconstruct, and recover the source
+    /// block exactly.
+    #[test]
+    fn rs_encode_erase_decode_recovers_source(
+        k in 1usize..10,
+        m in 1usize..5,
+        len in 1usize..32,
+        seed in 0u64..100_000,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<Vec<u8>> =
+            (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let parity = rs.encode(&data).unwrap();
+
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(parity.iter().cloned())
+            .map(Some)
+            .collect();
+        let mut order: Vec<usize> = (0..k + m).collect();
+        order.shuffle(&mut rng);
+        let erasures = rng.gen_range(1..=m);
+        for &i in order.iter().take(erasures) {
+            shards[i] = None;
+        }
+
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, original) in data.iter().enumerate() {
+            prop_assert_eq!(shards[i].as_ref().unwrap(), original);
+        }
+        let all: Vec<Vec<u8>> = shards.into_iter().map(Option::unwrap).collect();
+        prop_assert!(rs.verify(&all).unwrap());
+    }
+
+    /// The paper-geometry window codec (101 source + 9 parity) decodes the
+    /// original block from any subset with at most `parity` losses.
+    #[test]
+    fn paper_window_decodes_after_up_to_nine_losses(
+        seed in 0u64..10_000,
+        losses in 0usize..=9,
+    ) {
+        let params = WindowParams::PAPER;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<Vec<u8>> = (0..params.data_packets)
+            .map(|_| (0..params.packet_bytes).map(|_| rng.gen()).collect())
+            .collect();
+        let packets = WindowEncoder::new(params).unwrap().encode(&data).unwrap();
+
+        let mut order: Vec<usize> = (0..params.total_packets()).collect();
+        order.shuffle(&mut rng);
+        let dropped: std::collections::HashSet<usize> =
+            order.into_iter().take(losses).collect();
+
+        let mut dec = WindowDecoder::new(params);
+        for (i, p) in packets.iter().enumerate() {
+            if !dropped.contains(&i) {
+                dec.insert(i, p.clone());
+            }
+        }
+        prop_assert!(dec.is_decodable());
+        prop_assert_eq!(dec.decode().unwrap(), data);
+    }
+}
