@@ -3,7 +3,7 @@
 //! discrete-event simulator's message throughput and uniform peer sampling.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use heap_fec::{gf256, WindowDecoder, WindowEncoder, WindowParams};
+use heap_fec::{gf256, DecodeWorkspace, WindowDecoder, WindowEncoder, WindowParams};
 use heap_membership::{MembershipView, UniformSampler};
 use heap_simnet::prelude::*;
 use rand::rngs::SmallRng;
@@ -37,16 +37,41 @@ fn bench_fec_window(c: &mut Criterion) {
     });
 
     let packets = encoder.encode(&data).expect("encode");
+    let fill = |dec: &mut WindowDecoder| {
+        for (i, p) in packets.iter().enumerate() {
+            // Drop 9 data packets; decode must reconstruct them.
+            if i >= 9 {
+                dec.insert(i, p.clone());
+            }
+        }
+    };
+
+    // Hot path: a reusable workspace caches the codec, the erasure-pattern
+    // inverse and the shard buffers across windows, as a streaming receiver
+    // would hold one per pipeline.
+    let mut ws = DecodeWorkspace::new();
     group.bench_function("decode_with_9_losses", |b| {
-        b.iter_batched(
+        b.iter_batched_ref(
             || {
                 let mut dec = WindowDecoder::new(params);
-                for (i, p) in packets.iter().enumerate() {
-                    // Drop 9 data packets; decode must reconstruct them.
-                    if i >= 9 {
-                        dec.insert(i, p.clone());
-                    }
-                }
+                fill(&mut dec);
+                dec
+            },
+            |dec| {
+                dec.decode_with(&mut ws).expect("decodable");
+                dec.reset(&mut ws);
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Cold path: a throwaway workspace per window (codec + inverse rebuilt
+    // every time) — the cost the workspace amortises away.
+    group.bench_function("decode_with_9_losses_cold", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut dec = WindowDecoder::new(params);
+                fill(&mut dec);
                 dec
             },
             |dec| dec.decode().expect("decodable"),

@@ -1,0 +1,198 @@
+//! `bench-json` — records the substrate throughputs and the
+//! figure-regeneration wall-clock as a machine-readable JSON file.
+//!
+//! ```text
+//! Usage: bench-json [--scale test|default|paper] [--out PATH]
+//! ```
+//!
+//! The emitted file (default `BENCH_2.json`, checked in at the repo root) is
+//! the benchmark trajectory of the fast-path overhaul PR: it pins the
+//! pre-overhaul baselines recorded in `ROADMAP.md` next to freshly measured
+//! numbers for the GF(256) kernel, the paper-geometry window codec (warm and
+//! cold decode), and the parallel vs sequential six-run figure-regeneration
+//! pipeline, so later PRs can diff against it.
+
+use heap_bench::parse_scale;
+use heap_fec::{gf256, DecodeWorkspace, WindowDecoder, WindowEncoder, WindowParams};
+use heap_workloads::experiments::StandardRuns;
+use heap_workloads::Scale;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Substrate throughputs before this PR, as recorded in `ROADMAP.md` for the
+/// seed's scalar log/exp kernel and per-window codec rebuild.
+const BASELINE_ENCODE_MIB_S: f64 = 93.0;
+const BASELINE_DECODE_MIB_S: f64 = 31.0;
+
+fn usage() -> ! {
+    eprintln!("usage: bench-json [--scale test|default|paper] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Best-of-`reps` wall-clock seconds of one `f()` call (after one warm-up).
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn mib_s(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / secs / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let mut scale = Scale::default_scale();
+    let mut scale_name = "default".to_string();
+    let mut out = "BENCH_2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                scale = parse_scale(&value).unwrap_or_else(|| usage());
+                scale_name = value;
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "bench-json: {} cores, GF kernel {}, scale {scale_name}",
+        cores,
+        gf256::kernel_name()
+    );
+
+    // --- GF(256) kernel --------------------------------------------------
+    let params = WindowParams::PAPER;
+    let src: Vec<u8> = (0..params.packet_bytes).map(|i| (i % 251) as u8).collect();
+    let mut dst = vec![0u8; params.packet_bytes];
+    // Batch enough slices per timed call that Instant's resolution is noise.
+    let kernel_batch = 4096;
+    let gf_blocked = best_secs(5, || {
+        for _ in 0..kernel_batch {
+            gf256::mul_add_slice(&mut dst, &src, 0x57);
+        }
+    }) / kernel_batch as f64;
+    let gf_scalar = best_secs(5, || {
+        for _ in 0..kernel_batch {
+            gf256::mul_add_slice_scalar(&mut dst, &src, 0x57);
+        }
+    }) / kernel_batch as f64;
+
+    // --- Window codec ----------------------------------------------------
+    let encoder = WindowEncoder::new(params).expect("paper geometry is valid");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let data: Vec<Vec<u8>> = (0..params.data_packets)
+        .map(|_| (0..params.packet_bytes).map(|_| rng.gen()).collect())
+        .collect();
+    let window_bytes = params.data_packets * params.packet_bytes;
+    let encode = best_secs(10, || {
+        std::hint::black_box(encoder.encode(&data).expect("encode"));
+    });
+
+    let packets = encoder.encode(&data).expect("encode");
+    let fill = |dec: &mut WindowDecoder| {
+        for (i, p) in packets.iter().enumerate() {
+            if i >= 9 {
+                dec.insert(i, p.clone());
+            }
+        }
+    };
+    // Decoder setup (inserting clones) is untimed; only the decode is.
+    let mut ws = DecodeWorkspace::new();
+    let decode_warm = {
+        let mut best = f64::INFINITY;
+        for _ in 0..11 {
+            let mut dec = WindowDecoder::new(params);
+            fill(&mut dec);
+            let start = Instant::now();
+            dec.decode_with(&mut ws).expect("decodable");
+            best = best.min(start.elapsed().as_secs_f64());
+            dec.reset(&mut ws);
+        }
+        best
+    };
+    let decode_cold = {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let mut dec = WindowDecoder::new(params);
+            fill(&mut dec);
+            let start = Instant::now();
+            std::hint::black_box(dec.decode().expect("decodable"));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    // --- Figure regeneration (six baseline runs) -------------------------
+    eprintln!("bench-json: figure regeneration (parallel) at scale {scale_name}...");
+    let start = Instant::now();
+    let parallel = StandardRuns::compute(scale);
+    let regen_parallel = start.elapsed().as_secs_f64();
+    eprintln!("bench-json: parallel {regen_parallel:.1}s; sequential reference...");
+    let start = Instant::now();
+    let sequential = StandardRuns::compute_sequential(scale);
+    let regen_sequential = start.elapsed().as_secs_f64();
+    eprintln!("bench-json: sequential {regen_sequential:.1}s");
+    assert_eq!(
+        parallel.iter().count(),
+        sequential.iter().count(),
+        "both pipelines ran the same six scenarios"
+    );
+
+    let encode_mib = mib_s(window_bytes, encode);
+    let decode_warm_mib = mib_s(window_bytes, decode_warm);
+    let decode_cold_mib = mib_s(window_bytes, decode_cold);
+    let json = format!(
+        r#"{{
+  "pr": 2,
+  "generated_by": "cargo run --release -p heap-bench --bin bench-json -- --scale {scale_name}",
+  "host": {{
+    "cores": {cores},
+    "gf256_kernel": "{kernel}"
+  }},
+  "baseline_pre_pr2": {{
+    "source": "ROADMAP.md seed measurements (scalar log/exp kernel, per-window codec rebuild, sequential runner)",
+    "window_encode_mib_s": {BASELINE_ENCODE_MIB_S},
+    "window_decode_9_losses_mib_s": {BASELINE_DECODE_MIB_S}
+  }},
+  "measured": {{
+    "scale": "{scale_name}",
+    "gf256_mul_add_1316B_mib_s": {gf_blocked_mib:.1},
+    "gf256_mul_add_1316B_scalar_ref_mib_s": {gf_scalar_mib:.1},
+    "window_encode_mib_s": {encode_mib:.1},
+    "window_decode_9_losses_warm_mib_s": {decode_warm_mib:.1},
+    "window_decode_9_losses_cold_mib_s": {decode_cold_mib:.1},
+    "figure_regen_parallel_s": {regen_parallel:.2},
+    "figure_regen_sequential_s": {regen_sequential:.2}
+  }},
+  "speedup": {{
+    "gf256_kernel_vs_scalar": {kernel_speedup:.1},
+    "window_encode_vs_baseline": {encode_speedup:.1},
+    "window_decode_warm_vs_baseline": {decode_speedup:.1},
+    "figure_regen_parallel_vs_sequential": {regen_speedup:.2}
+  }}
+}}
+"#,
+        kernel = gf256::kernel_name(),
+        gf_blocked_mib = mib_s(params.packet_bytes, gf_blocked),
+        gf_scalar_mib = mib_s(params.packet_bytes, gf_scalar),
+        kernel_speedup = gf_scalar / gf_blocked,
+        encode_speedup = encode_mib / BASELINE_ENCODE_MIB_S,
+        decode_speedup = decode_warm_mib / BASELINE_DECODE_MIB_S,
+        regen_speedup = regen_sequential / regen_parallel,
+    );
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("bench-json: wrote {out}");
+    print!("{json}");
+}

@@ -2,17 +2,24 @@
 //!
 //! Benchmark harness of the HEAP reproduction.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * **`repro`** (`cargo run --release -p heap-bench --bin repro -- all`) —
 //!   regenerates every figure and table of the paper as text series/tables.
 //!   See `repro --help` for experiment selection and scaling options; the
 //!   measured outputs are recorded in `EXPERIMENTS.md`.
+//! * **`bench-json`** (`cargo run --release -p heap-bench --bin bench-json`)
+//!   — measures the substrate throughputs (GF(256) kernel, window codec warm
+//!   and cold) and the parallel vs sequential figure-regeneration wall-clock,
+//!   and writes them as JSON; `BENCH_2.json` at the repo root is its
+//!   checked-in output.
 //! * **Criterion benches** (`cargo bench -p heap-bench`) — one benchmark per
 //!   figure/table (at a reduced scale so Criterion's repeated sampling stays
 //!   affordable) plus micro-benchmarks of the substrates (FEC coding,
 //!   simulator event throughput, dissemination rounds) and ablation benches
-//!   (HEAP vs oracle estimate, retransmission on/off).
+//!   (HEAP vs oracle estimate, retransmission on/off). The shim reports
+//!   min/mean±σ with outlier rejection; `HEAP_BENCH_SAMPLES` /
+//!   `HEAP_BENCH_SAMPLE_MS` shrink the measurement for CI smoke runs.
 
 #![deny(missing_docs)]
 

@@ -12,7 +12,9 @@
 //! * [`source`] — the deterministic publication schedule of the stream
 //!   source ([`source::StreamSchedule`]),
 //! * [`receiver`] — the per-node receive log recording when every packet
-//!   arrived ([`receiver::ReceiverLog`]),
+//!   arrived ([`receiver::ReceiverLog`]) and the payload reassembly pipeline
+//!   ([`receiver::StreamReassembler`]) decoding FEC windows through a shared
+//!   [`heap_fec::DecodeWorkspace`],
 //! * [`metrics`] — per-node stream-quality metrics (stream lag for 99 %
 //!   delivery, per-window decode lags, jitter percentage at a given lag,
 //!   delivery ratios inside jittered windows) computed from a receive log.
@@ -32,5 +34,5 @@ pub mod source;
 
 pub use metrics::NodeStreamMetrics;
 pub use packet::{PacketId, StreamPacket, WindowId};
-pub use receiver::ReceiverLog;
+pub use receiver::{DecodedWindow, ReceiverLog, StreamReassembler};
 pub use source::{StreamConfig, StreamSchedule};

@@ -1,14 +1,22 @@
-//! Per-node receive log.
+//! Per-node receive side: the receive log and the payload reassembly
+//! pipeline.
 //!
 //! Every node records the arrival time of every stream packet it delivers;
 //! all stream-quality metrics (lag CDFs, jitter percentages, delivery ratios)
 //! are later derived offline from these logs, which is exactly how the
-//! paper's PlanetLab experiments were analysed.
+//! paper's PlanetLab experiments were analysed. The [`StreamReassembler`]
+//! complements the log with the *payload* path: it feeds arriving packets
+//! into per-window FEC decoders that share one [`DecodeWorkspace`], so
+//! decoding a long stream performs no per-window codec construction, no
+//! erasure-pattern matrix inversions after the first occurrence of a loss
+//! pattern, and no steady-state buffer allocation.
 
 use crate::packet::{PacketId, WindowId};
 use crate::source::StreamSchedule;
+use heap_fec::{DecodeWorkspace, WindowDecoder};
 use heap_simnet::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The receive log of a single node: which packets arrived, and when.
 ///
@@ -110,6 +118,236 @@ impl ReceiverLog {
     }
 }
 
+/// A fully decoded FEC window handed out by [`StreamReassembler::accept`].
+///
+/// Holds the window's decoder (every packet slot materialised); hand it back
+/// with [`StreamReassembler::recycle`] so the shard buffers return to the
+/// shared pool.
+#[derive(Debug)]
+pub struct DecodedWindow {
+    window: WindowId,
+    decoder: WindowDecoder,
+}
+
+impl DecodedWindow {
+    /// Which window was decoded.
+    pub fn id(&self) -> WindowId {
+        self.window
+    }
+
+    /// The decoded source payloads, in order.
+    pub fn data_packets(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.decoder.data_packets()
+    }
+
+    /// A single payload (source or parity) of the window.
+    pub fn packet(&self, index_in_window: usize) -> Option<&[u8]> {
+        self.decoder.packet(index_in_window)
+    }
+}
+
+/// Reassembles the stream payload from packets as they arrive.
+///
+/// One [`WindowDecoder`] is kept per in-flight window; all of them share a
+/// single [`DecodeWorkspace`], so the Reed–Solomon codec, the inverted decode
+/// matrices and the shard buffers are reused across the whole stream. A
+/// window is decoded eagerly as soon as enough packets are present.
+///
+/// # Examples
+///
+/// ```
+/// use heap_streaming::receiver::StreamReassembler;
+/// use heap_streaming::source::{StreamConfig, StreamSchedule};
+/// use heap_streaming::PacketId;
+/// use heap_simnet::time::SimTime;
+///
+/// let schedule = StreamSchedule::new(StreamConfig::small(1), SimTime::ZERO);
+/// let mut reassembler = StreamReassembler::new(schedule);
+/// // Feed the first 10 packets (the decode threshold of the small config).
+/// let mut decoded = None;
+/// for seq in 0..10u64 {
+///     decoded = reassembler.accept(PacketId::new(seq), vec![seq as u8; 1316]);
+/// }
+/// let window = decoded.expect("threshold reached");
+/// assert_eq!(window.data_packets().count(), 10);
+/// reassembler.recycle(window);
+/// ```
+#[derive(Debug)]
+pub struct StreamReassembler {
+    schedule: StreamSchedule,
+    workspace: DecodeWorkspace,
+    /// In-flight decoders keyed by window index; windows complete roughly in
+    /// publication order and stragglers are auto-abandoned once they fall
+    /// [`StreamReassembler::MAX_WINDOW_LAG`] behind, so this stays small.
+    pending: BTreeMap<u64, WindowDecoder>,
+    /// Decoded windows at or above `horizon` (late duplicates are dropped).
+    /// Entries below the horizon are pruned, and the horizon trails the
+    /// newest window by at most [`StreamReassembler::MAX_WINDOW_LAG`], so the
+    /// set stays bounded on unbounded streams.
+    completed: BTreeSet<u64>,
+    /// Windows below this index are finished — decoded or abandoned — and
+    /// every late packet for them is dropped.
+    horizon: u64,
+    /// The highest window index seen so far.
+    newest: u64,
+    /// Running count of decoded windows.
+    decoded: u64,
+    /// Windows given up on (explicitly via
+    /// [`StreamReassembler::abandon_before`], or automatically once they fell
+    /// [`StreamReassembler::MAX_WINDOW_LAG`] behind the stream).
+    abandoned: u64,
+}
+
+impl StreamReassembler {
+    /// How many windows a straggler may trail the newest seen window before
+    /// it is abandoned automatically. In a live stream a window this far
+    /// behind (≈ 2 minutes at the paper's ~1.93 s/window) is long past any
+    /// playout deadline; the bound keeps `pending` and `completed` finite
+    /// even if the caller never invokes [`StreamReassembler::abandon_before`].
+    pub const MAX_WINDOW_LAG: u64 = 64;
+
+    /// Creates a reassembler for the given stream schedule.
+    pub fn new(schedule: StreamSchedule) -> Self {
+        StreamReassembler {
+            schedule,
+            workspace: DecodeWorkspace::new(),
+            pending: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            horizon: 0,
+            newest: 0,
+            decoded: 0,
+            abandoned: 0,
+        }
+    }
+
+    /// The shared decode workspace (exposed for cache statistics).
+    pub fn workspace(&self) -> &DecodeWorkspace {
+        &self.workspace
+    }
+
+    /// Number of windows currently buffering packets.
+    pub fn pending_windows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of windows decoded so far.
+    pub fn decoded_windows(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Number of windows dropped undecoded, whether explicitly via
+    /// [`StreamReassembler::abandon_before`] or automatically after falling
+    /// [`StreamReassembler::MAX_WINDOW_LAG`] windows behind.
+    pub fn abandoned_windows(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Whether `index` is already finished (decoded, or abandoned past the
+    /// horizon).
+    fn is_finished(&self, index: u64) -> bool {
+        index < self.horizon || self.completed.contains(&index)
+    }
+
+    /// Advances the horizon over contiguously completed windows and prunes
+    /// the set entries the new horizon makes redundant.
+    fn advance_horizon(&mut self) {
+        while self.completed.remove(&self.horizon) {
+            self.horizon += 1;
+        }
+    }
+
+    /// Offers an arriving packet payload.
+    ///
+    /// Packets past the end of the stream, payloads of the wrong size,
+    /// duplicates and packets of windows already decoded or abandoned are
+    /// ignored; pending windows more than
+    /// [`StreamReassembler::MAX_WINDOW_LAG`] behind the newest seen window
+    /// are abandoned automatically. Returns the decoded window when this
+    /// packet pushes its window over the decode threshold.
+    pub fn accept(&mut self, id: PacketId, payload: Vec<u8>) -> Option<DecodedWindow> {
+        let params = self.schedule.config().window;
+        if payload.len() != params.packet_bytes {
+            // A malformed/truncated payload must never reach the decoder
+            // (mixed shard lengths would poison the window) — and never the
+            // pool either, which would pin arbitrarily-sized foreign buffers.
+            return None;
+        }
+        let Some(descriptor) = self.schedule.packet(id) else {
+            self.workspace.recycle(payload);
+            return None;
+        };
+        let index = descriptor.window.index();
+        self.newest = self.newest.max(index);
+        // Stragglers far behind the live edge can never meet a playout
+        // deadline; abandoning them bounds memory without caller help.
+        let cutoff = self.newest.saturating_sub(Self::MAX_WINDOW_LAG);
+        if cutoff > self.horizon {
+            self.abandon_before(WindowId::new(cutoff));
+        }
+        if self.is_finished(index) {
+            self.workspace.recycle(payload);
+            return None;
+        }
+        let decoder = self
+            .pending
+            .entry(index)
+            .or_insert_with(|| WindowDecoder::new(params));
+        if let Err(rejected) = decoder.try_insert(descriptor.index_in_window, payload) {
+            // Duplicate: the payload is well-formed, so pool its buffer.
+            self.workspace.recycle(rejected);
+            return None;
+        }
+        if !decoder.is_decodable() {
+            return None;
+        }
+        let mut decoder = self
+            .pending
+            .remove(&index)
+            .expect("decoder was just inserted");
+        decoder
+            .decode_with(&mut self.workspace)
+            .expect("threshold of equal-length shards reached, decode cannot fail");
+        self.completed.insert(index);
+        self.advance_horizon();
+        self.decoded += 1;
+        Some(DecodedWindow {
+            window: descriptor.window,
+            decoder,
+        })
+    }
+
+    /// Returns a decoded window's buffers to the shared pool.
+    pub fn recycle(&mut self, window: DecodedWindow) {
+        let DecodedWindow { mut decoder, .. } = window;
+        decoder.reset(&mut self.workspace);
+    }
+
+    /// Drops every pending window before `window` (its playout deadline has
+    /// passed), recycling their buffers; late packets for the dropped range
+    /// are ignored from now on. Returns how many pending windows were
+    /// dropped.
+    pub fn abandon_before(&mut self, window: WindowId) -> usize {
+        let stale: Vec<u64> = self
+            .pending
+            .range(..window.index())
+            .map(|(&w, _)| w)
+            .collect();
+        for w in &stale {
+            let mut decoder = self.pending.remove(w).expect("key from range");
+            decoder.reset(&mut self.workspace);
+        }
+        self.abandoned += stale.len() as u64;
+        if window.index() > self.horizon {
+            self.horizon = window.index();
+            // Entries the horizon jumped over are now redundant…
+            self.completed = self.completed.split_off(&self.horizon);
+            // …and it may now touch the out-of-order completed frontier.
+            self.advance_horizon();
+        }
+        stale.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +380,261 @@ mod tests {
         let log = ReceiverLog::new(0);
         assert_eq!(log.delivery_ratio(), 0.0);
         assert_eq!(log.received_count(), 0);
+    }
+
+    use heap_fec::WindowEncoder;
+
+    /// Deterministic pseudo-random payload bytes (no RNG dependency needed).
+    fn window_payloads(config: &StreamConfig, window: u64) -> Vec<Vec<u8>> {
+        let params = config.window;
+        let data: Vec<Vec<u8>> = (0..params.data_packets)
+            .map(|p| {
+                (0..params.packet_bytes)
+                    .map(|i| (window as usize * 131 + p * 31 + i * 7 + 13) as u8)
+                    .collect()
+            })
+            .collect();
+        WindowEncoder::new(params)
+            .expect("valid geometry")
+            .encode(&data)
+            .expect("encode")
+    }
+
+    #[test]
+    fn reassembler_decodes_lossy_windows_with_shared_workspace() {
+        let config = StreamConfig::small(3);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let per_window = config.window.total_packets() as u64;
+
+        let mut decoded_count = 0;
+        for w in 0..3u64 {
+            let packets = window_payloads(&config, w);
+            let mut decoded = None;
+            for (idx, payload) in packets.iter().enumerate() {
+                // Drop the same two source packets of every window: the
+                // erasure-pattern inverse is computed once and cached.
+                if idx == 1 || idx == 4 {
+                    continue;
+                }
+                let seq = w * per_window + idx as u64;
+                let got = reassembler.accept(PacketId::new(seq), payload.clone());
+                if let Some(win) = got {
+                    assert!(decoded.is_none(), "window decoded once");
+                    decoded = Some(win);
+                }
+            }
+            let win = decoded.expect("enough packets arrived");
+            assert_eq!(win.id().index(), w);
+            let recovered: Vec<Vec<u8>> = win.data_packets().map(|p| p.to_vec()).collect();
+            assert_eq!(
+                recovered,
+                packets[..config.window.data_packets].to_vec(),
+                "window {w}"
+            );
+            assert_eq!(
+                win.packet(0).map(|p| p.len()),
+                Some(config.window.packet_bytes)
+            );
+            reassembler.recycle(win);
+            decoded_count += 1;
+        }
+        assert_eq!(decoded_count, 3);
+        assert_eq!(reassembler.decoded_windows(), 3);
+        assert_eq!(reassembler.pending_windows(), 0);
+        assert_eq!(
+            reassembler.workspace().cached_inverses(),
+            1,
+            "one cached inverse for the repeated loss pattern"
+        );
+        assert!(
+            reassembler.workspace().pooled_buffers() > 0,
+            "recycled buffers pooled"
+        );
+    }
+
+    #[test]
+    fn reassembler_ignores_duplicates_late_and_out_of_range_packets() {
+        let config = StreamConfig::small(2);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let packets = window_payloads(&config, 0);
+
+        // Past-the-end ids are ignored outright.
+        assert!(reassembler
+            .accept(PacketId::new(10_000), vec![0; 1316])
+            .is_none());
+
+        // Exactly the decode threshold completes the window...
+        let threshold = config.window.decode_threshold();
+        let mut decoded = None;
+        for idx in 0..threshold {
+            // A duplicate never double-counts.
+            if idx == 2 {
+                assert!(reassembler
+                    .accept(PacketId::new(2), packets[2].clone())
+                    .is_none());
+            }
+            decoded = reassembler.accept(PacketId::new(idx as u64), packets[idx].clone());
+        }
+        let win = decoded.expect("window 0 decoded");
+        assert_eq!(win.id().index(), 0);
+        reassembler.recycle(win);
+
+        // ...and every further packet of the decoded window is dropped.
+        assert!(reassembler
+            .accept(PacketId::new(threshold as u64), packets[threshold].clone())
+            .is_none());
+        assert_eq!(reassembler.decoded_windows(), 1);
+    }
+
+    #[test]
+    fn reassembler_rejects_wrong_length_payloads() {
+        let config = StreamConfig::small(1);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let packets = window_payloads(&config, 0);
+        let threshold = config.window.decode_threshold();
+
+        // A truncated and an oversized payload are both dropped on arrival…
+        assert!(reassembler
+            .accept(PacketId::new(0), vec![1, 2, 3])
+            .is_none());
+        assert!(reassembler
+            .accept(PacketId::new(1), vec![0; config.window.packet_bytes + 1])
+            .is_none());
+        assert_eq!(reassembler.pending_windows(), 0);
+
+        // …so the window still decodes cleanly from well-formed packets.
+        let mut decoded = None;
+        for idx in 0..threshold {
+            decoded = reassembler.accept(PacketId::new(idx as u64), packets[idx].clone());
+        }
+        let win = decoded.expect("well-formed packets decode");
+        let recovered: Vec<Vec<u8>> = win.data_packets().map(|p| p.to_vec()).collect();
+        assert_eq!(recovered, packets[..config.window.data_packets].to_vec());
+        reassembler.recycle(win);
+    }
+
+    #[test]
+    fn late_packets_do_not_resurrect_abandoned_windows() {
+        let config = StreamConfig::small(3);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let packets = window_payloads(&config, 0);
+
+        // A couple of packets of window 0, then its deadline passes.
+        for idx in 0..2usize {
+            reassembler.accept(PacketId::new(idx as u64), packets[idx].clone());
+        }
+        assert_eq!(reassembler.abandon_before(WindowId::new(1)), 1);
+        assert_eq!(reassembler.abandoned_windows(), 1);
+
+        // Every late window-0 packet — even a full decodable set — is dropped.
+        for (idx, p) in packets.iter().enumerate() {
+            assert!(reassembler
+                .accept(PacketId::new(idx as u64), p.clone())
+                .is_none());
+        }
+        assert_eq!(reassembler.pending_windows(), 0, "no resurrected decoder");
+        assert_eq!(reassembler.decoded_windows(), 0);
+        assert_eq!(reassembler.abandoned_windows(), 1, "not double-counted");
+    }
+
+    #[test]
+    fn completed_set_stays_bounded_as_the_horizon_advances() {
+        let config = StreamConfig::small(3);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let per_window = config.window.total_packets() as u64;
+        let threshold = config.window.decode_threshold();
+
+        // Decode the windows out of order: 1, 2, then 0.
+        for w in [1u64, 2, 0] {
+            let packets = window_payloads(&config, w);
+            let mut decoded = None;
+            for idx in 0..threshold {
+                let seq = w * per_window + idx as u64;
+                decoded = reassembler.accept(PacketId::new(seq), packets[idx].clone());
+            }
+            let win = decoded.expect("window decodes");
+            assert_eq!(win.id().index(), w);
+            reassembler.recycle(win);
+        }
+        assert_eq!(reassembler.decoded_windows(), 3);
+        // Window 0 closed the gap: the whole frontier collapsed into the
+        // horizon and the completed set is empty again.
+        assert_eq!(reassembler.completed.len(), 0);
+        assert_eq!(reassembler.horizon, 3);
+        // Late duplicates for pruned windows are still rejected.
+        let packets = window_payloads(&config, 1);
+        assert!(reassembler
+            .accept(PacketId::new(per_window), packets[0].clone())
+            .is_none());
+    }
+
+    #[test]
+    fn stragglers_are_auto_abandoned_beyond_the_window_lag_bound() {
+        let n_windows = StreamReassembler::MAX_WINDOW_LAG + 10;
+        let config = StreamConfig::small(n_windows);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let per_window = config.window.total_packets() as u64;
+
+        // Window 0 receives too few packets to ever decode, and the caller
+        // never calls abandon_before.
+        let w0 = window_payloads(&config, 0);
+        for idx in 0..2usize {
+            reassembler.accept(PacketId::new(idx as u64), w0[idx].clone());
+        }
+        assert_eq!(reassembler.pending_windows(), 1);
+
+        // The stream advances far past it: one packet per later window.
+        let far = StreamReassembler::MAX_WINDOW_LAG + 5;
+        for w in 1..=far {
+            let packets = window_payloads(&config, w);
+            reassembler.accept(PacketId::new(w * per_window), packets[0].clone());
+        }
+        // Window 0 (and every other window beyond the lag bound) was dropped
+        // without any abandon_before call.
+        assert!(reassembler.abandoned_windows() >= 1, "straggler abandoned");
+        assert!(
+            reassembler.pending_windows() as u64 <= StreamReassembler::MAX_WINDOW_LAG + 1,
+            "pending stays bounded"
+        );
+        // Late packets for the dropped straggler stay dropped.
+        for (idx, p) in w0.iter().enumerate() {
+            assert!(reassembler
+                .accept(PacketId::new(idx as u64), p.clone())
+                .is_none());
+        }
+        assert_eq!(reassembler.decoded_windows(), 0);
+    }
+
+    #[test]
+    fn reassembler_abandons_stale_windows() {
+        let config = StreamConfig::small(3);
+        let schedule = StreamSchedule::new(config, SimTime::ZERO);
+        let mut reassembler = StreamReassembler::new(schedule);
+        let per_window = config.window.total_packets() as u64;
+
+        // A few packets of windows 0 and 1, not enough to decode either.
+        for w in 0..2u64 {
+            let packets = window_payloads(&config, w);
+            for idx in 0..3usize {
+                let seq = w * per_window + idx as u64;
+                assert!(reassembler
+                    .accept(PacketId::new(seq), packets[idx].clone())
+                    .is_none());
+            }
+        }
+        assert_eq!(reassembler.pending_windows(), 2);
+        // Playout reached window 2: both stale windows are dropped and their
+        // buffers recycled.
+        assert_eq!(reassembler.abandon_before(WindowId::new(2)), 2);
+        assert_eq!(reassembler.pending_windows(), 0);
+        assert_eq!(reassembler.abandoned_windows(), 2);
+        assert!(reassembler.workspace().pooled_buffers() >= 6);
     }
 
     #[test]

@@ -178,9 +178,10 @@ pub fn table1_distributions() -> Vec<BandwidthDistribution> {
 }
 
 impl StandardRuns {
-    /// Executes (or re-executes) the six baseline runs at the given scale.
-    pub fn compute(scale: Scale) -> Self {
-        let mut runs = Vec::new();
+    /// The `(key, scenario)` pairs of the six baseline runs, in the fixed
+    /// order both compute paths preserve.
+    fn scenarios(scale: Scale) -> Vec<(String, Scenario)> {
+        let mut specs = Vec::new();
         for dist in table1_distributions() {
             for protocol in [
                 ProtocolChoice::Standard { fanout: 7.0 },
@@ -188,9 +189,43 @@ impl StandardRuns {
             ] {
                 let key = Self::key(dist.name(), &protocol);
                 let scenario = Scenario::new(key.clone(), scale, dist.clone(), protocol);
-                runs.push((key, run_scenario(&scenario)));
+                specs.push((key, scenario));
             }
         }
+        specs
+    }
+
+    /// Executes (or re-executes) the six baseline runs at the given scale,
+    /// one scoped thread per scenario.
+    ///
+    /// Each scenario derives every random draw from its own `Scale` seed
+    /// ([`run_scenario`] is a pure function of the scenario), so the results
+    /// are bit-identical to [`StandardRuns::compute_sequential`] — the
+    /// threads only change wall-clock time, never a single byte of output.
+    pub fn compute(scale: Scale) -> Self {
+        let specs = Self::scenarios(scale);
+        let mut results: Vec<Option<ExperimentResult>> = (0..specs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (spec, slot) in specs.iter().zip(results.iter_mut()) {
+                scope.spawn(move || *slot = Some(run_scenario(&spec.1)));
+            }
+        });
+        let runs = specs
+            .into_iter()
+            .zip(results)
+            .map(|((key, _), result)| (key, result.expect("scenario thread completed")))
+            .collect();
+        StandardRuns { scale, runs }
+    }
+
+    /// Executes the six baseline runs one after the other on the calling
+    /// thread. Reference path for the determinism tests; prefer
+    /// [`StandardRuns::compute`].
+    pub fn compute_sequential(scale: Scale) -> Self {
+        let runs = Self::scenarios(scale)
+            .into_iter()
+            .map(|(key, scenario)| (key, run_scenario(&scenario)))
+            .collect();
         StandardRuns { scale, runs }
     }
 
@@ -269,6 +304,43 @@ mod tests {
         assert_eq!(pct(None), "n/a");
         assert_eq!(secs(Some(12.34)), "12.3s");
         assert_eq!(secs(None), "never");
+    }
+
+    /// Collapses an [`ExperimentResult`] into a 64-bit fingerprint covering
+    /// every per-node field via the `Debug` rendering.
+    fn fingerprint(result: &ExperimentResult) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        format!("{result:?}").hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn parallel_compute_is_bit_identical_to_sequential() {
+        let scale = Scale::test().with_nodes(20).with_windows(2);
+        let parallel = StandardRuns::compute(scale);
+        let sequential = StandardRuns::compute_sequential(scale);
+        let par: Vec<(&str, u64)> = parallel.iter().map(|(k, r)| (k, fingerprint(r))).collect();
+        let seq: Vec<(&str, u64)> = sequential
+            .iter()
+            .map(|(k, r)| (k, fingerprint(r)))
+            .collect();
+        assert_eq!(par.len(), 6);
+        assert_eq!(par, seq, "threaded runs must not perturb any result");
+    }
+
+    #[test]
+    fn standard_runs_expose_all_six_runs() {
+        let scale = Scale::test().with_nodes(16).with_windows(1);
+        let runs = StandardRuns::compute(scale);
+        assert_eq!(runs.scale, scale);
+        for dist in ["ref-691", "ref-724", "ms-691"] {
+            assert_eq!(
+                runs.standard(dist).scenario_name,
+                format!("{dist}/standard")
+            );
+            assert_eq!(runs.heap(dist).scenario_name, format!("{dist}/heap"));
+        }
     }
 
     #[test]

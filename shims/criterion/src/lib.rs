@@ -4,10 +4,23 @@
 //! The build environment has no access to a cargo registry, so the external
 //! `criterion` bench dependency is replaced by this in-tree shim. Benches are
 //! declared exactly as with real criterion (`criterion_group!` /
-//! `criterion_main!` with `harness = false`); running them executes each
-//! benchmark a fixed number of iterations after a short warm-up and prints
-//! mean wall-clock time per iteration (plus throughput when configured).
-//! There is no statistical analysis, no HTML report and no saved baselines.
+//! `criterion_main!` with `harness = false`).
+//!
+//! Unlike the first version of the shim (one warm-up pass plus a single mean
+//! over a fixed iteration count), measurements are now *sampled*: each
+//! benchmark collects `sample_size` independent samples (fast routines are
+//! batched per sample so a sample is long enough to time reliably), Tukey
+//! fences (1.5 × IQR) reject outlier samples, and the report shows
+//! **min / mean ± stddev** of the surviving samples plus throughput
+//! (MiB/s or elem/s) computed from the mean. There is still no HTML report
+//! and no saved baselines.
+//!
+//! Environment overrides (used by CI's smoke-bench step to keep the bench
+//! targets compiling and running without paying full measurement cost):
+//!
+//! * `HEAP_BENCH_SAMPLES` — overrides every group's sample count.
+//! * `HEAP_BENCH_SAMPLE_MS` — target wall-clock per sample for batchable
+//!   routines (default 5 ms).
 
 use std::time::{Duration, Instant};
 
@@ -39,47 +52,69 @@ pub enum Throughput {
     Elements(u64),
 }
 
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Target wall-clock duration of one sample for batchable routines.
+fn target_sample_time() -> Duration {
+    Duration::from_millis(env_u64("HEAP_BENCH_SAMPLE_MS").unwrap_or(5))
+}
+
 /// Passed to each benchmark closure; runs and times the routine.
 pub struct Bencher {
-    iters: u64,
-    total: Duration,
+    samples: u64,
+    /// Per-sample wall-clock time of one routine call, in seconds.
+    per_iter: Vec<f64>,
 }
 
 impl Bencher {
-    fn new(iters: u64) -> Self {
+    fn new(samples: u64) -> Self {
         Bencher {
-            iters,
-            total: Duration::ZERO,
+            samples,
+            per_iter: Vec::with_capacity(samples as usize),
         }
     }
 
-    /// Times `routine` over the configured number of iterations.
+    /// Times `routine` over the configured number of samples. Routines much
+    /// shorter than the target sample time are batched: a sample times many
+    /// consecutive calls and records the mean per call.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // One untimed warm-up iteration.
+        // One untimed warm-up call, also used to calibrate the batch size.
+        let calibrate = Instant::now();
         black_box(routine());
-        let start = Instant::now();
-        for _ in 0..self.iters {
-            black_box(routine());
+        let warm = calibrate.elapsed();
+        let target = target_sample_time();
+        let batch: u64 = if warm.is_zero() {
+            target.as_nanos() as u64
+        } else {
+            (target.as_nanos() / warm.as_nanos().max(1)) as u64
         }
-        self.total = start.elapsed();
+        .clamp(1, 1 << 24);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.per_iter
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
     }
 
-    /// Times `routine` with a fresh `setup()` value per iteration; only the
-    /// routine is timed.
+    /// Times `routine` with a fresh `setup()` value per call; only the
+    /// routine is timed. One sample per call (setup cannot be batched away).
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
         black_box(routine(setup()));
-        let mut total = Duration::ZERO;
-        for _ in 0..self.iters {
+        for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total += start.elapsed();
+            self.per_iter.push(start.elapsed().as_secs_f64());
         }
-        self.total = total;
     }
 
     /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
@@ -89,29 +124,80 @@ impl Bencher {
         R: FnMut(&mut I) -> O,
     {
         black_box(routine(&mut setup()));
-        let mut total = Duration::ZERO;
-        for _ in 0..self.iters {
+        for _ in 0..self.samples {
             let mut input = setup();
             let start = Instant::now();
             black_box(routine(&mut input));
-            total += start.elapsed();
+            self.per_iter.push(start.elapsed().as_secs_f64());
         }
-        self.total = total;
     }
 }
 
-fn report(id: &str, iters: u64, total: Duration, throughput: Option<Throughput>) {
-    let per_iter = total.as_secs_f64() / iters.max(1) as f64;
+/// Summary statistics over the per-iteration samples after outlier rejection.
+struct Stats {
+    min: f64,
+    mean: f64,
+    stddev: f64,
+    kept: usize,
+    outliers: usize,
+}
+
+/// Tukey-fence outlier rejection (1.5 × IQR beyond the quartiles), then
+/// min/mean/stddev of the surviving samples.
+fn analyze(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty(), "benchmark produced no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let quartile = |q: f64| -> f64 {
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    let (q1, q3) = (quartile(0.25), quartile(0.75));
+    let iqr = q3 - q1;
+    let (lo_fence, hi_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|&s| (lo_fence..=hi_fence).contains(&s))
+        .collect();
+    let kept = if kept.is_empty() {
+        sorted.clone()
+    } else {
+        kept
+    };
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    let variance = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / kept.len() as f64;
+    Stats {
+        min: kept[0],
+        mean,
+        stddev: variance.sqrt(),
+        kept: kept.len(),
+        outliers: samples.len() - kept.len(),
+    }
+}
+
+fn report(id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    let stats = analyze(samples);
     let mut line = format!(
-        "{id:<50} {:>12.3?}/iter ({iters} iters)",
-        Duration::from_secs_f64(per_iter)
+        "{id:<50} min {:>11.3?}  mean {:>11.3?} ± {:<9.3?} ({} samples",
+        Duration::from_secs_f64(stats.min),
+        Duration::from_secs_f64(stats.mean),
+        Duration::from_secs_f64(stats.stddev),
+        stats.kept,
     );
+    if stats.outliers > 0 {
+        line.push_str(&format!(", {} outliers", stats.outliers));
+    }
+    line.push(')');
     if let Some(t) = throughput {
         let rate = match t {
             Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
-                format!("{:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+                format!("{:>10.1} MiB/s", n as f64 / stats.mean / (1024.0 * 1024.0))
             }
-            Throughput::Elements(n) => format!("{:>10.0} elem/s", n as f64 / per_iter),
+            Throughput::Elements(n) => format!("{:>10.0} elem/s", n as f64 / stats.mean),
         };
         line.push_str("  ");
         line.push_str(&rate);
@@ -126,7 +212,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: env_u64("HEAP_BENCH_SAMPLES").unwrap_or(10),
+        }
     }
 }
 
@@ -138,7 +226,7 @@ impl Criterion {
     {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        report(id, b.iters, b.total, None);
+        report(id, &b.per_iter, None);
         self
     }
 
@@ -162,9 +250,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the iteration count for benchmarks in this group.
+    /// Sets the sample count for benchmarks in this group (overridden by
+    /// `HEAP_BENCH_SAMPLES`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = Some(n as u64);
+        self.sample_size = Some(env_u64("HEAP_BENCH_SAMPLES").unwrap_or(n as u64));
         self
     }
 
@@ -189,15 +278,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let iters = self.sample_size.unwrap_or(self.criterion.sample_size);
-        let mut b = Bencher::new(iters);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples);
         f(&mut b);
-        report(
-            &format!("{}/{id}", self.name),
-            b.iters,
-            b.total,
-            self.throughput,
-        );
+        report(&format!("{}/{id}", self.name), &b.per_iter, self.throughput);
         self
     }
 
@@ -224,4 +308,55 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_computes_min_mean_stddev() {
+        let stats = analyze(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.min, 1.0);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!(stats.stddev > 0.0);
+        assert_eq!(stats.kept, 4);
+        assert_eq!(stats.outliers, 0);
+    }
+
+    #[test]
+    fn analyze_rejects_extreme_outliers() {
+        // Nine tight samples and one far outlier (e.g. a scheduler hiccup).
+        let mut samples = vec![1.0; 9];
+        samples.push(100.0);
+        let stats = analyze(&samples);
+        assert_eq!(stats.outliers, 1);
+        assert_eq!(stats.kept, 9);
+        assert!((stats.mean - 1.0).abs() < 1e-12);
+        assert_eq!(stats.stddev, 0.0);
+    }
+
+    #[test]
+    fn analyze_single_sample() {
+        let stats = analyze(&[0.5]);
+        assert_eq!(stats.min, 0.5);
+        assert_eq!(stats.mean, 0.5);
+        assert_eq!(stats.kept, 1);
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(4);
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert_eq!(b.per_iter.len(), 4);
+        assert!(b.per_iter.iter().all(|&s| s > 0.0));
+
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        assert_eq!(b.per_iter.len(), 3);
+
+        let mut b = Bencher::new(3);
+        b.iter_batched_ref(Vec::<u8>::new, |v| v.push(1), BatchSize::SmallInput);
+        assert_eq!(b.per_iter.len(), 3);
+    }
 }

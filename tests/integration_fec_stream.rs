@@ -6,7 +6,7 @@
 //! lossy delivery pattern, checks `NodeStreamMetrics` classification, and
 //! actually decodes the windows it claims are decodable.
 
-use heap::fec::{WindowDecoder, WindowEncoder, WindowParams};
+use heap::fec::{DecodeWorkspace, WindowDecoder, WindowEncoder, WindowParams};
 use heap::simnet::time::{SimDuration, SimTime};
 use heap::streaming::metrics::NodeStreamMetrics;
 use heap::streaming::{PacketId, ReceiverLog, StreamConfig, StreamSchedule};
@@ -55,6 +55,9 @@ fn metrics_decodability_matches_actual_fec_decoding() {
 
     let metrics = NodeStreamMetrics::compute(&schedule, &log);
     let lag = SimDuration::from_secs(5);
+    // One decode workspace shared across the stream's windows, as a real
+    // receiving pipeline would hold it.
+    let mut workspace = DecodeWorkspace::new();
 
     for w in 0..3u64 {
         let window = heap::streaming::WindowId::new(w);
@@ -74,16 +77,20 @@ fn metrics_decodability_matches_actual_fec_decoding() {
             "window {w}: metrics and codec disagree on decodability"
         );
         if claimed_decodable {
-            let decoded = decoder
-                .decode()
+            decoder
+                .decode_with(&mut workspace)
                 .expect("codec must decode what metrics claim");
+            let decoded: Vec<&[u8]> = decoder.data_packets().collect();
             assert_eq!(decoded.len(), params.data_packets);
             // Systematic code: decoded source packets equal the originals.
-            assert_eq!(
-                decoded,
-                payloads[w as usize][..params.data_packets].to_vec()
-            );
+            for (d, orig) in decoded
+                .iter()
+                .zip(&payloads[w as usize][..params.data_packets])
+            {
+                assert_eq!(*d, orig.as_slice());
+            }
         }
+        decoder.reset(&mut workspace);
     }
 
     // The heavily-lossy window is the one that is not decodable.
