@@ -1,55 +1,102 @@
-//! `bench-json` — records the substrate throughputs and the
+//! `bench-json` — records the scheduling-core throughput and the
 //! figure-regeneration wall-clock as a machine-readable JSON file.
 //!
 //! ```text
 //! Usage: bench-json [--scale test|default|paper] [--out PATH]
 //! ```
 //!
-//! The emitted file (default `BENCH_2.json`, checked in at the repo root) is
-//! the benchmark trajectory of the fast-path overhaul PR: it pins the
-//! pre-overhaul baselines recorded in `ROADMAP.md` next to freshly measured
-//! numbers for the GF(256) kernel, the paper-geometry window codec (warm and
-//! cold decode), and the parallel vs sequential six-run figure-regeneration
-//! pipeline, so later PRs can diff against it.
+//! The emitted file (default `BENCH_3.json`, checked in at the repo root) is
+//! the benchmark trajectory of the scheduling-core rebuild PR: simulator
+//! events/s at 100 / 271 / 1000 / 5000 nodes for the calendar-queue core
+//! *and* for the pre-PR-3 `BinaryHeap` baseline core measured in the same
+//! run (same binary, interleaved repetitions, identical event streams —
+//! asserted), the timer-table footprint after the run, the parallel vs
+//! sequential figure-regeneration wall-clock, and a bit-identity check of
+//! the parallel per-figure sweeps against their sequential paths.
 
-use heap_bench::parse_scale;
-use heap_fec::{gf256, DecodeWorkspace, WindowDecoder, WindowEncoder, WindowParams};
+use heap_bench::{parse_scale, simloop};
 use heap_workloads::experiments::StandardRuns;
-use heap_workloads::Scale;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use heap_workloads::{
+    run_scenario, run_scenarios_threaded, BandwidthDistribution, ChurnSpec, ProtocolChoice, Scale,
+    Scenario,
+};
+use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Substrate throughputs before this PR, as recorded in `ROADMAP.md` for the
-/// seed's scalar log/exp kernel and per-window codec rebuild.
-const BASELINE_ENCODE_MIB_S: f64 = 93.0;
-const BASELINE_DECODE_MIB_S: f64 = 31.0;
+/// Node counts the simulator loop is measured at.
+const SIM_SIZES: [usize; 4] = [100, 271, 1000, 5000];
+
+/// Events per simulator-loop measurement (full-fidelity scales).
+const SIM_TARGET_EVENTS: u64 = 2_000_000;
+
+/// Interleaved repetitions per (size, core) pair; best wall-clock wins.
+const SIM_REPS: usize = 5;
+
+/// The simulator-loop measurement plan: full fidelity for the checked-in
+/// `BENCH_3.json` scales, a fast shallow pass at `--scale test` so CI's
+/// smoke step stays a smoke step.
+fn sim_plan(scale_name: &str) -> (&'static [usize], u64, usize) {
+    if scale_name == "test" {
+        (&SIM_SIZES[..2], 200_000, 2)
+    } else {
+        (&SIM_SIZES[..], SIM_TARGET_EVENTS, SIM_REPS)
+    }
+}
 
 fn usage() -> ! {
     eprintln!("usage: bench-json [--scale test|default|paper] [--out PATH]");
     std::process::exit(2);
 }
 
-/// Best-of-`reps` wall-clock seconds of one `f()` call (after one warm-up).
-fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
-fn mib_s(bytes: usize, secs: f64) -> f64 {
-    bytes as f64 / secs / (1024.0 * 1024.0)
+/// The fig1/fig2/fig10-style scenario set used for the sweep identity check
+/// (kept small so the check stays affordable at any `--scale`).
+fn sweep_scenarios() -> Vec<Scenario> {
+    let scale = Scale::test();
+    let churn = ChurnSpec::Catastrophic {
+        fraction: 0.5,
+        at_secs: 3,
+        detection_secs: 10,
+    };
+    vec![
+        Scenario::new(
+            "sweep/fig1/unconstrained",
+            scale,
+            BandwidthDistribution::unconstrained(),
+            ProtocolChoice::Standard { fanout: 7.0 },
+        ),
+        Scenario::new(
+            "sweep/fig2/ms-691-f7",
+            scale,
+            BandwidthDistribution::ms_691(),
+            ProtocolChoice::Standard { fanout: 7.0 },
+        ),
+        Scenario::new(
+            "sweep/fig2/uniform-691-f15",
+            scale,
+            BandwidthDistribution::uniform_691(),
+            ProtocolChoice::Standard { fanout: 15.0 },
+        ),
+        Scenario::new(
+            "sweep/fig10/heap-50",
+            scale,
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        )
+        .with_churn(churn),
+        Scenario::new(
+            "sweep/fig10/standard-50",
+            scale,
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Standard { fanout: 7.0 },
+        )
+        .with_churn(churn),
+    ]
 }
 
 fn main() {
     let mut scale = Scale::default_scale();
     let mut scale_name = "default".to_string();
-    let mut out = "BENCH_2.json".to_string();
+    let mut out = "BENCH_3.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -66,130 +113,122 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    eprintln!(
-        "bench-json: {} cores, GF kernel {}, scale {scale_name}",
-        cores,
-        gf256::kernel_name()
+    eprintln!("bench-json: {cores} cores, scale {scale_name}");
+
+    // --- Simulator loop: calendar core vs BinaryHeap baseline core --------
+    let (sim_sizes, sim_events, sim_reps) = sim_plan(&scale_name);
+    let mut sim_json = String::new();
+    for (i, &n) in sim_sizes.iter().enumerate() {
+        let mut best_baseline = f64::INFINITY;
+        let mut best_calendar = f64::INFINITY;
+        let mut events_baseline = 0;
+        let mut events_calendar = 0;
+        // Interleave the two cores so machine-load phases hit both equally.
+        for rep in 0..sim_reps {
+            let (e, s) = simloop::measure(n, 7 + rep as u64, sim_events, true);
+            events_baseline = e;
+            best_baseline = best_baseline.min(s);
+            let (e, s) = simloop::measure(n, 7 + rep as u64, sim_events, false);
+            events_calendar = e;
+            best_calendar = best_calendar.min(s);
+        }
+        assert_eq!(
+            events_baseline, events_calendar,
+            "both cores must process the identical event stream"
+        );
+        let baseline_eps = events_baseline as f64 / best_baseline;
+        let calendar_eps = events_calendar as f64 / best_calendar;
+        eprintln!(
+            "bench-json: simloop n={n}: baseline {:.2} M ev/s, calendar {:.2} M ev/s ({:.2}x)",
+            baseline_eps / 1e6,
+            calendar_eps / 1e6,
+            calendar_eps / baseline_eps
+        );
+        let sep = if i + 1 < sim_sizes.len() { "," } else { "" };
+        writeln!(
+            sim_json,
+            r#"    {{
+      "nodes": {n},
+      "events": {events_calendar},
+      "binary_heap_baseline_events_per_sec": {baseline_eps:.0},
+      "calendar_queue_events_per_sec": {calendar_eps:.0},
+      "speedup": {speedup:.2}
+    }}{sep}"#,
+            speedup = calendar_eps / baseline_eps,
+        )
+        .expect("write to string");
+    }
+
+    // Timer-table footprint: the run arms hundreds of thousands of timers
+    // over its lifetime; the slot table must stay bounded by the peak number
+    // of concurrently pending timers.
+    let (timer_slots, armed_after) = {
+        let mut sim = simloop::build_sim(271, 7, simloop::ttl_for(271, sim_events), false);
+        sim.run_to_completion();
+        (sim.timer_slots(), sim.armed_timers())
+    };
+
+    // --- Sweep bit-identity: parallel vs sequential ------------------------
+    eprintln!("bench-json: checking parallel sweep bit-identity...");
+    let scenarios = sweep_scenarios();
+    // The always-threaded path, so the check is meaningful on 1-core hosts.
+    let parallel: Vec<u64> = run_scenarios_threaded(&scenarios)
+        .iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    let sequential: Vec<u64> = scenarios
+        .iter()
+        .map(|s| run_scenario(s).fingerprint())
+        .collect();
+    let sweeps_identical = parallel == sequential;
+    assert!(
+        sweeps_identical,
+        "parallel sweep diverged from the sequential path"
     );
 
-    // --- GF(256) kernel --------------------------------------------------
-    let params = WindowParams::PAPER;
-    let src: Vec<u8> = (0..params.packet_bytes).map(|i| (i % 251) as u8).collect();
-    let mut dst = vec![0u8; params.packet_bytes];
-    // Batch enough slices per timed call that Instant's resolution is noise.
-    let kernel_batch = 4096;
-    let gf_blocked = best_secs(5, || {
-        for _ in 0..kernel_batch {
-            gf256::mul_add_slice(&mut dst, &src, 0x57);
-        }
-    }) / kernel_batch as f64;
-    let gf_scalar = best_secs(5, || {
-        for _ in 0..kernel_batch {
-            gf256::mul_add_slice_scalar(&mut dst, &src, 0x57);
-        }
-    }) / kernel_batch as f64;
-
-    // --- Window codec ----------------------------------------------------
-    let encoder = WindowEncoder::new(params).expect("paper geometry is valid");
-    let mut rng = SmallRng::seed_from_u64(1);
-    let data: Vec<Vec<u8>> = (0..params.data_packets)
-        .map(|_| (0..params.packet_bytes).map(|_| rng.gen()).collect())
-        .collect();
-    let window_bytes = params.data_packets * params.packet_bytes;
-    let encode = best_secs(10, || {
-        std::hint::black_box(encoder.encode(&data).expect("encode"));
-    });
-
-    let packets = encoder.encode(&data).expect("encode");
-    let fill = |dec: &mut WindowDecoder| {
-        for (i, p) in packets.iter().enumerate() {
-            if i >= 9 {
-                dec.insert(i, p.clone());
-            }
-        }
-    };
-    // Decoder setup (inserting clones) is untimed; only the decode is.
-    let mut ws = DecodeWorkspace::new();
-    let decode_warm = {
-        let mut best = f64::INFINITY;
-        for _ in 0..11 {
-            let mut dec = WindowDecoder::new(params);
-            fill(&mut dec);
-            let start = Instant::now();
-            dec.decode_with(&mut ws).expect("decodable");
-            best = best.min(start.elapsed().as_secs_f64());
-            dec.reset(&mut ws);
-        }
-        best
-    };
-    let decode_cold = {
-        let mut best = f64::INFINITY;
-        for _ in 0..5 {
-            let mut dec = WindowDecoder::new(params);
-            fill(&mut dec);
-            let start = Instant::now();
-            std::hint::black_box(dec.decode().expect("decodable"));
-            best = best.min(start.elapsed().as_secs_f64());
-        }
-        best
-    };
-
-    // --- Figure regeneration (six baseline runs) -------------------------
-    eprintln!("bench-json: figure regeneration (parallel) at scale {scale_name}...");
+    // --- Figure regeneration (six baseline runs) ---------------------------
+    eprintln!("bench-json: figure regeneration (adaptive parallel) at scale {scale_name}...");
     let start = Instant::now();
-    let parallel = StandardRuns::compute(scale);
+    let parallel_runs = StandardRuns::compute(scale);
     let regen_parallel = start.elapsed().as_secs_f64();
-    eprintln!("bench-json: parallel {regen_parallel:.1}s; sequential reference...");
+    eprintln!("bench-json: adaptive {regen_parallel:.1}s; sequential reference...");
     let start = Instant::now();
-    let sequential = StandardRuns::compute_sequential(scale);
+    let sequential_runs = StandardRuns::compute_sequential(scale);
     let regen_sequential = start.elapsed().as_secs_f64();
     eprintln!("bench-json: sequential {regen_sequential:.1}s");
     assert_eq!(
-        parallel.iter().count(),
-        sequential.iter().count(),
+        parallel_runs.iter().count(),
+        sequential_runs.iter().count(),
         "both pipelines ran the same six scenarios"
     );
 
-    let encode_mib = mib_s(window_bytes, encode);
-    let decode_warm_mib = mib_s(window_bytes, decode_warm);
-    let decode_cold_mib = mib_s(window_bytes, decode_cold);
     let json = format!(
         r#"{{
-  "pr": 2,
+  "pr": 3,
   "generated_by": "cargo run --release -p heap-bench --bin bench-json -- --scale {scale_name}",
   "host": {{
-    "cores": {cores},
-    "gf256_kernel": "{kernel}"
+    "cores": {cores}
   }},
-  "baseline_pre_pr2": {{
-    "source": "ROADMAP.md seed measurements (scalar log/exp kernel, per-window codec rebuild, sequential runner)",
-    "window_encode_mib_s": {BASELINE_ENCODE_MIB_S},
-    "window_decode_9_losses_mib_s": {BASELINE_DECODE_MIB_S}
+  "simulator_loop": {{
+    "workload": "stride-walk flood, {chains} in-flight msgs/node + {far} standing far timers/node, uniform 2-264 ms latency",
+    "baseline": "pre-PR-3 scheduling core in the same binary: BinaryHeap event queue, per-callback command-buffer allocation, seed-shim uniform draws",
+    "per_size": [
+{sim_json}    ],
+    "timer_slots_after_271_node_run": {timer_slots},
+    "armed_timers_after_run": {armed_after}
   }},
-  "measured": {{
+  "figure_regen": {{
     "scale": "{scale_name}",
-    "gf256_mul_add_1316B_mib_s": {gf_blocked_mib:.1},
-    "gf256_mul_add_1316B_scalar_ref_mib_s": {gf_scalar_mib:.1},
-    "window_encode_mib_s": {encode_mib:.1},
-    "window_decode_9_losses_warm_mib_s": {decode_warm_mib:.1},
-    "window_decode_9_losses_cold_mib_s": {decode_cold_mib:.1},
-    "figure_regen_parallel_s": {regen_parallel:.2},
-    "figure_regen_sequential_s": {regen_sequential:.2}
+    "note": "StandardRuns::compute is adaptive: thread-per-scenario on multicore hosts, inline on single-core hosts (results bit-identical either way)",
+    "adaptive_parallel_s": {regen_parallel:.2},
+    "sequential_s": {regen_sequential:.2},
+    "speedup": {regen_speedup:.2}
   }},
-  "speedup": {{
-    "gf256_kernel_vs_scalar": {kernel_speedup:.1},
-    "window_encode_vs_baseline": {encode_speedup:.1},
-    "window_decode_warm_vs_baseline": {decode_speedup:.1},
-    "figure_regen_parallel_vs_sequential": {regen_speedup:.2}
-  }}
+  "sweeps_bit_identical": {sweeps_identical}
 }}
 "#,
-        kernel = gf256::kernel_name(),
-        gf_blocked_mib = mib_s(params.packet_bytes, gf_blocked),
-        gf_scalar_mib = mib_s(params.packet_bytes, gf_scalar),
-        kernel_speedup = gf_scalar / gf_blocked,
-        encode_speedup = encode_mib / BASELINE_ENCODE_MIB_S,
-        decode_speedup = decode_warm_mib / BASELINE_DECODE_MIB_S,
+        chains = simloop::CHAINS_PER_NODE,
+        far = simloop::FAR_TIMERS_PER_NODE,
         regen_speedup = regen_sequential / regen_parallel,
     );
     std::fs::write(&out, &json).expect("write bench json");

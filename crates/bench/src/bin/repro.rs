@@ -5,6 +5,7 @@
 //!
 //! EXPERIMENT is one or more of:
 //!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3
+//!   partialview
 //! or `all` (the default).
 //! ```
 //!
@@ -15,16 +16,28 @@
 use heap_bench::parse_scale;
 use heap_workloads::experiments::{
     fig10_churn, fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1, fig4_bandwidth_usage,
-    fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf, table1_distributions,
-    table2_jittered_delivery, table3_jitter_free_nodes, Figure, StandardRuns,
+    fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf, partial_view,
+    table1_distributions, table2_jittered_delivery, table3_jitter_free_nodes, Figure, StandardRuns,
 };
 use heap_workloads::Scale;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "table2", "table3",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table2",
+    "table3",
+    "partialview",
 ];
 
 fn usage() -> ! {
@@ -80,7 +93,7 @@ fn main() {
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3",
     ]
     .iter()
-    .any(|e| wanted.contains(**&e));
+    .any(|e| wanted.contains(*e));
     let baseline = if needs_baseline {
         let start = Instant::now();
         eprintln!("computing the six baseline runs (3 distributions x 2 protocols)...");
@@ -135,6 +148,7 @@ fn main() {
                 fig9_lag_cdf::run(baseline.as_ref().expect("baseline")),
             ),
             "fig10" => emit("fig10", fig10_churn::run(scale)),
+            "partialview" => emit("partialview", partial_view::run(scale)),
             "table2" => emit(
                 "table2",
                 table2_jittered_delivery::run(baseline.as_ref().expect("baseline")),

@@ -9,21 +9,24 @@
 //!   See `repro --help` for experiment selection and scaling options; the
 //!   measured outputs are recorded in `EXPERIMENTS.md`.
 //! * **`bench-json`** (`cargo run --release -p heap-bench --bin bench-json`)
-//!   — measures the substrate throughputs (GF(256) kernel, window codec warm
-//!   and cold) and the parallel vs sequential figure-regeneration wall-clock,
-//!   and writes them as JSON; `BENCH_2.json` at the repo root is its
-//!   checked-in output.
+//!   — measures the scheduling-core events/s (calendar queue vs the pre-PR-3
+//!   `BinaryHeap` baseline, in the same run) at 100/271/1000/5000 nodes, the
+//!   figure-regeneration wall-clock and the parallel-sweep bit-identity
+//!   check, and writes them as JSON; `BENCH_3.json` at the repo root is its
+//!   checked-in output (`BENCH_2.json` holds the PR 2 FEC trajectory).
 //! * **Criterion benches** (`cargo bench -p heap-bench`) — one benchmark per
 //!   figure/table (at a reduced scale so Criterion's repeated sampling stays
 //!   affordable) plus micro-benchmarks of the substrates (FEC coding,
-//!   simulator event throughput, dissemination rounds) and ablation benches
-//!   (HEAP vs oracle estimate, retransmission on/off). The shim reports
-//!   min/mean±σ with outlier rejection; `HEAP_BENCH_SAMPLES` /
+//!   simulator event throughput via [`simloop`], dissemination rounds) and
+//!   ablation benches (HEAP vs oracle estimate, retransmission on/off). The
+//!   shim reports min/mean±σ with outlier rejection; `HEAP_BENCH_SAMPLES` /
 //!   `HEAP_BENCH_SAMPLE_MS` shrink the measurement for CI smoke runs.
 
 #![deny(missing_docs)]
 
 use heap_workloads::Scale;
+
+pub mod simloop;
 
 /// Parses the `--scale` argument shared by the repro binary and the benches.
 ///

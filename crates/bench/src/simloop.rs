@@ -1,0 +1,199 @@
+//! The simulator-loop benchmark workload: raw scheduler throughput.
+//!
+//! A deliberately protocol-light workload — stride-walk message chains plus
+//! periodic timers — so that the measured cost is dominated by the
+//! scheduling core (event queue, timer table, command buffer) rather than by
+//! protocol logic; the forwarding target comes from a per-node stride
+//! instead of an RNG draw for the same reason (the network still samples a
+//! random latency per hop, which is what spreads events across the
+//! calendar). Used by the `simloop` Criterion bench and by `bench-json`
+//! (which records the events/s of the calendar-queue core next to the
+//! pre-PR-3 `BinaryHeap` baseline core in `BENCH_3.json`).
+
+use heap_simnet::prelude::*;
+use rand::Rng;
+use std::time::Instant;
+
+/// Number of message chains seeded per receiver. Sized so the near-horizon
+/// pending set resembles a congested dissemination run (a node with a
+/// backlogged upload queue keeps dozens of departures in flight): ~6 k
+/// pending events at 100 nodes, ~320 k at 5000.
+pub const CHAINS_PER_NODE: usize = 64;
+
+/// Standing far-horizon timers per node, re-armed with 8–24 s delays. A
+/// paper-scale gossip run keeps a large population of far-out timer events
+/// pending (retransmission and failure-detection timers — a sizeable share
+/// of the ~19 k pending events measured at 271 nodes), and they are
+/// precisely the events a calendar queue parks in its overflow heap while a
+/// binary heap carries them in every sift. The long periods keep the
+/// population standing for the whole run at a negligible event-count share,
+/// like the constantly re-created short timers of the real protocol.
+pub const FAR_TIMERS_PER_NODE: usize = 64;
+
+/// How often each standing far timer re-arms before expiring for good —
+/// enough to keep the population standing through the message phase without
+/// leaving a long timer-only tail after the chains drain.
+const FAR_TIMER_REARMS: u32 = 2;
+
+/// A stride-walk flood: node 0 seeds [`CHAINS_PER_NODE`] chains per peer;
+/// every delivery forwards the message to the node's next stride target
+/// until the TTL expires. Each node also re-arms a periodic timer so the
+/// event mix contains both `Deliver` and `Timer` events.
+pub struct Flood {
+    n: u32,
+    ttl: u32,
+    timer_rounds: u32,
+    /// Remaining re-arms shared by this node's standing far timers.
+    far_budget: u32,
+    /// Next forwarding target and the per-node stride that advances it, so
+    /// chains keep mixing across the node population without an RNG draw.
+    target: u32,
+    stride: u32,
+}
+
+/// The flood message: a TTL counter on a 64-byte wire footprint.
+#[derive(Clone, Debug)]
+pub struct FloodMsg(u32);
+
+impl WireSize for FloodMsg {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+impl Flood {
+    /// The next forwarding target: one stride step around the node ring.
+    #[inline]
+    fn next_target(&mut self) -> NodeId {
+        let t = self.target;
+        self.target += self.stride;
+        if self.target >= self.n {
+            self.target -= self.n;
+        }
+        NodeId::new(t)
+    }
+
+    /// A deterministic 8–24 s standing-timer delay. Advances the node's
+    /// stride walk so consecutive calls (the 64 timers armed at start, and
+    /// every re-arm) draw different delays and the standing population
+    /// spreads over the whole 8–24 s band instead of firing in lockstep.
+    #[inline]
+    fn far_delay(&mut self) -> SimDuration {
+        let step = self.next_target().as_u32();
+        let jitter_ms = (u64::from(step) * 37) % 16_000;
+        SimDuration::from_millis(8_000 + jitter_ms)
+    }
+}
+
+impl Protocol for Flood {
+    type Message = FloodMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, FloodMsg>) {
+        if ctx.node_id().index() == 0 {
+            for _ in 0..CHAINS_PER_NODE {
+                for i in 1..self.n {
+                    ctx.send(NodeId::new(i), FloodMsg(self.ttl));
+                }
+            }
+        }
+        let phase = SimDuration::from_micros(ctx.rng().gen_range(0..200_000u64));
+        ctx.set_timer(phase, 0);
+        for _ in 0..FAR_TIMERS_PER_NODE {
+            let delay = self.far_delay();
+            ctx.set_timer(delay, 1);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, FloodMsg>, _from: NodeId, msg: FloodMsg) {
+        if msg.0 > 0 {
+            let target = self.next_target();
+            ctx.send(target, FloodMsg(msg.0 - 1));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, FloodMsg>, _timer: TimerId, tag: u64) {
+        if tag == 1 {
+            // A standing far timer fired: re-arm it (like a retransmission
+            // round) until the node's budget runs out.
+            if self.far_budget > 0 {
+                self.far_budget -= 1;
+                let delay = self.far_delay();
+                ctx.set_timer(delay, 1);
+            }
+        } else if self.timer_rounds > 0 {
+            self.timer_rounds -= 1;
+            let target = self.next_target();
+            ctx.send(target, FloodMsg(1));
+            ctx.set_timer(SimDuration::from_millis(200), 0);
+        }
+    }
+}
+
+/// The TTL that makes an `n`-node run process roughly `target_events`
+/// events. The floor keeps the virtual run long enough that chain events
+/// dominate the (n-proportional) standing-timer events at every size — a
+/// large `n` therefore processes more events than `target_events` rather
+/// than degenerating into a timer-only workload.
+pub fn ttl_for(n: usize, target_events: u64) -> u32 {
+    let chains = (CHAINS_PER_NODE * (n - 1)) as u64;
+    (target_events / chains.max(1)).clamp(40, 100_000) as u32
+}
+
+/// Builds the benchmark simulator: uniform 2–264 ms latency (a power-of-two
+/// span for division-free draws) — PlanetLab-like RTTs plus queueing spread,
+/// covering hundreds of calendar buckets — lossless links (loss would
+/// truncate the chains and decouple the event count from the TTL);
+/// `baseline` selects the pre-PR-3 scheduling core.
+pub fn build_sim(n: usize, seed: u64, ttl: u32, baseline: bool) -> Simulator<Flood> {
+    let mut builder = SimulatorBuilder::new(n, seed)
+        // A power-of-two span (2^18 µs ≈ 262 ms) keeps the per-hop latency
+        // draw division-free — the spread itself is PlanetLab-like.
+        .latency(LatencyModel::uniform(
+            SimDuration::from_micros(2_000),
+            SimDuration::from_micros(2_000 + ((1 << 18) - 1)),
+        ))
+        .loss(LossModel::none());
+    if baseline {
+        builder = builder.baseline_scheduling_core();
+    }
+    builder.build(|id| Flood {
+        n: n as u32,
+        ttl,
+        timer_rounds: 50,
+        far_budget: FAR_TIMERS_PER_NODE as u32 * FAR_TIMER_REARMS,
+        target: id.as_u32(),
+        stride: ((2 * id.as_u32() + 3) % n as u32).max(1),
+    })
+}
+
+/// Runs one measurement: builds the simulator (untimed), drains it to
+/// completion (timed) and returns `(events processed, seconds)`.
+pub fn measure(n: usize, seed: u64, target_events: u64, baseline: bool) -> (u64, f64) {
+    let ttl = ttl_for(n, target_events);
+    let mut sim = build_sim(n, seed, ttl, baseline);
+    let start = Instant::now();
+    let processed = sim.run_to_completion();
+    (processed, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_core_independent() {
+        // The exact same events must be processed by both scheduling cores.
+        let (calendar_events, _) = measure(60, 5, 50_000, false);
+        let (baseline_events, _) = measure(60, 5, 50_000, true);
+        assert_eq!(calendar_events, baseline_events);
+        assert!(calendar_events > 40_000);
+    }
+
+    #[test]
+    fn ttl_scales_inversely_with_nodes_down_to_the_floor() {
+        assert!(ttl_for(100, 1_000_000) > ttl_for(1000, 1_000_000));
+        // The floor keeps chains dominant over the n-proportional timers.
+        assert_eq!(ttl_for(100, 0), 40);
+        assert_eq!(ttl_for(5000, 2_000_000), 40);
+    }
+}

@@ -25,6 +25,9 @@ pub struct GossipConfig {
     pub aggregation_freshest: usize,
     /// How long to wait for a [Serve] after sending a [Request] before
     /// re-requesting the missing packets.
+    ///
+    /// [Serve]: crate::message::GossipMessage::Serve
+    /// [Request]: crate::message::GossipMessage::Request
     pub retransmit_period: SimDuration,
     /// Maximum number of re-requests per proposal (0 disables retransmission).
     pub max_retransmits: u32,
@@ -35,13 +38,21 @@ pub struct GossipConfig {
     /// retransmitted [Request] duplicates payload traffic exactly when the
     /// system can least afford it (congestion collapse). `None` disables the
     /// guard (ablation).
+    ///
+    /// [Serve]: crate::message::GossipMessage::Serve
+    /// [Request]: crate::message::GossipMessage::Request
     pub serve_dedup_window: Option<SimDuration>,
     /// Fixed per-message overhead (UDP/IP headers plus protocol framing), in
     /// bytes, added to every message.
     pub header_bytes: usize,
     /// Bytes used to encode one packet id in [Propose]/[Request] messages.
+    ///
+    /// [Propose]: crate::message::GossipMessage::Propose
+    /// [Request]: crate::message::GossipMessage::Request
     pub id_bytes: usize,
     /// Bytes used to encode one capability sample in [Aggregation] messages.
+    ///
+    /// [Aggregation]: crate::message::GossipMessage::Aggregation
     pub capability_sample_bytes: usize,
 }
 
@@ -86,7 +97,7 @@ impl GossipConfig {
         if self.gossip_period.is_zero() {
             return Err("gossip_period must be positive".into());
         }
-        if !(self.fanout > 0.0) {
+        if self.fanout <= 0.0 || self.fanout.is_nan() {
             return Err(format!("fanout must be positive, got {}", self.fanout));
         }
         if self.aggregation_period.is_zero() {
@@ -103,18 +114,25 @@ impl GossipConfig {
 
     /// The wire size of a [Propose] or [Request] message carrying `n_ids`
     /// packet identifiers.
+    ///
+    /// [Propose]: crate::message::GossipMessage::Propose
+    /// [Request]: crate::message::GossipMessage::Request
     pub fn control_message_bytes(&self, n_ids: usize) -> usize {
         self.header_bytes + n_ids * self.id_bytes
     }
 
     /// The wire size of a [Serve] message carrying payloads totalling
     /// `payload_bytes` bytes.
+    ///
+    /// [Serve]: crate::message::GossipMessage::Serve
     pub fn serve_message_bytes(&self, payload_bytes: usize) -> usize {
         self.header_bytes + payload_bytes
     }
 
     /// The wire size of an [Aggregation] message carrying `n_samples`
     /// capability samples.
+    ///
+    /// [Aggregation]: crate::message::GossipMessage::Aggregation
     pub fn aggregation_message_bytes(&self, n_samples: usize) -> usize {
         self.header_bytes + n_samples * self.capability_sample_bytes
     }
@@ -127,6 +145,62 @@ impl GossipConfig {
             self.aggregation_message_bytes(self.aggregation_freshest) * self.aggregation_fanout;
         let rounds_per_sec = 1.0 / self.aggregation_period.as_secs_f64();
         Bandwidth::from_bps((bytes_per_round as f64 * 8.0 * rounds_per_sec) as u64)
+    }
+}
+
+/// Parameters of the Cyclon-style partial membership mode (see
+/// [`GossipNodeBuilder::partial_membership`]).
+///
+/// The paper's deployment gives every node full membership knowledge; this
+/// mode replaces it with a bounded partial view refreshed by periodic
+/// shuffles, showing that HEAP's fanout adaptation does not depend on full
+/// membership.
+///
+/// [`GossipNodeBuilder::partial_membership`]: crate::node::GossipNodeBuilder::partial_membership
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialMembershipConfig {
+    /// Maximum number of peer descriptors a node holds.
+    pub view_size: usize,
+    /// Number of descriptors exchanged per shuffle.
+    pub shuffle_size: usize,
+    /// Interval between shuffle rounds.
+    pub shuffle_period: SimDuration,
+}
+
+impl PartialMembershipConfig {
+    /// Cyclon-like defaults sized for a few hundred nodes: 16-entry views,
+    /// 8-entry exchanges, one shuffle per second.
+    pub fn cyclon() -> Self {
+        PartialMembershipConfig {
+            view_size: 16,
+            shuffle_size: 8,
+            shuffle_period: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the view is empty, the exchange is empty
+    /// or the shuffle period is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.view_size == 0 {
+            return Err("view_size must be at least 1".into());
+        }
+        if self.shuffle_size == 0 {
+            return Err("shuffle_size must be at least 1".into());
+        }
+        if self.shuffle_period.is_zero() {
+            return Err("shuffle_period must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PartialMembershipConfig {
+    fn default() -> Self {
+        PartialMembershipConfig::cyclon()
     }
 }
 

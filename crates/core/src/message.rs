@@ -2,6 +2,7 @@
 
 use crate::aggregation::CapabilitySample;
 use crate::config::GossipConfig;
+use heap_membership::partial::ViewEntry;
 use heap_simnet::sim::WireSize;
 use heap_streaming::packet::{PacketId, StreamPacket};
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,17 @@ pub enum GossipMessage {
         /// Wire size of the message.
         wire_bytes: usize,
     },
+    /// Cyclon-style view exchange of the partial membership mode: the sender
+    /// offers peer descriptors and (unless this is the reply leg) expects a
+    /// sample of the receiver's view in return.
+    Shuffle {
+        /// Exchanged peer descriptors.
+        entries: Vec<ViewEntry>,
+        /// `true` for the response leg of a shuffle (no further reply).
+        reply: bool,
+        /// Wire size of the message.
+        wire_bytes: usize,
+    },
 }
 
 impl GossipMessage {
@@ -91,6 +103,19 @@ impl GossipMessage {
         }
     }
 
+    /// Builds a [Shuffle] message for the given view entries.
+    ///
+    /// [Shuffle]: GossipMessage::Shuffle
+    pub fn shuffle(entries: Vec<ViewEntry>, reply: bool, config: &GossipConfig) -> Self {
+        // A descriptor (node id + age) is the size of a packet id on the wire.
+        let wire_bytes = config.control_message_bytes(entries.len());
+        GossipMessage::Shuffle {
+            entries,
+            reply,
+            wire_bytes,
+        }
+    }
+
     /// A short human-readable tag for logging.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -98,6 +123,7 @@ impl GossipMessage {
             GossipMessage::Request { .. } => "request",
             GossipMessage::Serve { .. } => "serve",
             GossipMessage::Aggregation { .. } => "aggregation",
+            GossipMessage::Shuffle { .. } => "shuffle",
         }
     }
 
@@ -115,7 +141,8 @@ impl WireSize for GossipMessage {
             GossipMessage::Propose { wire_bytes, .. }
             | GossipMessage::Request { wire_bytes, .. }
             | GossipMessage::Serve { wire_bytes, .. }
-            | GossipMessage::Aggregation { wire_bytes, .. } => *wire_bytes,
+            | GossipMessage::Aggregation { wire_bytes, .. }
+            | GossipMessage::Shuffle { wire_bytes, .. } => *wire_bytes,
         }
     }
 }
@@ -177,6 +204,23 @@ mod tests {
         assert_eq!(a.wire_size(), 28 + 100);
         assert_eq!(a.kind(), "aggregation");
         assert!(!a.carries_payload());
+    }
+
+    #[test]
+    fn shuffle_size_scales_with_entries() {
+        let entries: Vec<ViewEntry> = (1..=5)
+            .map(|i| ViewEntry {
+                peer: NodeId::new(i),
+                age: i,
+            })
+            .collect();
+        let s = GossipMessage::shuffle(entries, false, &cfg());
+        assert_eq!(s.wire_size(), 28 + 5 * 8);
+        assert_eq!(s.kind(), "shuffle");
+        assert!(!s.carries_payload());
+        let reply = GossipMessage::shuffle(vec![], true, &cfg());
+        assert_eq!(reply.wire_size(), 28);
+        assert!(matches!(reply, GossipMessage::Shuffle { reply: true, .. }));
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! the simulator's [`Protocol`] trait.
 
 use crate::aggregation::CapabilityAggregator;
-use crate::config::GossipConfig;
+use crate::config::{GossipConfig, PartialMembershipConfig};
 use crate::engine::DisseminationEngine;
 use crate::fanout::FanoutPolicy;
 use crate::message::GossipMessage;
 use crate::retransmit::RetransmitTracker;
+use heap_membership::partial::PartialView;
 use heap_membership::sampler::UniformSampler;
 use heap_membership::view::MembershipView;
 use heap_simnet::bandwidth::Bandwidth;
@@ -26,6 +27,8 @@ pub const TAG_GOSSIP: u64 = 0;
 pub const TAG_AGGREGATION: u64 = 1;
 /// Timer tag of the source's next packet publication.
 pub const TAG_SOURCE: u64 = 2;
+/// Timer tag of the periodic Cyclon shuffle (partial membership mode).
+pub const TAG_SHUFFLE: u64 = 3;
 
 /// Whether a node produces the stream or only relays it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,24 +45,44 @@ pub enum Role {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProtocolStats {
     /// [Propose] messages sent.
+    ///
+    /// [Propose]: GossipMessage::Propose
     pub proposals_sent: u64,
     /// [Propose] messages received.
+    ///
+    /// [Propose]: GossipMessage::Propose
     pub proposals_received: u64,
     /// [Request] messages sent (first requests).
+    ///
+    /// [Request]: GossipMessage::Request
     pub requests_sent: u64,
     /// [Request] messages received.
+    ///
+    /// [Request]: GossipMessage::Request
     pub requests_received: u64,
     /// [Serve] messages sent.
+    ///
+    /// [Serve]: GossipMessage::Serve
     pub serves_sent: u64,
     /// Stream packets contained in the [Serve] messages sent.
+    ///
+    /// [Serve]: GossipMessage::Serve
     pub packets_served: u64,
     /// [Serve] messages received.
+    ///
+    /// [Serve]: GossipMessage::Serve
     pub serves_received: u64,
     /// Re-issued [Request] messages (retransmissions).
+    ///
+    /// [Request]: GossipMessage::Request
     pub retransmit_requests: u64,
     /// [Aggregation] messages sent.
+    ///
+    /// [Aggregation]: GossipMessage::Aggregation
     pub aggregation_sent: u64,
     /// [Aggregation] messages received.
+    ///
+    /// [Aggregation]: GossipMessage::Aggregation
     pub aggregation_received: u64,
     /// Sum of the fanouts drawn at each gossip emission (divide by
     /// `gossip_emissions` for the achieved average fanout).
@@ -67,6 +90,14 @@ pub struct ProtocolStats {
     /// Number of gossip emissions (rounds in which the node had ids to
     /// propose, plus immediate source publications).
     pub gossip_emissions: u64,
+    /// [Shuffle] messages sent (partial membership mode only).
+    ///
+    /// [Shuffle]: GossipMessage::Shuffle
+    pub shuffles_sent: u64,
+    /// [Shuffle] messages received.
+    ///
+    /// [Shuffle]: GossipMessage::Shuffle
+    pub shuffles_received: u64,
 }
 
 impl ProtocolStats {
@@ -90,6 +121,7 @@ pub struct GossipNodeBuilder {
     policy: FanoutPolicy,
     capability: Bandwidth,
     role: Role,
+    partial: Option<PartialMembershipConfig>,
 }
 
 impl GossipNodeBuilder {
@@ -119,6 +151,15 @@ impl GossipNodeBuilder {
         self
     }
 
+    /// Replaces full membership knowledge with a Cyclon-style partial view:
+    /// gossip and aggregation targets are drawn from a bounded view that is
+    /// refreshed by periodic shuffles instead of from the full node list.
+    /// The view is bootstrapped with the node's `view_size` ring successors.
+    pub fn partial_membership(mut self, config: PartialMembershipConfig) -> Self {
+        self.partial = Some(config);
+        self
+    }
+
     /// Builds the node.
     ///
     /// # Panics
@@ -128,12 +169,26 @@ impl GossipNodeBuilder {
         if let Err(e) = self.config.validate() {
             panic!("invalid gossip configuration: {e}");
         }
+        let partial = self.partial.map(|config| {
+            if let Err(e) = config.validate() {
+                panic!("invalid partial membership configuration: {e}");
+            }
+            // Bootstrap with the ring successors, a deterministic connected
+            // overlay the shuffles then randomise.
+            let mut view = PartialView::new(self.id, config.view_size);
+            let seeds: Vec<NodeId> = (1..=config.view_size as u32)
+                .map(|d| NodeId::new((self.id.as_u32() + d) % self.n as u32))
+                .collect();
+            view.seed(&seeds);
+            PartialState { view, config }
+        });
         GossipNode {
             id: self.id,
             role: self.role,
             policy: self.policy,
             capability: self.capability,
             view: MembershipView::full(self.n, self.id),
+            partial,
             engine: DisseminationEngine::new(self.schedule),
             aggregator: CapabilityAggregator::new(self.id, self.capability),
             retransmit: RetransmitTracker::new(),
@@ -145,6 +200,14 @@ impl GossipNodeBuilder {
             served_generation_start: SimTime::ZERO,
         }
     }
+}
+
+/// The Cyclon-style partial view and its parameters (partial membership
+/// mode).
+#[derive(Debug, Clone)]
+struct PartialState {
+    view: PartialView,
+    config: PartialMembershipConfig,
 }
 
 /// A node running the three-phase gossip protocol — standard gossip or HEAP
@@ -159,6 +222,7 @@ pub struct GossipNode {
     policy: FanoutPolicy,
     capability: Bandwidth,
     view: MembershipView,
+    partial: Option<PartialState>,
     engine: DisseminationEngine,
     aggregator: CapabilityAggregator,
     retransmit: RetransmitTracker,
@@ -185,6 +249,7 @@ impl GossipNode {
             policy: FanoutPolicy::fixed(GossipConfig::paper().fanout),
             capability: Bandwidth::from_mbps(100),
             role: Role::Receiver,
+            partial: None,
         }
     }
 
@@ -233,6 +298,11 @@ impl GossipNode {
         &self.view
     }
 
+    /// The node's Cyclon partial view, if it runs in partial membership mode.
+    pub fn partial_view(&self) -> Option<&PartialView> {
+        self.partial.as_ref().map(|p| &p.view)
+    }
+
     /// Message counters.
     pub fn stats(&self) -> ProtocolStats {
         self.stats
@@ -253,6 +323,9 @@ impl GossipNode {
         self.view.mark_dead_at(peer, noticed_at);
         self.aggregator.forget(peer);
         self.retransmit.forget_proposer(peer);
+        if let Some(partial) = self.partial.as_mut() {
+            partial.view.remove(peer);
+        }
     }
 
     /// Advertises a new upload capability (feeds the aggregation protocol).
@@ -288,6 +361,17 @@ impl GossipNode {
         self.served_recent.insert((requester.as_u32(), id.seq()));
     }
 
+    /// Draws up to `fanout` gossip targets: uniformly from the full view, or
+    /// from the Cyclon partial view in partial membership mode.
+    fn select_targets(&self, fanout: usize, rng: &mut rand::rngs::SmallRng) -> Vec<NodeId> {
+        match &self.partial {
+            Some(partial) => {
+                UniformSampler::select_from(&partial.view.peers(), self.id, fanout, rng)
+            }
+            None => UniformSampler::select(&self.view, fanout, rng),
+        }
+    }
+
     /// Sends a [Propose] for `ids` to a freshly drawn set of gossip targets.
     ///
     /// [Propose]: GossipMessage::Propose
@@ -305,7 +389,7 @@ impl GossipNode {
         if fanout == 0 {
             return;
         }
-        let targets = UniformSampler::select(&self.view, fanout, ctx.rng());
+        let targets = self.select_targets(fanout, ctx.rng());
         for target in targets {
             ctx.send(target, GossipMessage::propose(ids.clone(), &self.config));
             self.stats.proposals_sent += 1;
@@ -336,8 +420,7 @@ impl GossipNode {
             let samples = self
                 .aggregator
                 .freshest_samples(self.config.aggregation_freshest, ctx.now());
-            let targets =
-                UniformSampler::select(&self.view, self.config.aggregation_fanout, ctx.rng());
+            let targets = self.select_targets(self.config.aggregation_fanout, ctx.rng());
             for target in targets {
                 ctx.send(
                     target,
@@ -347,6 +430,33 @@ impl GossipNode {
             }
         }
         self.arm_aggregation_timer(ctx, self.config.aggregation_period);
+    }
+
+    /// One Cyclon round: evict the oldest peer from the view, age the rest,
+    /// send it a sample (plus a fresh self-descriptor) and re-arm the
+    /// shuffle timer.
+    ///
+    /// Evicting the partner up front is what Cyclon does and is what makes
+    /// the view self-healing: a live partner re-enters later through the
+    /// age-0 self-descriptors its own shuffle initiations circulate, while
+    /// a crashed one is gone for good instead of being re-selected as
+    /// "oldest" round after round until the failure detector notices it.
+    fn on_shuffle_round(&mut self, ctx: &mut Context<'_, GossipMessage>) {
+        let Some(partial) = self.partial.as_mut() else {
+            return;
+        };
+        let period = partial.config.shuffle_period;
+        let shuffle_size = partial.config.shuffle_size;
+        if let Some(partner) = partial.view.oldest_peer() {
+            partial.view.remove(partner);
+            let entries = partial.view.start_shuffle(shuffle_size, ctx.rng());
+            ctx.send(
+                partner,
+                GossipMessage::shuffle(entries, false, &self.config),
+            );
+            self.stats.shuffles_sent += 1;
+        }
+        ctx.set_timer(period, TAG_SHUFFLE);
     }
 
     fn on_source_tick(&mut self, ctx: &mut Context<'_, GossipMessage>) {
@@ -409,6 +519,13 @@ impl Protocol for GossipNode {
                 .gen_range(0..=self.config.aggregation_period.as_micros()),
         );
         self.arm_aggregation_timer(ctx, agg_phase);
+        if let Some(partial) = &self.partial {
+            let shuffle_phase = SimDuration::from_micros(
+                ctx.rng()
+                    .gen_range(0..=partial.config.shuffle_period.as_micros()),
+            );
+            ctx.set_timer(shuffle_phase, TAG_SHUFFLE);
+        }
         if self.is_source() {
             let start = self.engine.schedule().start();
             self.arm_source_timer(ctx, start);
@@ -463,6 +580,18 @@ impl Protocol for GossipNode {
                 self.stats.aggregation_received += 1;
                 self.aggregator.merge(&samples);
             }
+            GossipMessage::Shuffle { entries, reply, .. } => {
+                self.stats.shuffles_received += 1;
+                if let Some(partial) = self.partial.as_mut() {
+                    let shuffle_size = partial.config.shuffle_size;
+                    if !reply {
+                        let response = partial.view.sample_entries(shuffle_size, ctx.rng());
+                        ctx.send(from, GossipMessage::shuffle(response, true, &self.config));
+                        self.stats.shuffles_sent += 1;
+                    }
+                    partial.view.merge(&entries);
+                }
+            }
         }
     }
 
@@ -471,6 +600,7 @@ impl Protocol for GossipNode {
             TAG_GOSSIP => self.on_gossip_round(ctx),
             TAG_AGGREGATION => self.on_aggregation_round(ctx),
             TAG_SOURCE => self.on_source_tick(ctx),
+            TAG_SHUFFLE => self.on_shuffle_round(ctx),
             t if RetransmitTracker::is_retransmit_tag(t) => self.on_retransmit_timer(ctx, t),
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
@@ -553,6 +683,50 @@ mod tests {
         assert_eq!(
             sim.node(NodeId::new(0)).next_source_seq,
             sim.node(NodeId::new(0)).engine().schedule().total_packets()
+        );
+    }
+
+    #[test]
+    fn partial_membership_disseminates_and_shuffles() {
+        let n = 25;
+        let sched = schedule(2);
+        let mut sim = SimulatorBuilder::new(n, 4)
+            .latency(LatencyModel::uniform(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(60),
+            ))
+            .build(|id| {
+                GossipNode::builder(id, n, sched)
+                    .config(GossipConfig::paper().with_fanout(5.0))
+                    .fanout(FanoutPolicy::fixed(5.0))
+                    .partial_membership(PartialMembershipConfig {
+                        view_size: 8,
+                        shuffle_size: 4,
+                        shuffle_period: SimDuration::from_millis(500),
+                    })
+                    .role(if id.index() == 0 {
+                        Role::Source
+                    } else {
+                        Role::Receiver
+                    })
+                    .build()
+            });
+        sim.run_until(SimTime::from_secs(20));
+        let mut total_delivery = 0.0;
+        for (id, node) in sim.iter_nodes() {
+            let view = node.partial_view().expect("partial mode");
+            assert!(!view.is_empty(), "node {id} view collapsed");
+            assert!(view.len() <= 8);
+            assert!(node.stats().shuffles_sent > 0, "node {id} never shuffled");
+            assert_eq!(node.engine().stats().duplicate_payloads, 0);
+            if id.index() != 0 {
+                total_delivery += node.receiver_log().delivery_ratio();
+            }
+        }
+        let mean = total_delivery / (n - 1) as f64;
+        assert!(
+            mean > 0.95,
+            "partial-view dissemination only delivered {mean}"
         );
     }
 

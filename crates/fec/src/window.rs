@@ -373,8 +373,9 @@ mod tests {
         let (data, packets) = make_window(params, 3);
         let mut dec = WindowDecoder::new(params);
         // Insert the last `data_packets` packets (mostly parity-heavy subset).
-        for i in (params.total_packets() - params.decode_threshold())..params.total_packets() {
-            dec.insert(i, packets[i].clone());
+        let skip = params.total_packets() - params.decode_threshold();
+        for (i, packet) in packets.iter().enumerate().skip(skip) {
+            dec.insert(i, packet.clone());
         }
         assert!(dec.is_decodable());
         assert_eq!(dec.decode().unwrap(), data);
@@ -440,8 +441,12 @@ mod tests {
         let (_, packets) = make_window(params, 77);
         let mut ws = DecodeWorkspace::new();
         let mut dec = WindowDecoder::new(params);
-        for i in 0..params.decode_threshold() - 1 {
-            dec.insert(i, packets[i].clone());
+        for (i, packet) in packets
+            .iter()
+            .enumerate()
+            .take(params.decode_threshold() - 1)
+        {
+            dec.insert(i, packet.clone());
         }
         assert!(matches!(
             dec.decode_with(&mut ws),

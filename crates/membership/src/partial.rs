@@ -131,6 +131,17 @@ impl PartialView {
         sample
     }
 
+    /// Samples up to `count` entries uniformly at random *without* ageing the
+    /// view or advertising the owner: the reply side of a Cyclon shuffle
+    /// (only the initiator ages its entries and injects a fresh descriptor
+    /// of itself).
+    pub fn sample_entries<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<ViewEntry> {
+        let mut sample: Vec<ViewEntry> = self.entries.clone();
+        sample.shuffle(rng);
+        sample.truncate(count);
+        sample
+    }
+
     /// Merges entries received from a shuffle partner, preferring fresh
     /// entries and evicting the oldest ones when over capacity.
     pub fn merge(&mut self, received: &[ViewEntry]) {
@@ -236,6 +247,19 @@ mod tests {
         // Peer 4 (age 0) must have been kept over one of the stale ones.
         assert!(view.contains(NodeId::new(4)));
         assert!(!view.contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn sample_entries_neither_ages_nor_includes_owner() {
+        let mut view = PartialView::new(NodeId::new(0), 8);
+        view.seed(&ids(&[1, 2, 3, 4, 5]));
+        let sample = view.sample_entries(3, &mut rng());
+        assert_eq!(sample.len(), 3);
+        assert!(sample.iter().all(|e| e.peer != NodeId::new(0)));
+        // Sampling is read-only: no entry aged.
+        assert!(view.entries.iter().all(|e| e.age == 0));
+        // Requesting more than available returns everything.
+        assert_eq!(view.sample_entries(99, &mut rng()).len(), 5);
     }
 
     #[test]

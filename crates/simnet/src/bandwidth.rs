@@ -74,7 +74,7 @@ impl Bandwidth {
 
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{}Mbps", self.0 / 1_000_000)
         } else if self.0 >= 1_000 {
             write!(f, "{}kbps", self.0 / 1_000)
@@ -86,9 +86,10 @@ impl fmt::Display for Bandwidth {
 
 /// Upload capacity of a node: either unlimited (the unconstrained PlanetLab
 /// baseline of Fig. 1) or capped at a given bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum UploadCapacity {
     /// No application-level cap.
+    #[default]
     Unlimited,
     /// Capped at the given rate.
     Limited(Bandwidth),
@@ -107,12 +108,6 @@ impl UploadCapacity {
 impl From<Bandwidth> for UploadCapacity {
     fn from(b: Bandwidth) -> Self {
         UploadCapacity::Limited(b)
-    }
-}
-
-impl Default for UploadCapacity {
-    fn default() -> Self {
-        UploadCapacity::Unlimited
     }
 }
 

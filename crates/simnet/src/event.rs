@@ -1,12 +1,56 @@
-//! The discrete-event queue.
+//! The discrete-event queue: a hierarchical calendar queue.
 //!
-//! A thin wrapper around [`BinaryHeap`] that orders events by their firing
-//! time and breaks ties by insertion order, which makes simulations fully
-//! deterministic for a given seed.
+//! [`EventQueue`] orders events by their firing time and breaks ties by
+//! insertion order, which makes simulations fully deterministic for a given
+//! seed. Since PR 3 it is no longer a [`BinaryHeap`] but a two-level
+//! *calendar queue* (a timer wheel with a far-future overflow heap), which
+//! turns the hot `push`/`pop` pair from `O(log n)` pointer-chasing sifts into
+//! amortised `O(1)` appends and pops on small contiguous buckets:
+//!
+//! * **Near horizon** — a sliding ring of [`NUM_BUCKETS`] buckets, each
+//!   covering [`BUCKET_WIDTH_MICROS`] of virtual time, so the window
+//!   `[current bucket, current bucket + NUM_BUCKETS)` (≈ 0.5 s) slides with
+//!   the simulation clock. Events within the window are appended to their
+//!   bucket unsorted; a bucket is sorted exactly once, when the cursor
+//!   reaches it, and then drained from its tail.
+//! * **Far overflow** — events beyond the window live in a min-heap. Each
+//!   time the cursor advances one bucket, overflow events falling into the
+//!   newly revealed bucket migrate to the ring (one heap peek per advance);
+//!   when the wheel drains entirely, the cursor jumps straight to the
+//!   earliest overflow event. With link latencies and timer periods well
+//!   under the window span, steady-state events never touch the heap.
+//! * **Past guard** — a second, normally-empty min-heap accepts events pushed
+//!   *before* the current bucket, which cannot happen in the simulator
+//!   (events are never scheduled in the past) but keeps the structure
+//!   correct for arbitrary API users.
+//!
+//! Determinism: every event carries a monotonically increasing sequence
+//! number, buckets are sorted by `(time, seq)`, and both heaps order by
+//! `(time, seq)`, so the pop order is *exactly* the pop order of the
+//! reference [`BinaryHeapQueue`] — a property checked by differential
+//! property tests (`crates/simnet/tests/prop_queue_differential.rs`).
+//!
+//! Memory behaviour: bucket `Vec`s are drained in place and keep their
+//! capacity, so after a warm-up period the steady-state event loop performs
+//! no allocation per event.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Number of ring buckets (the sliding near-horizon window).
+pub const NUM_BUCKETS: usize = 512;
+
+/// log2 of the bucket width in microseconds.
+const BUCKET_WIDTH_BITS: u32 = 10;
+
+/// Width of one bucket in microseconds (1.024 ms), making the sliding
+/// window `NUM_BUCKETS × BUCKET_WIDTH_MICROS` ≈ 0.5 s deep. Link latencies
+/// in the simulated network are tens to hundreds of milliseconds, so
+/// in-flight messages spread over tens to hundreds of buckets and stay
+/// inside the window; multi-second protocol timers (retransmissions,
+/// failure detection) take the overflow-heap path.
+pub const BUCKET_WIDTH_MICROS: u64 = 1 << BUCKET_WIDTH_BITS;
 
 /// An event scheduled for a point of virtual time.
 ///
@@ -37,7 +81,9 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        // Reversed: the *earliest* (time, seq) compares greatest, so a
+        // max-heap pops it first and an ascending sort puts it last (buckets
+        // drain from their tail).
         other
             .time
             .cmp(&self.time)
@@ -45,7 +91,8 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A priority queue of [`ScheduledEvent`]s ordered by time then insertion.
+/// A priority queue of [`ScheduledEvent`]s ordered by time then insertion:
+/// the calendar-queue scheduler described in the [module docs](self).
 ///
 /// # Examples
 ///
@@ -62,7 +109,32 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// The sliding ring. Absolute bucket number `b` (`time_µs >>
+    /// BUCKET_WIDTH_BITS`) maps to slot `b % NUM_BUCKETS`; the ring holds
+    /// exactly the events with `b ∈ [cursor_bucket, cursor_bucket +
+    /// NUM_BUCKETS)`. A boxed fixed-size array so that masked slot indexing
+    /// needs no bounds check.
+    buckets: Box<[Vec<ScheduledEvent<E>>; NUM_BUCKETS]>,
+    /// Absolute bucket number of the current bucket. Invariants: every ring
+    /// event is in `[cursor_bucket, cursor_bucket + NUM_BUCKETS)`, and if
+    /// the ring is non-empty, the current bucket's slot is non-empty and
+    /// sorted (earliest event last).
+    cursor_bucket: u64,
+    /// Number of events currently in the ring.
+    wheel_len: usize,
+    /// Events pushed before the current bucket (see module docs).
+    past: BinaryHeap<ScheduledEvent<E>>,
+    /// Events at or beyond the end of the sliding window.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    /// Per-slot packed sort keys `(offset << KEY_IDX_BITS) | arrival index`,
+    /// appended on push so [`order_bucket`](Self::order_bucket) never has to
+    /// re-read the (cold) event data to build its keys. A slot's keys are
+    /// only meaningful while their length matches the bucket's; they are
+    /// consumed and cleared when the bucket is ordered.
+    key_buckets: Box<[Vec<u32>; NUM_BUCKETS]>,
+    /// Gather buffer for [`order_bucket`](Self::order_bucket); its capacity
+    /// is recycled across buckets.
+    scratch: Vec<ScheduledEvent<E>>,
     next_seq: u64,
 }
 
@@ -72,10 +144,274 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Absolute bucket number of a time in microseconds.
+#[inline]
+fn bucket_of(micros: u64) -> u64 {
+    micros >> BUCKET_WIDTH_BITS
+}
+
+/// Ring slot of an absolute bucket number.
+#[inline]
+fn slot_of(bucket: u64) -> usize {
+    (bucket & (NUM_BUCKETS as u64 - 1)) as usize
+}
+
+/// Bits of a packed sort key holding the arrival index; the within-bucket
+/// µs offset occupies the bits above, so `BUCKET_WIDTH_BITS` may not exceed
+/// `32 - KEY_IDX_BITS`.
+const KEY_IDX_BITS: u32 = 22;
+const _: () = assert!(BUCKET_WIDTH_BITS <= 32 - KEY_IDX_BITS);
+
+/// The packed sort key of an event at arrival position `idx` (see
+/// [`EventQueue::order_bucket`]). Positions beyond the index field trigger
+/// the comparison-sort fallback, so truncation here is harmless.
+#[inline]
+fn key_of(micros: u64, idx: usize) -> u32 {
+    let off = (micros & (BUCKET_WIDTH_MICROS - 1)) as u32;
+    (off << KEY_IDX_BITS) | (idx as u32 & ((1 << KEY_IDX_BITS) - 1))
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let buckets: Vec<Vec<ScheduledEvent<E>>> = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
         EventQueue {
+            buckets: buckets
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("built with NUM_BUCKETS entries")),
+            cursor_bucket: 0,
+            wheel_len: 0,
+            past: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            key_buckets: {
+                let keys: Vec<Vec<u32>> = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
+                keys.try_into()
+                    .unwrap_or_else(|_| unreachable!("built with NUM_BUCKETS entries"))
+            },
+            scratch: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Puts `buckets[slot]` into drain order — descending `(time, seq)`, so
+    /// the earliest event sits at the tail.
+    ///
+    /// Within a bucket an event's time is fully determined by its µs offset
+    /// and elements arrive in ascending `seq` order, so the packed key
+    /// `(offset << KEY_IDX_BITS) | arrival index` (appended on push)
+    /// carries the complete `(time, seq)` order. Sorting those 4-byte keys
+    /// and gathering the events through the resulting permutation moves
+    /// each 48-byte event exactly once — profiling showed a comparison sort
+    /// on the events themselves dominating the queue cost on dense buckets.
+    fn order_bucket(&mut self, slot: usize) {
+        let bucket = &mut self.buckets[slot];
+        let keys = &mut self.key_buckets[slot];
+        let k = bucket.len();
+        if k <= 1 {
+            keys.clear();
+            return;
+        }
+        if keys.len() != k || k > (1 << KEY_IDX_BITS) as usize {
+            // The rare paths: a bucket that was current (sorted, keys
+            // consumed) fell back behind the cursor and then received new
+            // events, or a pathologically dense bucket overflowed the index
+            // field. Sort the events directly.
+            keys.clear();
+            bucket.sort_unstable();
+            return;
+        }
+        keys.sort_unstable();
+        self.scratch.clear();
+        self.scratch.reserve(k);
+        // SAFETY: the keys hold each index 0..k exactly once, so every
+        // source element is read exactly once and every output position
+        // 0..k is written exactly once; the source length is zeroed before
+        // ownership transfers, so nothing is dropped twice (a panic cannot
+        // occur between `set_len(0)` and `set_len(k)`).
+        unsafe {
+            let src = bucket.as_ptr();
+            bucket.set_len(0);
+            let out = self.scratch.as_mut_ptr();
+            // Reverse key order = descending (offset, arrival) = descending
+            // (time, seq): the storage order with the earliest event last.
+            for (pos, key) in keys.iter().rev().enumerate() {
+                let idx = (key & ((1 << KEY_IDX_BITS) - 1)) as usize;
+                std::ptr::write(out.add(pos), std::ptr::read(src.add(idx)));
+            }
+            self.scratch.set_len(k);
+        }
+        keys.clear();
+        // The drained bucket keeps its capacity and becomes the next
+        // scratch; the scratch becomes the ordered bucket.
+        std::mem::swap(bucket, &mut self.scratch);
+    }
+
+    /// Migrates every overflow event that now falls inside the sliding
+    /// window into the ring. Called whenever `cursor_bucket` moves. In
+    /// steady state the loop body never runs: it is one heap peek.
+    #[inline]
+    fn reveal_overflow(&mut self) {
+        // `bucket_of` of any time is ≤ 2^54, so this cannot wrap.
+        let window_end = self.cursor_bucket + NUM_BUCKETS as u64;
+        while let Some(head) = self.overflow.peek() {
+            let bucket = bucket_of(head.time.as_micros());
+            if bucket >= window_end {
+                break;
+            }
+            let event = self.overflow.pop().expect("peeked event exists");
+            // Migration never targets the current bucket mid-life: events
+            // enter either the newly revealed farthest bucket (cursor
+            // advance) or the buckets of a fresh window (cursor jump, before
+            // the current bucket is sorted) — all ordered later, so keys
+            // are appended alongside.
+            let slot = slot_of(bucket);
+            let target = &mut self.buckets[slot];
+            self.key_buckets[slot].push(key_of(event.time.as_micros(), target.len()));
+            target.push(event);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`. Returns the sequence number
+    /// assigned to the event.
+    pub fn push(&mut self, time: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let event = ScheduledEvent { time, seq, payload };
+        let micros = time.as_micros();
+        let bucket = bucket_of(micros);
+        if bucket < self.cursor_bucket {
+            if self.is_empty() {
+                // Nothing pending constrains the window: re-anchor on the
+                // event instead of treating it as out-of-order.
+                self.cursor_bucket = bucket;
+                self.buckets[slot_of(bucket)].push(event);
+                self.wheel_len = 1;
+            } else {
+                // Before the current bucket: an out-of-order push by an
+                // external user (the simulator never schedules in the past).
+                self.past.push(event);
+            }
+        } else if bucket - self.cursor_bucket < NUM_BUCKETS as u64 {
+            if self.wheel_len == 0 {
+                // Empty ring: re-point the cursor at this event (a singleton
+                // bucket is trivially sorted), then pull in any overflow
+                // events the moved window now covers.
+                self.buckets[slot_of(bucket)].push(event);
+                self.wheel_len = 1;
+                if bucket > self.cursor_bucket {
+                    self.cursor_bucket = bucket;
+                    self.reveal_overflow();
+                }
+            } else if bucket == self.cursor_bucket {
+                // The current bucket is kept sorted; insert in place.
+                // `(time, seq)` is unique, so binary_search always errs.
+                let bucket_vec = &mut self.buckets[slot_of(bucket)];
+                let pos = bucket_vec.binary_search(&event).unwrap_err();
+                bucket_vec.insert(pos, event);
+                self.wheel_len += 1;
+            } else {
+                let slot = slot_of(bucket);
+                let target = &mut self.buckets[slot];
+                self.key_buckets[slot].push(key_of(micros, target.len()));
+                target.push(event);
+                self.wheel_len += 1;
+            }
+        } else {
+            self.overflow.push(event);
+        }
+        seq
+    }
+
+    /// Removes and returns the earliest scheduled event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        // Past events are strictly earlier than every ring/overflow event.
+        if let Some(event) = self.past.pop() {
+            return Some(event);
+        }
+        if self.wheel_len == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            // Jump the window straight to the earliest overflow event and
+            // migrate everything the new window covers. The migrated events
+            // arrive in ascending (time, seq) order, so the current bucket
+            // sees a reversed run — cheap to sort.
+            self.cursor_bucket = bucket_of(
+                self.overflow
+                    .peek()
+                    .expect("overflow is non-empty")
+                    .time
+                    .as_micros(),
+            );
+            self.reveal_overflow();
+            self.order_bucket(slot_of(self.cursor_bucket));
+        }
+        let slot = slot_of(self.cursor_bucket);
+        let event = self.buckets[slot]
+            .pop()
+            .expect("cursor bucket is non-empty");
+        self.wheel_len -= 1;
+        if self.buckets[slot].is_empty() && self.wheel_len > 0 {
+            // Advance to the next non-empty bucket, revealing overflow
+            // events bucket by bucket, and sort the destination once.
+            loop {
+                self.cursor_bucket += 1;
+                self.reveal_overflow();
+                if !self.buckets[slot_of(self.cursor_bucket)].is_empty() {
+                    break;
+                }
+            }
+            self.order_bucket(slot_of(self.cursor_bucket));
+        }
+        Some(event)
+    }
+
+    /// The firing time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(event) = self.past.peek() {
+            return Some(event.time);
+        }
+        if self.wheel_len > 0 {
+            return self.buckets[slot_of(self.cursor_bucket)]
+                .last()
+                .map(|e| e.time);
+        }
+        self.overflow.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.past.len() + self.wheel_len + self.overflow.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The pre-PR-3 [`BinaryHeap`]-backed event queue, kept as the differential
+/// reference for [`EventQueue`] and as the measurement baseline of the
+/// scheduling-core benchmarks (`BENCH_3.json`).
+///
+/// Pop order is identical to [`EventQueue`]: ascending `(time, seq)`.
+#[derive(Debug)]
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -171,5 +507,95 @@ mod tests {
         }
         assert_eq!(popped.len(), 100);
         let _ = t + SimDuration::ZERO;
+    }
+
+    #[test]
+    fn far_future_events_cross_epochs() {
+        // Events many epochs apart exercise the overflow heap, the epoch
+        // re-anchoring and the empty-epoch skip.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = vec![0, 1, 500_000, 600_000, 3_600_000_000, 3_600_000_001];
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn push_before_cursor_still_pops_in_order() {
+        // Advance the cursor within an epoch, then push an earlier event of
+        // the same epoch: the cursor must move back, not mis-order.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1), "a");
+        q.push(SimTime::from_millis(100), "c");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        q.push(SimTime::from_millis(50), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(50)));
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+
+        // Re-anchor on a far event, then push before the whole epoch: the
+        // past heap must catch it and pop it first.
+        q.push(SimTime::from_secs(10), "later");
+        q.push(SimTime::from_millis(1), "earlier");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["earlier", "later"]);
+    }
+
+    #[test]
+    fn matches_reference_queue_on_a_mixed_workload() {
+        // Deterministic pseudo-random mixed workload driving both queues.
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..5_000u64 {
+            let t = SimTime::from_micros(next() % 2_000_000);
+            cal.push(t, i);
+            heap.push(t, i);
+            if next() % 3 == 0 {
+                let a = cal.pop();
+                let b = heap.pop();
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.time, x.seq, x.payload), (y.time, y.seq, y.payload));
+                    }
+                    (None, None) => {}
+                    other => panic!("queues diverged: {other:?}"),
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.time, x.seq, x.payload), (y.time, y.seq, y.payload));
+                }
+                (None, None) => break,
+                other => panic!("queues diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reference_queue_basics() {
+        let mut q = BinaryHeapQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(2), "b");
+        q.push(SimTime::from_millis(1), "a");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
     }
 }

@@ -10,7 +10,8 @@
 //!
 //! * **virtual time** ([`SimTime`], [`SimDuration`]) with microsecond
 //!   resolution,
-//! * an **event queue** with deterministic tie-breaking ([`event`]),
+//! * a **calendar-queue scheduler** with deterministic tie-breaking
+//!   ([`event`]),
 //! * **per-node upload-capacity queues** that serialise outgoing messages at
 //!   the node's configured bandwidth, exactly like the application-level rate
 //!   limiter described in the paper ([`bandwidth`]),
@@ -23,6 +24,31 @@
 //! Protocols are written against the [`sim::Protocol`] trait and the
 //! [`sim::Context`] command buffer, and are completely unaware of whether they
 //! run above a simulated or a real transport.
+//!
+//! ## The scheduling core
+//!
+//! The inner event loop was rebuilt in PR 3 around three ideas; protocols see
+//! no difference (same `Protocol`/`Context` seam, same event order, same
+//! results for a given seed), only the cost per event changed:
+//!
+//! * **Calendar queue** ([`event::EventQueue`]) — events within the next
+//!   ~0.5 s of virtual time live in [`event::NUM_BUCKETS`] buckets of
+//!   [`event::BUCKET_WIDTH_MICROS`] µs each (append-only until the cursor
+//!   reaches a bucket, which is when it is sorted, exactly once); events
+//!   beyond the horizon wait in an overflow min-heap and migrate wheel-ward
+//!   one epoch at a time. Pop order is ascending `(time, insertion seq)` —
+//!   bit-identical to the [`event::BinaryHeapQueue`] reference, which is kept
+//!   for differential tests and as the benchmark baseline
+//!   ([`sim::SimulatorBuilder::baseline_scheduling_core`]).
+//! * **Generation-stamped timer slots** — [`sim::TimerId`] packs a slot
+//!   index and a generation; firing frees the slot, so cancellation — even of
+//!   a timer that already fired — is an O(1) stamp comparison and the
+//!   simulator's timer state is bounded by the number of *concurrently
+//!   pending* timers ([`sim::Simulator::timer_slots`]).
+//! * **Pooled command buffers** — the [`sim::Context`] command buffer is
+//!   taken from a pool and returned after each callback, so `Context::send`
+//!   and `Context::set_timer` do not allocate in steady state; neither do
+//!   the calendar buckets, which keep their capacity across epochs.
 //!
 //! ## Example
 //!
@@ -72,7 +98,7 @@ pub mod stats;
 pub mod time;
 
 pub use bandwidth::{Bandwidth, UploadQueue};
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{BinaryHeapQueue, EventQueue, ScheduledEvent};
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use node::NodeId;

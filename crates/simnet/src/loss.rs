@@ -11,9 +11,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Decides whether a given message is dropped by the network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum LossModel {
     /// No message is ever lost.
+    #[default]
     None,
     /// Each message is lost independently with probability `p`.
     Bernoulli {
@@ -77,12 +78,6 @@ impl LossModel {
             LossModel::Bernoulli { p } => *p == 0.0,
             LossModel::GilbertElliott { p_good, p_bad, .. } => *p_good == 0.0 && *p_bad == 0.0,
         }
-    }
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
     }
 }
 

@@ -9,7 +9,7 @@
 //! deterministic per-node randomness.
 
 use crate::bandwidth::{UploadCapacity, UploadQueue};
-use crate::event::EventQueue;
+use crate::event::{BinaryHeapQueue, EventQueue, ScheduledEvent};
 use crate::latency::LatencyModel;
 use crate::loss::{LossModel, LossState};
 use crate::node::NodeId;
@@ -17,7 +17,6 @@ use crate::rng::stream_rng;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
-use std::collections::HashSet;
 
 /// Wire-size annotation for protocol messages.
 ///
@@ -32,13 +31,106 @@ pub trait WireSize {
 }
 
 /// Identifier of a pending timer.
+///
+/// The id packs a *slot index* (low 32 bits) and a *generation stamp* (high
+/// 32 bits): the simulator reuses timer slots once their event has fired, and
+/// the generation lets it recognise stale handles — cancelling a timer that
+/// already fired is an O(1) no-op and leaves no state behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(u64);
 
 impl TimerId {
-    /// The raw id value.
+    /// The raw id value (slot in the low 32 bits, generation in the high 32).
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    fn pack(slot: u32, generation: u32) -> Self {
+        TimerId(((generation as u64) << 32) | slot as u64)
+    }
+
+    fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
+
+/// Generation-stamped timer slots backing [`TimerId`].
+///
+/// Arming allocates a slot (reusing freed ones), cancelling disarms it in
+/// O(1), and firing frees the slot and bumps its generation so stale handles
+/// — in particular cancellations of timers that already fired — are
+/// recognised and ignored without recording them anywhere. The table size is
+/// bounded by the peak number of *concurrently pending* timers, not by the
+/// number ever armed or cancelled (the previous `HashSet<u64>` of cancelled
+/// ids leaked an entry for every cancel-after-fire).
+#[derive(Debug, Default)]
+struct TimerTable {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerSlot {
+    generation: u32,
+    armed: bool,
+}
+
+impl TimerTable {
+    /// Allocates an armed slot and returns its handle.
+    fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("timer slots exhausted");
+                self.slots.push(TimerSlot {
+                    generation: 0,
+                    armed: false,
+                });
+                slot
+            }
+        };
+        let entry = &mut self.slots[slot as usize];
+        debug_assert!(!entry.armed, "free slot cannot be armed");
+        entry.armed = true;
+        TimerId::pack(slot, entry.generation)
+    }
+
+    /// Disarms `id` if it is still pending; stale handles are ignored.
+    fn cancel(&mut self, id: TimerId) {
+        let (slot, generation) = id.unpack();
+        if let Some(entry) = self.slots.get_mut(slot as usize) {
+            if entry.generation == generation {
+                entry.armed = false;
+            }
+        }
+    }
+
+    /// Consumes the firing of `id`'s queue event: frees the slot and returns
+    /// whether the timer was still armed (i.e. the callback should run).
+    fn fire(&mut self, id: TimerId) -> bool {
+        let (slot, generation) = id.unpack();
+        let entry = &mut self.slots[slot as usize];
+        if entry.generation != generation {
+            // Stale event for an already-freed slot; cannot happen with the
+            // simulator's own scheduling (each slot has exactly one in-flight
+            // event) but keeps the table safe against double fires.
+            return false;
+        }
+        let was_armed = entry.armed;
+        entry.armed = false;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(slot);
+        was_armed
+    }
+
+    /// Number of timers currently armed.
+    fn armed(&self) -> usize {
+        self.slots.iter().filter(|s| s.armed).count()
+    }
+
+    /// Number of slots ever allocated.
+    fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -89,13 +181,15 @@ enum Command<M> {
 /// Command buffer handed to protocol callbacks.
 ///
 /// Commands are applied by the simulator after the callback returns, in the
-/// order they were issued.
+/// order they were issued. The buffer itself is pooled by the simulator and
+/// reused across callbacks, so issuing commands does not allocate once the
+/// buffer has warmed up.
 pub struct Context<'a, M> {
     node: NodeId,
     now: SimTime,
     rng: &'a mut SmallRng,
-    next_timer_id: &'a mut u64,
-    commands: Vec<Command<M>>,
+    timers: &'a mut TimerTable,
+    commands: &'a mut Vec<Command<M>>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -123,8 +217,7 @@ impl<'a, M> Context<'a, M> {
     /// Arms a timer that fires `delay` from now, carrying an arbitrary `tag`
     /// the protocol can use to distinguish timer purposes.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(*self.next_timer_id);
-        *self.next_timer_id += 1;
+        let id = self.timers.arm();
         self.commands.push(Command::SetTimer { id, delay, tag });
         id
     }
@@ -155,6 +248,48 @@ enum EventKind<M> {
     },
 }
 
+/// The scheduler backing the simulator: the calendar queue by default, or
+/// the pre-PR-3 [`BinaryHeapQueue`] when the baseline core is selected for
+/// benchmarking (see [`SimulatorBuilder::baseline_scheduling_core`]).
+#[derive(Debug)]
+enum SimQueue<E> {
+    Calendar(EventQueue<E>),
+    Baseline(BinaryHeapQueue<E>),
+}
+
+impl<E> SimQueue<E> {
+    #[inline]
+    fn push(&mut self, time: SimTime, payload: E) -> u64 {
+        match self {
+            SimQueue::Calendar(q) => q.push(time, payload),
+            SimQueue::Baseline(q) => q.push(time, payload),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        match self {
+            SimQueue::Calendar(q) => q.pop(),
+            SimQueue::Baseline(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            SimQueue::Calendar(q) => q.peek_time(),
+            SimQueue::Baseline(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SimQueue::Calendar(q) => q.len(),
+            SimQueue::Baseline(q) => q.len(),
+        }
+    }
+}
+
 struct NodeSlot<P> {
     protocol: P,
     upload: UploadQueue,
@@ -175,6 +310,7 @@ pub struct SimulatorBuilder {
     loss: LossModel,
     capacities: Vec<UploadCapacity>,
     queue_limit: Option<SimDuration>,
+    baseline_core: bool,
 }
 
 impl SimulatorBuilder {
@@ -187,7 +323,22 @@ impl SimulatorBuilder {
             loss: LossModel::default(),
             capacities: vec![UploadCapacity::Unlimited; n],
             queue_limit: None,
+            baseline_core: false,
         }
+    }
+
+    /// Routes the simulator through the pre-PR-3 scheduling core: the
+    /// [`BinaryHeapQueue`] event queue, a freshly allocated command buffer
+    /// for every callback, and the seed rand shim's 128-bit-modulo uniform
+    /// latency draws ([`LatencyModel::sample_seed_compat`]). Simulation
+    /// results are bit-identical to the default calendar-queue core (the pop
+    /// order is the same `(time, seq)` order and every random draw yields
+    /// the same value — asserted in tests); only speed and memory behaviour
+    /// differ. Exists so benchmarks can measure the before/after of the
+    /// scheduling-core overhaul in the same run.
+    pub fn baseline_scheduling_core(mut self) -> Self {
+        self.baseline_core = true;
+        self
     }
 
     /// Bounds every node's upload-queue backlog: messages arriving while the
@@ -253,16 +404,23 @@ impl SimulatorBuilder {
                 }
             })
             .collect();
+        let queue = if self.baseline_core {
+            SimQueue::Baseline(BinaryHeapQueue::new())
+        } else {
+            SimQueue::Calendar(EventQueue::new())
+        };
         let mut sim = Simulator {
             nodes,
-            queue: EventQueue::new(),
+            queue,
             latency: self.latency,
             loss: self.loss,
             loss_state: LossState::new(self.n),
             net_rng: stream_rng(self.seed, 0),
             now: SimTime::ZERO,
-            next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            timers: TimerTable::default(),
+            command_scratch: Vec::new(),
+            pooled_commands: !self.baseline_core,
+            seed_compat_draws: self.baseline_core,
             stats: NetStats::new(self.n),
             started: false,
         };
@@ -274,14 +432,20 @@ impl SimulatorBuilder {
 /// The discrete-event simulator hosting one [`Protocol`] instance per node.
 pub struct Simulator<P: Protocol> {
     nodes: Vec<NodeSlot<P>>,
-    queue: EventQueue<EventKind<P::Message>>,
+    queue: SimQueue<EventKind<P::Message>>,
     latency: LatencyModel,
     loss: LossModel,
     loss_state: LossState,
     net_rng: SmallRng,
     now: SimTime,
-    next_timer_id: u64,
-    cancelled_timers: HashSet<u64>,
+    timers: TimerTable,
+    /// Pooled command buffer handed to callbacks (see [`Context`]).
+    command_scratch: Vec<Command<P::Message>>,
+    /// `false` in the baseline core: allocate a fresh buffer per callback.
+    pooled_commands: bool,
+    /// `true` in the baseline core: reproduce the seed shim's slow uniform
+    /// reduction for latency draws (same values, pre-PR-3 cost).
+    seed_compat_draws: bool,
     stats: NetStats,
     started: bool,
 }
@@ -362,6 +526,20 @@ impl<P: Protocol> Simulator<P> {
         self.queue.len()
     }
 
+    /// Number of timers currently armed (set and neither fired nor
+    /// cancelled).
+    pub fn armed_timers(&self) -> usize {
+        self.timers.armed()
+    }
+
+    /// Number of timer slots ever allocated. Bounded by the peak number of
+    /// *concurrently pending* timers: firing frees a slot for reuse and
+    /// cancelling an already-fired timer leaves no state behind (regression
+    /// guard for the pre-PR-3 cancelled-id-set leak).
+    pub fn timer_slots(&self) -> usize {
+        self.timers.capacity()
+    }
+
     /// Runs until the event queue is exhausted or `deadline` is reached,
     /// whichever comes first. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
@@ -412,7 +590,9 @@ impl<P: Protocol> Simulator<P> {
                 self.with_context(to, |proto, ctx| proto.on_message(ctx, from, msg));
             }
             EventKind::Timer { node, timer, tag } => {
-                if self.cancelled_timers.remove(&timer.as_u64()) {
+                // Firing always frees the slot; a cancelled (or stale) timer
+                // is simply not delivered.
+                if !self.timers.fire(timer) {
                     return;
                 }
                 if !self.nodes[node.index()].alive {
@@ -430,36 +610,44 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    /// Runs a protocol callback for `id` with a fresh command buffer and then
-    /// applies the commands it issued.
+    /// Runs a protocol callback for `id` with the pooled command buffer and
+    /// then applies the commands it issued.
     fn with_context<F>(&mut self, id: NodeId, f: F)
     where
         F: FnOnce(&mut P, &mut Context<'_, P::Message>),
     {
         let idx = id.index();
+        if !self.nodes[idx].alive {
+            return;
+        }
         let now = self.now;
-        let mut next_timer = self.next_timer_id;
-        let commands = {
+        // Callbacks never nest (applying commands only schedules events), so
+        // a single pooled buffer suffices; the baseline core allocates a
+        // fresh one per callback, as the seed simulator did.
+        let mut commands = if self.pooled_commands {
+            std::mem::take(&mut self.command_scratch)
+        } else {
+            Vec::new()
+        };
+        {
             let slot = &mut self.nodes[idx];
-            if !slot.alive {
-                return;
-            }
             let mut ctx = Context {
                 node: id,
                 now,
                 rng: &mut slot.rng,
-                next_timer_id: &mut next_timer,
-                commands: Vec::new(),
+                timers: &mut self.timers,
+                commands: &mut commands,
             };
             f(&mut slot.protocol, &mut ctx);
-            ctx.commands
-        };
-        self.next_timer_id = next_timer;
-        self.apply_commands(id, commands);
+        }
+        self.apply_commands(id, &mut commands);
+        if self.pooled_commands {
+            self.command_scratch = commands;
+        }
     }
 
-    fn apply_commands(&mut self, from: NodeId, commands: Vec<Command<P::Message>>) {
-        for cmd in commands {
+    fn apply_commands(&mut self, from: NodeId, commands: &mut Vec<Command<P::Message>>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Send { to, msg } => self.transmit(from, to, msg),
                 Command::SetTimer { id, delay, tag } => {
@@ -473,7 +661,7 @@ impl<P: Protocol> Simulator<P> {
                     );
                 }
                 Command::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id.as_u64());
+                    self.timers.cancel(id);
                 }
             }
         }
@@ -481,14 +669,16 @@ impl<P: Protocol> Simulator<P> {
 
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: P::Message) {
         let bytes = msg.wire_size();
-        if !self.nodes[from.index()].upload.accepts(self.now) {
+        let now = self.now;
+        let upload = &mut self.nodes[from.index()].upload;
+        if !upload.accepts(now) {
             // Finite send buffer: the message is dropped at the sender.
             self.stats.record_queue_drop(from);
             return;
         }
+        let departure = upload.enqueue(now, bytes);
         self.stats.record_send(from, bytes);
-        let departure = self.nodes[from.index()].upload.enqueue(self.now, bytes);
-        self.stats.total_queueing_delay += departure - self.now;
+        self.stats.total_queueing_delay += departure - now;
         if self
             .loss_state
             .is_lost(&self.loss, &mut self.net_rng, from, to)
@@ -496,7 +686,11 @@ impl<P: Protocol> Simulator<P> {
             self.stats.record_loss(from);
             return;
         }
-        let latency = self.latency.sample(&mut self.net_rng, from, to);
+        let latency = if self.seed_compat_draws {
+            self.latency.sample_seed_compat(&mut self.net_rng, from, to)
+        } else {
+            self.latency.sample(&mut self.net_rng, from, to)
+        };
         let arrival = departure + latency;
         self.queue.push(
             arrival,

@@ -1,0 +1,99 @@
+//! Differential property test of the calendar-queue scheduler.
+//!
+//! Drives [`EventQueue`] (the calendar queue) and [`BinaryHeapQueue`] (the
+//! pre-PR-3 reference) with the same randomly generated push/pop sequences
+//! and asserts they agree on every observable: pop order (time, sequence
+//! number *and* payload), `peek_time` and `len` after every step.
+//!
+//! The time distribution is deliberately adversarial for the calendar
+//! layout: dense ties on one instant, sub-bucket jitter, spreads across
+//! several epochs, and far-future outliers that must take the overflow-heap
+//! path and come back through an epoch rollover. Because pops interleave
+//! with pushes, "push earlier than the current cursor bucket" (the
+//! cursor-rewind and past-heap paths) occurs naturally as well.
+
+use heap_simnet::event::{BinaryHeapQueue, EventQueue};
+use heap_simnet::time::SimTime;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One differential run: `ops` random operations derived from `seed`.
+fn drive(seed: u64, ops: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut calendar: EventQueue<u64> = EventQueue::new();
+    let mut reference: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+    let mut payload = 0u64;
+    for step in 0..ops {
+        // Pop with ~40% probability so the queues repeatedly drain and the
+        // calendar exercises epoch rollovers and cursor rewinds.
+        if rng.gen_range(0u32..10) < 4 {
+            let a = calendar.pop();
+            let b = reference.pop();
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        (x.time, x.seq, x.payload),
+                        (y.time, y.seq, y.payload),
+                        "diverged at step {step}"
+                    );
+                }
+                (None, None) => {}
+                other => panic!("one queue empty, the other not, at step {step}: {other:?}"),
+            }
+        } else {
+            let micros = match rng.gen_range(0u32..10) {
+                // Dense ties: a single instant, repeatedly.
+                0 | 1 => 777_777,
+                // Sub-bucket jitter around one bucket.
+                2 | 3 => 500_000 + rng.gen_range(0u64..1_024),
+                // Within a couple of epochs (the wheel horizon is ~0.5 s).
+                4..=7 => rng.gen_range(0u64..1_500_000),
+                // Far future: hours away, overflow-heap territory.
+                8 => rng.gen_range(0u64..4_000_000_000),
+                // Very far future, near-degenerate spread.
+                _ => 3_600_000_000 + rng.gen_range(0u64..3),
+            };
+            calendar.push(SimTime::from_micros(micros), payload);
+            reference.push(SimTime::from_micros(micros), payload);
+            payload += 1;
+        }
+        assert_eq!(
+            calendar.len(),
+            reference.len(),
+            "len diverged at step {step}"
+        );
+        assert_eq!(
+            calendar.peek_time(),
+            reference.peek_time(),
+            "peek diverged at step {step}"
+        );
+        assert_eq!(calendar.is_empty(), reference.is_empty());
+    }
+    // Drain completely: the tail order must match too.
+    loop {
+        match (calendar.pop(), reference.pop()) {
+            (Some(x), Some(y)) => {
+                assert_eq!((x.time, x.seq, x.payload), (y.time, y.seq, y.payload));
+            }
+            (None, None) => break,
+            other => panic!("queues diverged while draining: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The calendar queue pops the exact sequence the reference heap pops.
+    #[test]
+    fn calendar_queue_matches_binary_heap_reference(seed in 0u64..1_000_000) {
+        drive(seed, 3_000);
+    }
+}
+
+/// A long single run for deeper epoch churn than the proptest cases afford.
+#[test]
+fn calendar_queue_matches_reference_on_a_long_run() {
+    drive(0xC0FF_EE42, 60_000);
+}

@@ -7,7 +7,7 @@ use std::fmt;
 /// Globally unique, monotonically increasing identifier of a stream packet.
 ///
 /// The id doubles as the packet's position in the publication order, which is
-/// what gossip [Propose] messages carry around.
+/// what gossip `Propose` messages carry around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PacketId(u64);
 

@@ -507,8 +507,8 @@ mod tests {
 
         // …so the window still decodes cleanly from well-formed packets.
         let mut decoded = None;
-        for idx in 0..threshold {
-            decoded = reassembler.accept(PacketId::new(idx as u64), packets[idx].clone());
+        for (idx, packet) in packets.iter().enumerate().take(threshold) {
+            decoded = reassembler.accept(PacketId::new(idx as u64), packet.clone());
         }
         let win = decoded.expect("well-formed packets decode");
         let recovered: Vec<Vec<u8>> = win.data_packets().map(|p| p.to_vec()).collect();
@@ -524,8 +524,8 @@ mod tests {
         let packets = window_payloads(&config, 0);
 
         // A couple of packets of window 0, then its deadline passes.
-        for idx in 0..2usize {
-            reassembler.accept(PacketId::new(idx as u64), packets[idx].clone());
+        for (idx, packet) in packets.iter().enumerate().take(2) {
+            reassembler.accept(PacketId::new(idx as u64), packet.clone());
         }
         assert_eq!(reassembler.abandon_before(WindowId::new(1)), 1);
         assert_eq!(reassembler.abandoned_windows(), 1);
@@ -553,9 +553,9 @@ mod tests {
         for w in [1u64, 2, 0] {
             let packets = window_payloads(&config, w);
             let mut decoded = None;
-            for idx in 0..threshold {
+            for (idx, packet) in packets.iter().enumerate().take(threshold) {
                 let seq = w * per_window + idx as u64;
-                decoded = reassembler.accept(PacketId::new(seq), packets[idx].clone());
+                decoded = reassembler.accept(PacketId::new(seq), packet.clone());
             }
             let win = decoded.expect("window decodes");
             assert_eq!(win.id().index(), w);
@@ -584,8 +584,8 @@ mod tests {
         // Window 0 receives too few packets to ever decode, and the caller
         // never calls abandon_before.
         let w0 = window_payloads(&config, 0);
-        for idx in 0..2usize {
-            reassembler.accept(PacketId::new(idx as u64), w0[idx].clone());
+        for (idx, packet) in w0.iter().enumerate().take(2) {
+            reassembler.accept(PacketId::new(idx as u64), packet.clone());
         }
         assert_eq!(reassembler.pending_windows(), 1);
 
@@ -621,10 +621,10 @@ mod tests {
         // A few packets of windows 0 and 1, not enough to decode either.
         for w in 0..2u64 {
             let packets = window_payloads(&config, w);
-            for idx in 0..3usize {
+            for (idx, packet) in packets.iter().enumerate().take(3) {
                 let seq = w * per_window + idx as u64;
                 assert!(reassembler
-                    .accept(PacketId::new(seq), packets[idx].clone())
+                    .accept(PacketId::new(seq), packet.clone())
                     .is_none());
             }
         }

@@ -193,7 +193,7 @@ impl BandwidthDistribution {
                 let mut caps: Vec<Option<Bandwidth>> = Vec::with_capacity(n);
                 for class in classes {
                     let count = (class.fraction * n as f64).round() as usize;
-                    caps.extend(std::iter::repeat(Some(class.capability)).take(count));
+                    caps.extend(std::iter::repeat_n(Some(class.capability), count));
                 }
                 // Rounding may leave us short or long; fix up with the most
                 // common class (the first by convention: poorest nodes).

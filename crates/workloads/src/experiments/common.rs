@@ -134,7 +134,7 @@ pub fn class_mean<F: Fn(&NodeResult) -> Option<f64>>(
     class: &str,
     f: F,
 ) -> Option<f64> {
-    let values: Vec<f64> = result.class_survivors(class).filter_map(|n| f(n)).collect();
+    let values: Vec<f64> = result.class_survivors(class).filter_map(f).collect();
     if values.is_empty() {
         None
     } else {
@@ -196,7 +196,8 @@ impl StandardRuns {
     }
 
     /// Executes (or re-executes) the six baseline runs at the given scale,
-    /// one scoped thread per scenario.
+    /// one scoped thread per scenario
+    /// ([`run_scenarios_parallel`](crate::runner::run_scenarios_parallel)).
     ///
     /// Each scenario derives every random draw from its own `Scale` seed
     /// ([`run_scenario`] is a pure function of the scenario), so the results
@@ -204,16 +205,12 @@ impl StandardRuns {
     /// threads only change wall-clock time, never a single byte of output.
     pub fn compute(scale: Scale) -> Self {
         let specs = Self::scenarios(scale);
-        let mut results: Vec<Option<ExperimentResult>> = (0..specs.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (spec, slot) in specs.iter().zip(results.iter_mut()) {
-                scope.spawn(move || *slot = Some(run_scenario(&spec.1)));
-            }
-        });
+        let scenarios: Vec<Scenario> = specs.iter().map(|(_, s)| s.clone()).collect();
+        let results = crate::runner::run_scenarios_parallel(&scenarios);
         let runs = specs
             .into_iter()
             .zip(results)
-            .map(|((key, _), result)| (key, result.expect("scenario thread completed")))
+            .map(|((key, _), result)| (key, result))
             .collect();
         StandardRuns { scale, runs }
     }
@@ -306,24 +303,15 @@ mod tests {
         assert_eq!(secs(None), "never");
     }
 
-    /// Collapses an [`ExperimentResult`] into a 64-bit fingerprint covering
-    /// every per-node field via the `Debug` rendering.
-    fn fingerprint(result: &ExperimentResult) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        format!("{result:?}").hash(&mut hasher);
-        hasher.finish()
-    }
-
     #[test]
     fn parallel_compute_is_bit_identical_to_sequential() {
         let scale = Scale::test().with_nodes(20).with_windows(2);
         let parallel = StandardRuns::compute(scale);
         let sequential = StandardRuns::compute_sequential(scale);
-        let par: Vec<(&str, u64)> = parallel.iter().map(|(k, r)| (k, fingerprint(r))).collect();
+        let par: Vec<(&str, u64)> = parallel.iter().map(|(k, r)| (k, r.fingerprint())).collect();
         let seq: Vec<(&str, u64)> = sequential
             .iter()
-            .map(|(k, r)| (k, fingerprint(r)))
+            .map(|(k, r)| (k, r.fingerprint()))
             .collect();
         assert_eq!(par.len(), 6);
         assert_eq!(par, seq, "threaded runs must not perturb any result");

@@ -10,7 +10,7 @@
 
 use super::common::Figure;
 use crate::bandwidth_dist::BandwidthDistribution;
-use crate::runner::{run_scenario, ExperimentResult};
+use crate::runner::{run_scenarios_parallel, ExperimentResult};
 use crate::scale::Scale;
 use crate::scenario::{ChurnSpec, ProtocolChoice, Scenario};
 use heap_analytics::Series;
@@ -53,7 +53,9 @@ pub fn window_coverage_series(
 pub const FAILURE_POINT: f64 = 1.0 / 3.0;
 
 /// Runs the Figure 10 experiments (20 % and 50 % failures, standard gossip
-/// and HEAP) at the given scale and with the given failure fractions.
+/// and HEAP) at the given scale and with the given failure fractions. The
+/// whole sweep (two runs per fraction) executes on scoped threads, with
+/// results bit-identical to the sequential path ([`run_scenarios_parallel`]).
 pub fn run_with_fractions(scale: Scale, fractions: &[f64]) -> Figure {
     let mut fig = Figure::new(
         "Figure 10",
@@ -63,43 +65,49 @@ pub fn run_with_fractions(scale: Scale, fractions: &[f64]) -> Figure {
         .stream_duration()
         .as_secs_f64();
     let at_secs = (stream_secs * FAILURE_POINT).round() as u64;
-    for &fraction in fractions {
-        let churn = ChurnSpec::Catastrophic {
-            fraction,
-            at_secs,
-            detection_secs: 10,
-        };
-        let heap = run_scenario(
-            &Scenario::new(
-                format!("fig10/heap/{:.0}%", fraction * 100.0),
-                scale,
-                BandwidthDistribution::ref_691(),
-                ProtocolChoice::Heap { fanout: 7.0 },
-            )
-            .with_churn(churn),
-        );
-        let standard = run_scenario(
-            &Scenario::new(
-                format!("fig10/standard/{:.0}%", fraction * 100.0),
-                scale,
-                BandwidthDistribution::ref_691(),
-                ProtocolChoice::Standard { fanout: 7.0 },
-            )
-            .with_churn(churn),
-        );
+    // Two scenarios per fraction, in a fixed order: [heap, standard, ...].
+    let scenarios: Vec<Scenario> = fractions
+        .iter()
+        .flat_map(|&fraction| {
+            let churn = ChurnSpec::Catastrophic {
+                fraction,
+                at_secs,
+                detection_secs: 10,
+            };
+            [
+                Scenario::new(
+                    format!("fig10/heap/{:.0}%", fraction * 100.0),
+                    scale,
+                    BandwidthDistribution::ref_691(),
+                    ProtocolChoice::Heap { fanout: 7.0 },
+                )
+                .with_churn(churn),
+                Scenario::new(
+                    format!("fig10/standard/{:.0}%", fraction * 100.0),
+                    scale,
+                    BandwidthDistribution::ref_691(),
+                    ProtocolChoice::Standard { fanout: 7.0 },
+                )
+                .with_churn(churn),
+            ]
+        })
+        .collect();
+    let results = run_scenarios_parallel(&scenarios);
+    for (pair, &fraction) in results.chunks(2).zip(fractions) {
+        let (heap, standard) = (&pair[0], &pair[1]);
         let pct_label = format!("{:.0}% failures", fraction * 100.0);
         fig.series.push(window_coverage_series(
-            &heap,
+            heap,
             SimDuration::from_secs(12),
             format!("{pct_label}: HEAP - 12s lag"),
         ));
         fig.series.push(window_coverage_series(
-            &standard,
+            standard,
             SimDuration::from_secs(20),
             format!("{pct_label}: standard gossip - 20s lag"),
         ));
         fig.series.push(window_coverage_series(
-            &standard,
+            standard,
             SimDuration::from_secs(30),
             format!("{pct_label}: standard gossip - 30s lag"),
         ));

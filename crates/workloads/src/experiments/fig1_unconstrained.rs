@@ -12,7 +12,7 @@ use crate::scale::Scale;
 use crate::scenario::{ProtocolChoice, Scenario};
 
 /// Runs the Figure 1 experiment: unconstrained bandwidth, standard gossip,
-/// fanout 7.
+/// fanout 7 (a single scenario, so there is no sweep to parallelise).
 pub fn run(scale: Scale) -> Figure {
     let scenario = Scenario::new(
         "fig1/unconstrained/standard-f7",

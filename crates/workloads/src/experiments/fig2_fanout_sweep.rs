@@ -11,7 +11,7 @@
 
 use super::common::{lag_cdf_series, Figure, LagKind};
 use crate::bandwidth_dist::BandwidthDistribution;
-use crate::runner::run_scenario;
+use crate::runner::run_scenarios_parallel;
 use crate::scale::Scale;
 use crate::scenario::{ProtocolChoice, Scenario};
 
@@ -20,7 +20,41 @@ pub const DIST1_FANOUTS: [f64; 5] = [7.0, 15.0, 20.0, 25.0, 30.0];
 /// The fanouts swept on dist2 (uniform) in the paper.
 pub const DIST2_FANOUTS: [f64; 3] = [7.0, 15.0, 20.0];
 
-/// Runs the Figure 2 fanout sweep.
+/// The `(label, scenario)` pairs of the sweep, in figure order.
+fn scenarios(
+    scale: Scale,
+    fanouts_dist1: &[f64],
+    fanouts_dist2: &[f64],
+) -> Vec<(String, Scenario)> {
+    let mut specs = Vec::new();
+    for &fanout in fanouts_dist1 {
+        specs.push((
+            format!("f={fanout} dist1"),
+            Scenario::new(
+                format!("fig2/ms-691/standard-f{fanout}"),
+                scale,
+                BandwidthDistribution::ms_691(),
+                ProtocolChoice::Standard { fanout },
+            ),
+        ));
+    }
+    for &fanout in fanouts_dist2 {
+        specs.push((
+            format!("f={fanout} dist2"),
+            Scenario::new(
+                format!("fig2/uniform-691/standard-f{fanout}"),
+                scale,
+                BandwidthDistribution::uniform_691(),
+                ProtocolChoice::Standard { fanout },
+            ),
+        ));
+    }
+    specs
+}
+
+/// Runs the Figure 2 fanout sweep, one scoped thread per scenario (the
+/// results are bit-identical to running them sequentially; see
+/// [`run_scenarios_parallel`]).
 ///
 /// `fanouts_dist1`/`fanouts_dist2` default to the paper's values when `None`;
 /// tests pass smaller lists to keep runtimes down.
@@ -29,33 +63,12 @@ pub fn run_with_fanouts(scale: Scale, fanouts_dist1: &[f64], fanouts_dist2: &[f6
         "Figure 2",
         "CDF of stream lag for 99% delivery, standard gossip, constrained heterogeneous bandwidth",
     );
-    for &fanout in fanouts_dist1 {
-        let scenario = Scenario::new(
-            format!("fig2/ms-691/standard-f{fanout}"),
-            scale,
-            BandwidthDistribution::ms_691(),
-            ProtocolChoice::Standard { fanout },
-        );
-        let result = run_scenario(&scenario);
-        fig.series.push(lag_cdf_series(
-            &result,
-            LagKind::Delivery99,
-            format!("f={fanout} dist1"),
-        ));
-    }
-    for &fanout in fanouts_dist2 {
-        let scenario = Scenario::new(
-            format!("fig2/uniform-691/standard-f{fanout}"),
-            scale,
-            BandwidthDistribution::uniform_691(),
-            ProtocolChoice::Standard { fanout },
-        );
-        let result = run_scenario(&scenario);
-        fig.series.push(lag_cdf_series(
-            &result,
-            LagKind::Delivery99,
-            format!("f={fanout} dist2"),
-        ));
+    let specs = scenarios(scale, fanouts_dist1, fanouts_dist2);
+    let scenario_list: Vec<Scenario> = specs.iter().map(|(_, s)| s.clone()).collect();
+    let results = run_scenarios_parallel(&scenario_list);
+    for ((label, _), result) in specs.into_iter().zip(&results) {
+        fig.series
+            .push(lag_cdf_series(result, LagKind::Delivery99, label));
     }
     fig
 }

@@ -1,0 +1,121 @@
+//! Partial-view ablation — full membership vs Cyclon under churn.
+//!
+//! The paper's deployment gives every node full membership knowledge, which
+//! is what the fanout rule `f = ln(n) + c` assumes. Real deployments run on
+//! a peer-sampling service instead; this workload checks that HEAP's fanout
+//! adaptation survives that substitution: it repeats the fig. 10-style
+//! catastrophic-failure run (HEAP, ref-691, a fraction of the nodes crashing
+//! one third into the stream) once with full membership and once with
+//! Cyclon-style partial views ([`MembershipChoice::cyclon`]), and plots the
+//! per-window decodability of both runs plus the delivery-lag CDFs.
+//!
+//! The expected shape: the Cyclon run tracks the full-membership run closely
+//! before and after the failure — partial views lose only the (tiny) chance
+//! of proposing to any node at any instant, while shuffles flush dead
+//! descriptors at about the speed of the failure detector.
+
+use super::common::{lag_cdf_series, Figure, LagKind};
+use super::fig10_churn::{window_coverage_series, FAILURE_POINT};
+use crate::bandwidth_dist::BandwidthDistribution;
+use crate::runner::run_scenarios_parallel;
+use crate::scale::Scale;
+use crate::scenario::{ChurnSpec, MembershipChoice, ProtocolChoice, Scenario};
+use heap_simnet::time::SimDuration;
+use heap_streaming::source::StreamConfig;
+
+/// Runs the partial-view comparison at the given scale with the given crash
+/// fraction (both runs execute in parallel, bit-identical to sequential).
+pub fn run_with_fraction(scale: Scale, fraction: f64) -> Figure {
+    let stream_secs = StreamConfig::paper(scale.n_windows)
+        .stream_duration()
+        .as_secs_f64();
+    let churn = ChurnSpec::Catastrophic {
+        fraction,
+        at_secs: (stream_secs * FAILURE_POINT).round() as u64,
+        detection_secs: 10,
+    };
+    let scenarios = vec![
+        Scenario::new(
+            format!("partial-view/full/{:.0}%", fraction * 100.0),
+            scale,
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        )
+        .with_churn(churn),
+        Scenario::new(
+            format!("partial-view/cyclon/{:.0}%", fraction * 100.0),
+            scale,
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        )
+        .with_churn(churn)
+        .with_membership(MembershipChoice::cyclon()),
+    ];
+    let results = run_scenarios_parallel(&scenarios);
+    let (full, cyclon) = (&results[0], &results[1]);
+
+    let mut fig = Figure::new(
+        "Partial view",
+        format!(
+            "HEAP under a {:.0}% catastrophic failure: full membership vs Cyclon partial views",
+            fraction * 100.0
+        ),
+    );
+    fig.series.push(window_coverage_series(
+        full,
+        SimDuration::from_secs(12),
+        "full membership - 12s lag",
+    ));
+    fig.series.push(window_coverage_series(
+        cyclon,
+        SimDuration::from_secs(12),
+        "cyclon - 12s lag",
+    ));
+    fig.series.push(lag_cdf_series(
+        full,
+        LagKind::Delivery99,
+        "full membership CDF",
+    ));
+    fig.series
+        .push(lag_cdf_series(cyclon, LagKind::Delivery99, "cyclon CDF"));
+    fig
+}
+
+/// Runs the paper-style 20 % failure comparison.
+pub fn run(scale: Scale) -> Figure {
+    run_with_fraction(scale, 0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclon_tracks_full_membership_under_churn() {
+        let fig = run_with_fraction(Scale::test(), 0.2);
+        assert_eq!(fig.series.len(), 4);
+        let full = fig.series_named("full membership - 12s lag").unwrap();
+        let cyclon = fig.series_named("cyclon - 12s lag").unwrap();
+        assert_eq!(full.points.len(), cyclon.points.len());
+
+        // Both substrates serve (nearly) everyone before the failure...
+        assert!(full.points.first().unwrap().1 > 60.0);
+        assert!(
+            cyclon.points.first().unwrap().1 > 60.0,
+            "cyclon first-window coverage {}",
+            cyclon.points.first().unwrap().1
+        );
+        // ...and both keep serving a decent share of the survivors after it.
+        assert!(
+            cyclon.points.last().unwrap().1 > 20.0,
+            "cyclon post-failure coverage {}",
+            cyclon.points.last().unwrap().1
+        );
+        // The partial view costs at most a modest coverage gap at the tail.
+        let gap = full.points.last().unwrap().1 - cyclon.points.last().unwrap().1;
+        assert!(
+            gap < 40.0,
+            "cyclon lost {gap} percentage points vs full membership"
+        );
+    }
+}

@@ -26,6 +26,8 @@ pub mod scale;
 pub mod scenario;
 
 pub use bandwidth_dist::{BandwidthClass, BandwidthDistribution};
-pub use runner::{run_scenario, ExperimentResult, NodeResult};
+pub use runner::{
+    run_scenario, run_scenarios_parallel, run_scenarios_threaded, ExperimentResult, NodeResult,
+};
 pub use scale::Scale;
-pub use scenario::{ChurnSpec, ProtocolChoice, Scenario};
+pub use scenario::{ChurnSpec, MembershipChoice, ProtocolChoice, Scenario};

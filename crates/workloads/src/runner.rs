@@ -80,6 +80,17 @@ impl ExperimentResult {
     ) -> impl Iterator<Item = &'a NodeResult> + 'a {
         self.survivors().filter(move |n| n.class == class)
     }
+
+    /// Collapses the result into a 64-bit fingerprint covering every
+    /// per-node field via the `Debug` rendering. The single definition
+    /// behind all bit-identity checks (parallel-vs-sequential sweeps, seed
+    /// determinism), so they cannot drift apart.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        format!("{self:?}").hash(&mut hasher);
+        hasher.finish()
+    }
 }
 
 /// Runs a scenario to completion and collects per-node results.
@@ -140,6 +151,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     if let Some(limit) = scenario.upload_queue_limit {
         builder = builder.upload_queue_limit(limit);
     }
+    let partial_membership = scenario.membership.partial_config();
     let mut sim: Simulator<GossipNode> = builder.build(|id| {
         let capability = advertised[id.index()].unwrap_or_else(|| Bandwidth::from_mbps(100));
         let (role, node_policy) = if id.index() == 0 {
@@ -151,12 +163,15 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         } else {
             (Role::Receiver, policy)
         };
-        GossipNode::builder(id, n, schedule)
+        let mut node = GossipNode::builder(id, n, schedule)
             .config(gossip_config.clone())
             .fanout(node_policy)
             .capability(capability)
-            .role(role)
-            .build()
+            .role(role);
+        if let Some(partial) = partial_membership {
+            node = node.partial_membership(partial);
+        }
+        node.build()
     });
 
     // --- Churn --------------------------------------------------------------
@@ -212,7 +227,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         churn_schedule.crashed_nodes().into_iter().collect();
 
     let mut nodes = Vec::with_capacity(n - 1);
-    for i in 1..n {
+    for (i, &advertised_cap) in advertised.iter().enumerate().skip(1) {
         let id = NodeId::new(i as u32);
         let node = sim.node(id);
         let metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
@@ -226,8 +241,8 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         let upload_rate_kbps = queue.achieved_rate_bps(streaming_span) / 1_000.0;
         nodes.push(NodeResult {
             node: id,
-            class: scenario.distribution.class_label(advertised[i]),
-            capability: advertised[i],
+            class: scenario.distribution.class_label(advertised_cap),
+            capability: advertised_cap,
             crashed: crashed_nodes.contains(&id),
             metrics,
             upload_utilization,
@@ -244,12 +259,55 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     }
 }
 
+/// Runs a batch of scenarios — on scoped threads when the host has spare
+/// cores, inline otherwise — and returns the results in input order.
+///
+/// [`run_scenario`] is a pure function of its scenario — every random draw
+/// derives from the scenario's [`Scale::seed`](crate::scale::Scale) — so the
+/// results are bit-identical whichever execution strategy runs; the threads
+/// change wall-clock time, never a byte of output (asserted in tests). This
+/// is the shared engine behind the parallel per-figure sweeps (fig. 1, 2,
+/// 10, the partial-view workload and the six baseline runs of
+/// [`StandardRuns`](crate::experiments::StandardRuns)).
+///
+/// On a single-core host the batch runs inline: interleaving several
+/// simulators on one core thrashes the cache of the (memory-bound) event
+/// loop — `BENCH_3.json`'s 1-core container measured thread-per-scenario at
+/// ~0.5× sequential at paper scale.
+pub fn run_scenarios_parallel(scenarios: &[Scenario]) -> Vec<ExperimentResult> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores <= 1 || scenarios.len() <= 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+    run_scenarios_threaded(scenarios)
+}
+
+/// The always-threaded variant behind [`run_scenarios_parallel`]: one scoped
+/// thread per scenario regardless of the host's core count. Used by the
+/// bit-identity tests (and `bench-json`'s sweep check) so the threaded path
+/// is exercised even on single-core CI hosts; prefer
+/// [`run_scenarios_parallel`] everywhere else.
+pub fn run_scenarios_threaded(scenarios: &[Scenario]) -> Vec<ExperimentResult> {
+    let mut results: Vec<Option<ExperimentResult>> = scenarios.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (scenario, slot) in scenarios.iter().zip(results.iter_mut()) {
+            scope.spawn(move || *slot = Some(run_scenario(scenario)));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("scenario thread completed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bandwidth_dist::BandwidthDistribution;
     use crate::scale::Scale;
-    use crate::scenario::ProtocolChoice;
+    use crate::scenario::{MembershipChoice, ProtocolChoice};
     use heap_simnet::latency::LatencyModel;
     use heap_simnet::loss::LossModel;
 
@@ -397,6 +455,75 @@ mod tests {
             assert!(
                 [256, 768, 2000].contains(&(cap.as_kbps() as u64)),
                 "advertised capability unchanged, got {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclon_membership_runs_and_shuffles() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::None,
+        )
+        .with_membership(MembershipChoice::cyclon());
+        let result = run_scenario(&scenario);
+        assert_eq!(result.nodes.len(), Scale::test().n_receivers());
+        let shuffles: u64 = result
+            .nodes
+            .iter()
+            .map(|n| n.protocol_stats.shuffles_sent)
+            .sum();
+        assert!(shuffles > 0, "cyclon nodes must shuffle");
+        let mean_delivery: f64 = result
+            .nodes
+            .iter()
+            .map(|n| n.metrics.delivery_ratio())
+            .sum::<f64>()
+            / result.nodes.len() as f64;
+        assert!(
+            mean_delivery > 0.7,
+            "partial views should still disseminate, got {mean_delivery}"
+        );
+    }
+
+    #[test]
+    fn parallel_runner_is_bit_identical_to_sequential() {
+        // A mixed batch: different distributions, protocols, churn and
+        // membership modes, all in one parallel sweep.
+        let scenarios = vec![
+            quick_scenario(
+                BandwidthDistribution::unconstrained(),
+                ProtocolChoice::Standard { fanout: 6.0 },
+                ChurnSpec::None,
+            ),
+            quick_scenario(
+                BandwidthDistribution::ms_691(),
+                ProtocolChoice::Heap { fanout: 6.0 },
+                ChurnSpec::Catastrophic {
+                    fraction: 0.2,
+                    at_secs: 4,
+                    detection_secs: 5,
+                },
+            ),
+            quick_scenario(
+                BandwidthDistribution::ref_691(),
+                ProtocolChoice::Heap { fanout: 6.0 },
+                ChurnSpec::None,
+            )
+            .with_membership(MembershipChoice::cyclon()),
+        ];
+        // Exercise the genuinely threaded path even on single-core CI.
+        let parallel = run_scenarios_threaded(&scenarios);
+        let sequential: Vec<ExperimentResult> = scenarios.iter().map(run_scenario).collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.scenario_name, s.scenario_name);
+            assert_eq!(
+                p.fingerprint(),
+                s.fingerprint(),
+                "{} diverged",
+                p.scenario_name
             );
         }
     }

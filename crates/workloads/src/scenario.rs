@@ -64,6 +64,61 @@ impl ProtocolChoice {
     }
 }
 
+/// How nodes learn about their peers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum MembershipChoice {
+    /// Full membership knowledge, the paper's deployment assumption.
+    Full,
+    /// Cyclon-style partial views refreshed by periodic shuffles
+    /// ([`heap_gossip::PartialMembershipConfig`]); gossip and aggregation
+    /// targets are drawn from the bounded view.
+    Cyclon {
+        /// Partial-view capacity per node.
+        view_size: usize,
+        /// Entries exchanged per shuffle.
+        shuffle_size: usize,
+        /// Interval between shuffle rounds, in milliseconds.
+        shuffle_period_ms: u64,
+    },
+}
+
+impl MembershipChoice {
+    /// The default Cyclon parameterisation
+    /// ([`heap_gossip::PartialMembershipConfig::cyclon`]).
+    pub fn cyclon() -> Self {
+        let config = heap_gossip::PartialMembershipConfig::cyclon();
+        MembershipChoice::Cyclon {
+            view_size: config.view_size,
+            shuffle_size: config.shuffle_size,
+            shuffle_period_ms: config.shuffle_period.as_millis(),
+        }
+    }
+
+    /// A short label for figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MembershipChoice::Full => "full membership",
+            MembershipChoice::Cyclon { .. } => "cyclon",
+        }
+    }
+
+    /// The partial-membership configuration to install on each node, if any.
+    pub fn partial_config(&self) -> Option<heap_gossip::PartialMembershipConfig> {
+        match *self {
+            MembershipChoice::Full => None,
+            MembershipChoice::Cyclon {
+                view_size,
+                shuffle_size,
+                shuffle_period_ms,
+            } => Some(heap_gossip::PartialMembershipConfig {
+                view_size,
+                shuffle_size,
+                shuffle_period: SimDuration::from_millis(shuffle_period_ms),
+            }),
+        }
+    }
+}
+
 /// Churn injected during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum ChurnSpec {
@@ -108,6 +163,8 @@ pub struct Scenario {
     pub loss: LossModel,
     /// Churn injected during the run.
     pub churn: ChurnSpec,
+    /// How nodes learn about their peers (default: full membership).
+    pub membership: MembershipChoice,
     /// Upload capability of the stream source (the paper's source is a
     /// well-provisioned node; it is excluded from all per-class metrics).
     pub source_capability: Bandwidth,
@@ -140,6 +197,7 @@ impl Scenario {
             latency: LatencyModel::planetlab_like(),
             loss: LossModel::bernoulli(0.01),
             churn: ChurnSpec::None,
+            membership: MembershipChoice::Full,
             source_capability: Bandwidth::from_mbps(5),
             straggler_fraction: 0.06,
             upload_queue_limit: Some(SimDuration::from_secs(4)),
@@ -149,6 +207,12 @@ impl Scenario {
     /// Sets the churn spec.
     pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
         self.churn = churn;
+        self
+    }
+
+    /// Sets the membership mode.
+    pub fn with_membership(mut self, membership: MembershipChoice) -> Self {
+        self.membership = membership;
         self
     }
 
@@ -210,6 +274,21 @@ mod tests {
         assert!(o.label().contains("oracle"));
         assert!(o.policy(Some(Bandwidth::from_kbps(691))).is_adaptive());
         assert!(o.policy(None).is_adaptive());
+    }
+
+    #[test]
+    fn membership_choice_resolves_to_partial_config() {
+        assert_eq!(MembershipChoice::Full.partial_config(), None);
+        assert_eq!(MembershipChoice::Full.label(), "full membership");
+        let cyclon = MembershipChoice::cyclon();
+        assert_eq!(cyclon.label(), "cyclon");
+        let config = cyclon.partial_config().expect("cyclon has a config");
+        assert_eq!(
+            config,
+            heap_gossip::PartialMembershipConfig::cyclon(),
+            "round-trips through the scenario representation"
+        );
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() {
     let capability = |id: NodeId| {
         if id.index() == 0 {
             Bandwidth::from_mbps(5) // the source
-        } else if id.index() % 10 == 0 {
+        } else if id.index().is_multiple_of(10) {
             Bandwidth::from_mbps(3)
         } else {
             Bandwidth::from_kbps(700)

@@ -96,7 +96,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length range for [`vec`] (built from `a..b` or `a..=b`).
+    /// A length range for [`vec()`] (built from `a..b` or `a..=b`).
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -250,8 +250,23 @@ pub mod distributions {
                         assert!(span_w > 0, "cannot sample from empty range");
                         let span = span_w as u128;
                         // Modulo bias is negligible for the ranges used here
-                        // (all far below 2^64).
-                        let draw = rng.next_u64() as u128 % span;
+                        // (all far below 2^64). When the span fits in u64 —
+                        // always, except for (near-)full 64-bit ranges — the
+                        // reduction is done in u64: `x % span` is the same
+                        // value either way, but the u64 form is a single
+                        // hardware division instead of a libcall-based u128
+                        // one, which matters in the simulator's event loop.
+                        let draw = if span <= u64::MAX as u128 {
+                            let span = span as u64;
+                            if span.is_power_of_two() {
+                                // Same value as `% span`, without the divide.
+                                (rng.next_u64() & (span - 1)) as u128
+                            } else {
+                                (rng.next_u64() % span) as u128
+                            }
+                        } else {
+                            rng.next_u64() as u128 % span
+                        };
                         (lo_w + draw as i128) as $t
                     }
                 }

@@ -8,19 +8,15 @@
 
 use heap::workloads::{run_scenario, BandwidthDistribution, ProtocolChoice, Scale, Scenario};
 use proptest::prelude::*;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
-/// Collapses a full `ExperimentResult` into a 64-bit fingerprint.
+/// Runs the scenario and collapses the full `ExperimentResult` into a
+/// 64-bit fingerprint ([`ExperimentResult::fingerprint`] hashes the `Debug`
+/// rendering, which covers every per-node field — metrics, protocol
+/// counters, upload rates — so any divergence between two runs changes it).
 ///
-/// The `Debug` rendering covers every per-node field (metrics, protocol
-/// counters, upload rates), so any divergence between two runs changes the
-/// fingerprint.
+/// [`ExperimentResult::fingerprint`]: heap::workloads::ExperimentResult::fingerprint
 fn fingerprint(scenario: &Scenario) -> u64 {
-    let result = run_scenario(scenario);
-    let mut hasher = DefaultHasher::new();
-    format!("{result:?}").hash(&mut hasher);
-    hasher.finish()
+    run_scenario(scenario).fingerprint()
 }
 
 /// A quick scenario: small enough that three runs per case stay cheap, while
