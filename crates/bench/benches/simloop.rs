@@ -1,14 +1,14 @@
 //! Simulator-loop benchmark: raw scheduling-core throughput (events/s) at
-//! 100 / 271 / 1000 / 5000 nodes, for the calendar-queue core and for the
-//! pre-PR-3 `BinaryHeap` baseline core — the Criterion-tracked companion of
-//! the `bench-json` numbers in `BENCH_3.json`.
+//! 100 / 271 / 1000 / 5000 nodes, for all three scheduling-core generations
+//! (PR 4 flat, PR 3 calendar, pre-PR-3 `BinaryHeap`) — the Criterion-tracked
+//! companion of the `bench-json` numbers in `BENCH_4.json`.
 //!
 //! The workload ([`heap_bench::simloop`]) mirrors a congested dissemination
 //! run: ~64 in-flight messages per node walking the network plus a standing
 //! population of far-horizon timers per node.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use heap_bench::simloop;
+use heap_bench::simloop::{self, Core};
 
 /// Events per measured iteration (the workload TTL is derived from it).
 const TARGET_EVENTS: u64 = 300_000;
@@ -20,25 +20,20 @@ fn bench_simloop(c: &mut Criterion) {
         let ttl = simloop::ttl_for(n, TARGET_EVENTS);
         // The event count is identical across cores (asserted in the lib
         // tests); measure it once for the throughput denominator.
-        let mut probe = simloop::build_sim(n, 7, ttl, false);
+        let mut probe = simloop::build_sim(n, 7, ttl, Core::Flat);
         let events = probe.run_to_completion();
         group.throughput(Throughput::Elements(events));
         // Construction is untimed (batched setup), matching bench-json's
         // `simloop::measure`, so both report the same events/s quantity.
-        group.bench_function(&format!("calendar_{n}_nodes"), |b| {
-            b.iter_batched_ref(
-                || simloop::build_sim(n, 7, ttl, false),
-                |sim| sim.run_to_completion(),
-                BatchSize::LargeInput,
-            );
-        });
-        group.bench_function(&format!("baseline_heap_{n}_nodes"), |b| {
-            b.iter_batched_ref(
-                || simloop::build_sim(n, 7, ttl, true),
-                |sim| sim.run_to_completion(),
-                BatchSize::LargeInput,
-            );
-        });
+        for core in [Core::Flat, Core::Pr3, Core::Seed] {
+            group.bench_function(&format!("{}_{n}_nodes", core.label()), |b| {
+                b.iter_batched_ref(
+                    || simloop::build_sim(n, 7, ttl, core),
+                    |sim| sim.run_to_completion(),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
     }
     group.finish();
 }

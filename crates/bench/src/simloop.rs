@@ -139,23 +139,70 @@ pub fn ttl_for(n: usize, target_events: u64) -> u32 {
     (target_events / chains.max(1)).clamp(40, 100_000) as u32
 }
 
+/// Which scheduling-core generation a measurement runs. All three produce
+/// bit-identical simulations (asserted by `heap-simnet`'s differential
+/// tests); they exist so each overhaul can be measured against its
+/// predecessors in the same binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Core {
+    /// Pre-PR-3 core: `BinaryHeap` queue, per-callback command-buffer
+    /// allocation, seed-shim `u128` uniform reductions.
+    Seed,
+    /// PR 3 core: calendar queue, pooled deferred command buffer, per-event
+    /// dispatch.
+    Pr3,
+    /// PR 4 core (the default): eager command dispatch, batched same-tick
+    /// deliveries, SoA stats and node state, cached latency sampling.
+    Flat,
+}
+
+impl Core {
+    /// Short machine-readable label used in bench output and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Core::Seed => "seed_binary_heap",
+            Core::Pr3 => "pr3_calendar",
+            Core::Flat => "pr4_flat",
+        }
+    }
+}
+
 /// Builds the benchmark simulator: uniform 2–264 ms latency (a power-of-two
 /// span for division-free draws) — PlanetLab-like RTTs plus queueing spread,
 /// covering hundreds of calendar buckets — lossless links (loss would
 /// truncate the chains and decouple the event count from the TTL);
-/// `baseline` selects the pre-PR-3 scheduling core.
-pub fn build_sim(n: usize, seed: u64, ttl: u32, baseline: bool) -> Simulator<Flood> {
-    let mut builder = SimulatorBuilder::new(n, seed)
-        // A power-of-two span (2^18 µs ≈ 262 ms) keeps the per-hop latency
-        // draw division-free — the spread itself is PlanetLab-like.
-        .latency(LatencyModel::uniform(
+/// `core` selects the scheduling-core generation.
+pub fn build_sim(n: usize, seed: u64, ttl: u32, core: Core) -> Simulator<Flood> {
+    // A power-of-two span (2^18 µs ≈ 262 ms) keeps the per-hop latency
+    // draw division-free — the spread itself is PlanetLab-like.
+    build_sim_with_latency(
+        n,
+        seed,
+        ttl,
+        core,
+        LatencyModel::uniform(
             SimDuration::from_micros(2_000),
             SimDuration::from_micros(2_000 + ((1 << 18) - 1)),
-        ))
+        ),
+    )
+}
+
+/// [`build_sim`] with an explicit latency model (ablation measurements).
+pub fn build_sim_with_latency(
+    n: usize,
+    seed: u64,
+    ttl: u32,
+    core: Core,
+    latency: LatencyModel,
+) -> Simulator<Flood> {
+    let mut builder = SimulatorBuilder::new(n, seed)
+        .latency(latency)
         .loss(LossModel::none());
-    if baseline {
-        builder = builder.baseline_scheduling_core();
-    }
+    builder = match core {
+        Core::Seed => builder.baseline_scheduling_core(),
+        Core::Pr3 => builder.pr3_scheduling_core(),
+        Core::Flat => builder,
+    };
     builder.build(|id| Flood {
         n: n as u32,
         ttl,
@@ -168,9 +215,9 @@ pub fn build_sim(n: usize, seed: u64, ttl: u32, baseline: bool) -> Simulator<Flo
 
 /// Runs one measurement: builds the simulator (untimed), drains it to
 /// completion (timed) and returns `(events processed, seconds)`.
-pub fn measure(n: usize, seed: u64, target_events: u64, baseline: bool) -> (u64, f64) {
+pub fn measure(n: usize, seed: u64, target_events: u64, core: Core) -> (u64, f64) {
     let ttl = ttl_for(n, target_events);
-    let mut sim = build_sim(n, seed, ttl, baseline);
+    let mut sim = build_sim(n, seed, ttl, core);
     let start = Instant::now();
     let processed = sim.run_to_completion();
     (processed, start.elapsed().as_secs_f64())
@@ -182,11 +229,13 @@ mod tests {
 
     #[test]
     fn workload_is_core_independent() {
-        // The exact same events must be processed by both scheduling cores.
-        let (calendar_events, _) = measure(60, 5, 50_000, false);
-        let (baseline_events, _) = measure(60, 5, 50_000, true);
-        assert_eq!(calendar_events, baseline_events);
-        assert!(calendar_events > 40_000);
+        // The exact same events must be processed by all scheduling cores.
+        let (flat_events, _) = measure(60, 5, 50_000, Core::Flat);
+        let (pr3_events, _) = measure(60, 5, 50_000, Core::Pr3);
+        let (seed_events, _) = measure(60, 5, 50_000, Core::Seed);
+        assert_eq!(flat_events, pr3_events);
+        assert_eq!(flat_events, seed_events);
+        assert!(flat_events > 40_000);
     }
 
     #[test]

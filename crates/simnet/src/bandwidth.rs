@@ -214,8 +214,24 @@ impl UploadQueue {
         self.capacity
     }
 
+    /// The fused [`UploadQueue::accepts`] + [`UploadQueue::enqueue`] the
+    /// simulator's transmit path runs per message: returns `None` (recording
+    /// nothing) when the backlog limit rejects the message, and the departure
+    /// instant otherwise. One match on the capacity/backlog configuration
+    /// instead of two.
+    #[inline]
+    pub fn enqueue_if_accepted(&mut self, now: SimTime, bytes: usize) -> Option<SimTime> {
+        if let (UploadCapacity::Limited(_), Some(limit)) = (self.capacity, self.max_backlog) {
+            if self.queueing_delay(now) > limit {
+                return None;
+            }
+        }
+        Some(self.enqueue(now, bytes))
+    }
+
     /// Enqueues a message of `bytes` bytes at `now` and returns the instant
     /// its last byte leaves the node.
+    #[inline]
     pub fn enqueue(&mut self, now: SimTime, bytes: usize) -> SimTime {
         self.bytes_enqueued += bytes as u64;
         self.messages_enqueued += 1;

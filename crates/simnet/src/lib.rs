@@ -27,28 +27,39 @@
 //!
 //! ## The scheduling core
 //!
-//! The inner event loop was rebuilt in PR 3 around three ideas; protocols see
-//! no difference (same `Protocol`/`Context` seam, same event order, same
-//! results for a given seed), only the cost per event changed:
+//! The inner event loop was rebuilt in PR 3 (calendar queue) and flattened
+//! in PR 4; protocols see no difference (same `Protocol`/`Context` seam,
+//! same event order, same results for a given seed), only the cost per
+//! event changed:
 //!
 //! * **Calendar queue** ([`event::EventQueue`]) — events within the next
 //!   ~0.5 s of virtual time live in [`event::NUM_BUCKETS`] buckets of
 //!   [`event::BUCKET_WIDTH_MICROS`] µs each (append-only until the cursor
-//!   reaches a bucket, which is when it is sorted, exactly once); events
+//!   reaches a bucket, which is when it is ordered, exactly once); events
 //!   beyond the horizon wait in an overflow min-heap and migrate wheel-ward
 //!   one epoch at a time. Pop order is ascending `(time, insertion seq)` —
-//!   bit-identical to the [`event::BinaryHeapQueue`] reference, which is kept
-//!   for differential tests and as the benchmark baseline
-//!   ([`sim::SimulatorBuilder::baseline_scheduling_core`]).
+//!   bit-identical to the retained references.
+//! * **Eager command dispatch** (PR 4) — [`sim::Context::send`] runs the
+//!   transmit path (upload queue, statistics, loss and latency draws, event
+//!   push) inline instead of buffering a command that is replayed after the
+//!   callback returns; per-node state lives in struct-of-arrays form so the
+//!   context can borrow the whole substrate while the protocol instance is
+//!   borrowed separately. Same-tick deliveries to one node are drained in a
+//!   single callback context, and queued events are slim: a delivery's wire
+//!   size is recomputed at the fire site and a timer's node and tag live in
+//!   its timer slot, not in the queue.
 //! * **Generation-stamped timer slots** — [`sim::TimerId`] packs a slot
 //!   index and a generation; firing frees the slot, so cancellation — even of
 //!   a timer that already fired — is an O(1) stamp comparison and the
 //!   simulator's timer state is bounded by the number of *concurrently
 //!   pending* timers ([`sim::Simulator::timer_slots`]).
-//! * **Pooled command buffers** — the [`sim::Context`] command buffer is
-//!   taken from a pool and returned after each callback, so `Context::send`
-//!   and `Context::set_timer` do not allocate in steady state; neither do
-//!   the calendar buckets, which keep their capacity across epochs.
+//! * **Retained baselines** — the PR 3 core (calendar queue with a pooled
+//!   deferred command buffer and fat events,
+//!   [`sim::SimulatorBuilder::pr3_scheduling_core`], backed by
+//!   [`event::Pr3CalendarQueue`]) and the pre-PR-3 seed core
+//!   ([`sim::SimulatorBuilder::baseline_scheduling_core`], backed by
+//!   [`event::BinaryHeapQueue`]) are kept for differential tests and
+//!   same-binary benchmarking; all three cores are asserted bit-identical.
 //!
 //! ## Example
 //!
@@ -98,12 +109,12 @@ pub mod stats;
 pub mod time;
 
 pub use bandwidth::{Bandwidth, UploadQueue};
-pub use event::{BinaryHeapQueue, EventQueue, ScheduledEvent};
+pub use event::{BinaryHeapQueue, EventQueue, Pr3CalendarQueue, ScheduledEvent};
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use node::NodeId;
 pub use sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
-pub use stats::{NetStats, NodeStats};
+pub use stats::{NetStats, NodeStats, ReferenceNetStats};
 pub use time::{SimDuration, SimTime};
 
 /// Convenience re-exports for downstream crates and examples.

@@ -1,16 +1,33 @@
-//! The discrete-event simulator: protocol trait, context command buffer and
+//! The discrete-event simulator: protocol trait, context command surface and
 //! the event loop.
 //!
 //! A [`Protocol`] implementation describes the behaviour of one node. The
 //! [`Simulator`] hosts one protocol instance per node, delivers messages with
 //! per-node upload throttling, link latency and loss, fires timers and
-//! injects crashes. Protocol callbacks receive a [`Context`] — a command
-//! buffer with which they can send messages, arm and cancel timers and draw
-//! deterministic per-node randomness.
+//! injects crashes. Protocol callbacks receive a [`Context`] with which they
+//! can send messages, arm and cancel timers and draw deterministic per-node
+//! randomness.
+//!
+//! ## The flat event loop (PR 4)
+//!
+//! The default core keeps per-node state in struct-of-arrays form (protocol
+//! instances, upload queues, RNGs and liveness in separate dense vectors, the
+//! traffic counters column-wise in [`NetStats`]), applies context commands
+//! *eagerly* — `Context::send` runs the transmit path inline instead of
+//! buffering a command and replaying it after the callback — and drains
+//! same-tick deliveries to one node in a single callback context (one
+//! liveness check, one context activation and one statistics update per run
+//! instead of per message). Loss and latency sampling go through state cached
+//! at build time ([`LatencySampler`](crate::latency)). All of this is
+//! invisible to protocols: callback order, RNG consumption and results are
+//! bit-identical to the PR 3 core, which is retained as
+//! [`SimulatorBuilder::pr3_scheduling_core`] for differential tests and
+//! same-binary benchmarking (as is the pre-PR-3 core,
+//! [`SimulatorBuilder::baseline_scheduling_core`]).
 
 use crate::bandwidth::{UploadCapacity, UploadQueue};
-use crate::event::{BinaryHeapQueue, EventQueue, ScheduledEvent};
-use crate::latency::LatencyModel;
+use crate::event::{BinaryHeapQueue, EventQueue, Pr3CalendarQueue, ScheduledEvent};
+use crate::latency::{LatencyModel, LatencySampler};
 use crate::loss::{LossModel, LossState};
 use crate::node::NodeId;
 use crate::rng::stream_rng;
@@ -63,6 +80,15 @@ impl TimerId {
 /// bounded by the peak number of *concurrently pending* timers, not by the
 /// number ever armed or cancelled (the previous `HashSet<u64>` of cancelled
 /// ids leaked an entry for every cancel-after-fire).
+///
+/// The slot also stores the timer's owning node and user tag. Both are fixed
+/// at arm time and needed exactly once, at the fire site — and the fire path
+/// touches the slot anyway for the generation check — so keeping them here
+/// shrinks the queued `Timer` event to a bare [`TimerId`]. Smaller queue
+/// entries mean less memory traffic in the (cache-bound) event loop; the
+/// `Timer` variant previously inflated *every* queue slot of a
+/// small-message protocol, because an enum is as large as its widest
+/// variant.
 #[derive(Debug, Default)]
 struct TimerTable {
     slots: Vec<TimerSlot>,
@@ -73,11 +99,16 @@ struct TimerTable {
 struct TimerSlot {
     generation: u32,
     armed: bool,
+    /// Raw id of the node that armed the timer.
+    node: u32,
+    /// The protocol-chosen tag passed back to `on_timer`.
+    tag: u64,
 }
 
 impl TimerTable {
-    /// Allocates an armed slot and returns its handle.
-    fn arm(&mut self) -> TimerId {
+    /// Allocates an armed slot for `node` carrying `tag`, returning its
+    /// handle.
+    fn arm(&mut self, node: NodeId, tag: u64) -> TimerId {
         let slot = match self.free.pop() {
             Some(slot) => slot,
             None => {
@@ -85,6 +116,8 @@ impl TimerTable {
                 self.slots.push(TimerSlot {
                     generation: 0,
                     armed: false,
+                    node: 0,
+                    tag: 0,
                 });
                 slot
             }
@@ -92,6 +125,8 @@ impl TimerTable {
         let entry = &mut self.slots[slot as usize];
         debug_assert!(!entry.armed, "free slot cannot be armed");
         entry.armed = true;
+        entry.node = node.as_u32();
+        entry.tag = tag;
         TimerId::pack(slot, entry.generation)
     }
 
@@ -105,22 +140,27 @@ impl TimerTable {
         }
     }
 
-    /// Consumes the firing of `id`'s queue event: frees the slot and returns
-    /// whether the timer was still armed (i.e. the callback should run).
-    fn fire(&mut self, id: TimerId) -> bool {
+    /// Consumes the firing of `id`'s queue event: frees the slot and, if the
+    /// timer was still armed (i.e. the callback should run), returns the
+    /// owning node and tag.
+    fn fire(&mut self, id: TimerId) -> Option<(NodeId, u64)> {
         let (slot, generation) = id.unpack();
         let entry = &mut self.slots[slot as usize];
         if entry.generation != generation {
             // Stale event for an already-freed slot; cannot happen with the
             // simulator's own scheduling (each slot has exactly one in-flight
             // event) but keeps the table safe against double fires.
-            return false;
+            return None;
         }
         let was_armed = entry.armed;
         entry.armed = false;
         entry.generation = entry.generation.wrapping_add(1);
         self.free.push(slot);
-        was_armed
+        if was_armed {
+            Some((NodeId::new(entry.node), entry.tag))
+        } else {
+            None
+        }
     }
 
     /// Number of timers currently armed.
@@ -138,6 +178,14 @@ impl TimerTable {
 ///
 /// All callbacks receive a [`Context`] scoped to this node. A node that has
 /// crashed receives no further callbacks.
+///
+/// Implementations must not assume a fresh context activation per message:
+/// the simulator may invoke [`Protocol::on_message`] several times within one
+/// context when multiple messages arrive at the same node at the same virtual
+/// instant (the batched delivery path). Each invocation still observes the
+/// exact state it would have observed under one-activation-per-message
+/// dispatch — the two schedules are bit-identical, which the differential
+/// tests in `tests/scheduler_core.rs` pin.
 pub trait Protocol {
     /// The message type exchanged between nodes running this protocol.
     type Message: Clone + WireSize;
@@ -161,7 +209,8 @@ pub trait Protocol {
     fn on_crash(&mut self, _now: SimTime) {}
 }
 
-/// Commands a protocol can issue during a callback.
+/// Commands a protocol can issue during a callback (deferred cores only; the
+/// flat core applies the equivalent actions eagerly inside [`Context`]).
 #[derive(Debug)]
 enum Command<M> {
     Send {
@@ -178,60 +227,46 @@ enum Command<M> {
     },
 }
 
-/// Command buffer handed to protocol callbacks.
+/// Which generation of the scheduling core a [`Simulator`] runs.
 ///
-/// Commands are applied by the simulator after the callback returns, in the
-/// order they were issued. The buffer itself is pooled by the simulator and
-/// reused across callbacks, so issuing commands does not allocate once the
-/// buffer has warmed up.
-pub struct Context<'a, M> {
-    node: NodeId,
-    now: SimTime,
-    rng: &'a mut SmallRng,
-    timers: &'a mut TimerTable,
-    commands: &'a mut Vec<Command<M>>,
+/// All three produce bit-identical simulations (asserted by differential
+/// tests); they differ only in per-event cost, and exist so benchmarks can
+/// measure each overhaul against its predecessor in the same binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreMode {
+    /// The PR 4 core: calendar queue, eager command dispatch, batched
+    /// same-tick deliveries, cached loss/latency samplers (the default).
+    Flat,
+    /// The PR 3 core: calendar queue, deferred commands via a pooled buffer,
+    /// per-event dispatch, uncached model sampling.
+    Pr3,
+    /// The pre-PR-3 core: `BinaryHeap` queue, deferred commands via a buffer
+    /// freshly allocated per callback, seed-shim `u128` uniform reductions.
+    Seed,
 }
 
-impl<'a, M> Context<'a, M> {
-    /// The id of the node executing the callback.
-    pub fn node_id(&self) -> NodeId {
-        self.node
-    }
-
-    /// The current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// The node's deterministic random-number generator.
-    pub fn rng(&mut self) -> &mut SmallRng {
-        self.rng
-    }
-
-    /// Sends `msg` to `to`. The message passes through this node's upload
-    /// queue, may be lost, and otherwise arrives after the sampled latency.
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.commands.push(Command::Send { to, msg });
-    }
-
-    /// Arms a timer that fires `delay` from now, carrying an arbitrary `tag`
-    /// the protocol can use to distinguish timer purposes.
-    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = self.timers.arm();
-        self.commands.push(Command::SetTimer { id, delay, tag });
-        id
-    }
-
-    /// Cancels a previously armed timer. Cancelling an already-fired or
-    /// unknown timer is a no-op.
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.commands.push(Command::CancelTimer { id });
-    }
-}
-
-/// What an event in the simulator queue does when it fires.
+/// What an event in the simulator queue does when it fires (flat core).
+///
+/// Kept deliberately small — queue entries are the dominant memory traffic
+/// of the event loop. A delivery's wire size is recomputed from the message
+/// at the fire site ([`WireSize`] is a pure function of the message), and a
+/// timer's owning node and tag live in its [`TimerTable`] slot, so neither
+/// rides along in the queue. An enum is as wide as its widest variant, so
+/// slimming `Timer` shrinks *every* queue slot of a small-message protocol.
 #[derive(Debug, Clone)]
 enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { timer: TimerId },
+    Crash { node: NodeId },
+}
+
+/// The PR 3-era event payload, retained verbatim for the compat cores: the
+/// wire size rides with every delivery and the owning node and tag with
+/// every timer, exactly as the PR 3 scheduler queued them. Benchmarking the
+/// PR 3 core against the flat core is only meaningful if its per-event
+/// memory traffic is reproduced faithfully, layout included.
+#[derive(Debug, Clone)]
+enum FatEventKind<M> {
     Deliver {
         from: NodeId,
         to: NodeId,
@@ -248,53 +283,284 @@ enum EventKind<M> {
     },
 }
 
-/// The scheduler backing the simulator: the calendar queue by default, or
-/// the pre-PR-3 [`BinaryHeapQueue`] when the baseline core is selected for
-/// benchmarking (see [`SimulatorBuilder::baseline_scheduling_core`]).
+/// The scheduler backing the simulator: the calendar queue over slim
+/// [`EventKind`] entries by default, or — for the retained benchmark
+/// baselines — the PR 3 calendar queue ([`Pr3CalendarQueue`]) or the seed
+/// [`BinaryHeapQueue`], both over the original fat [`FatEventKind`]
+/// entries.
 #[derive(Debug)]
-enum SimQueue<E> {
-    Calendar(EventQueue<E>),
-    Baseline(BinaryHeapQueue<E>),
+enum SimQueue<M> {
+    Calendar(EventQueue<EventKind<M>>),
+    CalendarFat(Pr3CalendarQueue<FatEventKind<M>>),
+    BaselineFat(BinaryHeapQueue<FatEventKind<M>>),
 }
 
-impl<E> SimQueue<E> {
+impl<M> SimQueue<M> {
+    /// Schedules a delivery event.
     #[inline]
-    fn push(&mut self, time: SimTime, payload: E) -> u64 {
+    fn push_deliver(&mut self, time: SimTime, from: NodeId, to: NodeId, msg: M, bytes: usize) {
         match self {
-            SimQueue::Calendar(q) => q.push(time, payload),
-            SimQueue::Baseline(q) => q.push(time, payload),
+            SimQueue::Calendar(q) => {
+                q.push(time, EventKind::Deliver { from, to, msg });
+            }
+            SimQueue::CalendarFat(q) => {
+                q.push(
+                    time,
+                    FatEventKind::Deliver {
+                        from,
+                        to,
+                        msg,
+                        bytes,
+                    },
+                );
+            }
+            SimQueue::BaselineFat(q) => {
+                q.push(
+                    time,
+                    FatEventKind::Deliver {
+                        from,
+                        to,
+                        msg,
+                        bytes,
+                    },
+                );
+            }
         }
     }
 
-    #[inline]
-    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+    /// Schedules a timer event.
+    fn push_timer(&mut self, time: SimTime, node: NodeId, timer: TimerId, tag: u64) {
         match self {
-            SimQueue::Calendar(q) => q.pop(),
-            SimQueue::Baseline(q) => q.pop(),
+            SimQueue::Calendar(q) => {
+                q.push(time, EventKind::Timer { timer });
+            }
+            SimQueue::CalendarFat(q) => {
+                q.push(time, FatEventKind::Timer { node, timer, tag });
+            }
+            SimQueue::BaselineFat(q) => {
+                q.push(time, FatEventKind::Timer { node, timer, tag });
+            }
         }
     }
 
-    #[inline]
-    fn peek_time(&self) -> Option<SimTime> {
+    /// Schedules a crash event.
+    fn push_crash(&mut self, time: SimTime, node: NodeId) {
         match self {
-            SimQueue::Calendar(q) => q.peek_time(),
-            SimQueue::Baseline(q) => q.peek_time(),
+            SimQueue::Calendar(q) => {
+                q.push(time, EventKind::Crash { node });
+            }
+            SimQueue::CalendarFat(q) => {
+                q.push(time, FatEventKind::Crash { node });
+            }
+            SimQueue::BaselineFat(q) => {
+                q.push(time, FatEventKind::Crash { node });
+            }
         }
     }
 
     fn len(&self) -> usize {
         match self {
             SimQueue::Calendar(q) => q.len(),
-            SimQueue::Baseline(q) => q.len(),
+            SimQueue::CalendarFat(q) => q.len(),
+            SimQueue::BaselineFat(q) => q.len(),
+        }
+    }
+
+    /// The firing time of the earliest scheduled event, if any.
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            SimQueue::Calendar(q) => q.peek_time(),
+            SimQueue::CalendarFat(q) => q.peek_time(),
+            SimQueue::BaselineFat(q) => q.peek_time(),
+        }
+    }
+
+    /// Slim-queue accessors for the flat event loop; the flat core always
+    /// runs on [`SimQueue::Calendar`].
+    #[inline]
+    fn pop_slim(&mut self) -> Option<ScheduledEvent<EventKind<M>>> {
+        match self {
+            SimQueue::Calendar(q) => q.pop(),
+            _ => unreachable!("flat core runs on the slim calendar queue"),
+        }
+    }
+
+    #[inline]
+    fn pop_slim_at_or_before(&mut self, deadline: SimTime) -> Option<ScheduledEvent<EventKind<M>>> {
+        match self {
+            SimQueue::Calendar(q) => q.pop_at_or_before(deadline),
+            _ => unreachable!("flat core runs on the slim calendar queue"),
+        }
+    }
+
+    #[inline]
+    fn peek_slim(&self) -> Option<&ScheduledEvent<EventKind<M>>> {
+        match self {
+            SimQueue::Calendar(q) => q.peek(),
+            _ => unreachable!("flat core runs on the slim calendar queue"),
+        }
+    }
+
+    /// Fat-queue accessor for the deferred event loop of the compat cores.
+    fn pop_fat(&mut self) -> Option<ScheduledEvent<FatEventKind<M>>> {
+        match self {
+            SimQueue::CalendarFat(q) => q.pop(),
+            SimQueue::BaselineFat(q) => q.pop(),
+            SimQueue::Calendar(_) => unreachable!("compat cores run on a fat queue"),
         }
     }
 }
 
-struct NodeSlot<P> {
-    protocol: P,
-    upload: UploadQueue,
-    rng: SmallRng,
-    alive: bool,
+/// Everything the simulator owns *except* the protocol instances, in
+/// struct-of-arrays form: the network (queue, models, network RNG), the
+/// per-node substrate state (upload queues, RNG streams, liveness) and the
+/// traffic statistics.
+///
+/// Splitting this from the protocols is what lets [`Context`] dispatch
+/// eagerly: during a callback the protocol is borrowed from
+/// `Simulator::protocols` while the context holds the whole core, so
+/// `Context::send` can run the transmit path (upload queue, stats, loss and
+/// latency draws, event push) inline instead of deferring it to a command
+/// buffer replayed after the callback returns.
+struct Core<M> {
+    queue: SimQueue<M>,
+    latency: LatencyModel,
+    /// [`Core::latency`] compiled into its per-draw fast path (flat core).
+    latency_fast: LatencySampler,
+    loss: LossModel,
+    loss_state: LossState,
+    net_rng: SmallRng,
+    now: SimTime,
+    timers: TimerTable,
+    /// Pooled command buffer handed to callbacks (PR 3 core only).
+    command_scratch: Vec<Command<M>>,
+    mode: CoreMode,
+    stats: NetStats,
+    /// Per-node upload rate limiters, indexed by [`NodeId::index`].
+    uploads: Vec<UploadQueue>,
+    /// Per-node deterministic RNG streams, indexed by [`NodeId::index`].
+    rngs: Vec<SmallRng>,
+    /// Per-node liveness, indexed by [`NodeId::index`].
+    alive: Vec<bool>,
+}
+
+impl<M: WireSize> Core<M> {
+    /// Sends `msg` through `from`'s upload queue, drawing loss and latency,
+    /// and schedules the delivery event. The single transmit path shared by
+    /// every core mode; only the latency reduction differs per mode (same
+    /// values, different cost — see [`LatencyModel::sample_seed_compat`]).
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        let now = self.now;
+        let upload = &mut self.uploads[from.index()];
+        let Some(departure) = upload.enqueue_if_accepted(now, bytes) else {
+            // Finite send buffer: the message is dropped at the sender.
+            self.stats.record_queue_drop(from);
+            return;
+        };
+        self.stats.record_send(from, bytes);
+        self.stats.total_queueing_delay += departure - now;
+        if self
+            .loss_state
+            .is_lost(&self.loss, &mut self.net_rng, from, to)
+        {
+            self.stats.record_loss(from);
+            return;
+        }
+        let latency = match self.mode {
+            CoreMode::Flat => self.latency_fast.sample(&mut self.net_rng),
+            CoreMode::Pr3 => self.latency.sample(&mut self.net_rng, from, to),
+            CoreMode::Seed => self.latency.sample_seed_compat(&mut self.net_rng, from, to),
+        };
+        let arrival = departure + latency;
+        self.queue.push_deliver(arrival, from, to, msg, bytes);
+    }
+
+    /// Replays a deferred command buffer in issue order (compat cores).
+    fn apply_commands(&mut self, from: NodeId, commands: &mut Vec<Command<M>>) {
+        for cmd in commands.drain(..) {
+            match cmd {
+                Command::Send { to, msg } => self.transmit(from, to, msg),
+                Command::SetTimer { id, delay, tag } => {
+                    self.queue.push_timer(self.now + delay, from, id, tag);
+                }
+                Command::CancelTimer { id } => {
+                    self.timers.cancel(id);
+                }
+            }
+        }
+    }
+}
+
+/// Command surface handed to protocol callbacks.
+///
+/// In the default (flat) core, commands take effect immediately: `send` runs
+/// the transmit path inline, `set_timer` schedules the timer event as it
+/// arms. In the retained compat cores the context instead records commands
+/// into a buffer the simulator replays after the callback returns — the
+/// pre-PR-4 behaviour. The two schedules are indistinguishable to protocols:
+/// commands act in issue order either way, protocols cannot observe network
+/// state mid-callback, and per-node and network RNG streams are independent,
+/// so every draw lands identically (asserted by the cross-core differential
+/// tests).
+pub struct Context<'a, M> {
+    node: NodeId,
+    core: &'a mut Core<M>,
+    /// `Some` in the deferred-dispatch compat cores, `None` in the flat core.
+    commands: Option<&'a mut Vec<Command<M>>>,
+}
+
+impl<'a, M: WireSize> Context<'a, M> {
+    /// The id of the node executing the callback.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The node's deterministic random-number generator.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rngs[self.node.index()]
+    }
+
+    /// Sends `msg` to `to`. The message passes through this node's upload
+    /// queue, may be lost, and otherwise arrives after the sampled latency.
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        match &mut self.commands {
+            None => self.core.transmit(self.node, to, msg),
+            Some(buffer) => buffer.push(Command::Send { to, msg }),
+        }
+    }
+
+    /// Arms a timer that fires `delay` from now, carrying an arbitrary `tag`
+    /// the protocol can use to distinguish timer purposes.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.core.timers.arm(self.node, tag);
+        match &mut self.commands {
+            None => {
+                self.core
+                    .queue
+                    .push_timer(self.core.now + delay, self.node, id, tag);
+            }
+            Some(buffer) => buffer.push(Command::SetTimer { id, delay, tag }),
+        }
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        match &mut self.commands {
+            None => self.core.timers.cancel(id),
+            Some(buffer) => buffer.push(Command::CancelTimer { id }),
+        }
+    }
 }
 
 /// Configures and constructs a [`Simulator`].
@@ -310,7 +576,7 @@ pub struct SimulatorBuilder {
     loss: LossModel,
     capacities: Vec<UploadCapacity>,
     queue_limit: Option<SimDuration>,
-    baseline_core: bool,
+    mode: CoreMode,
 }
 
 impl SimulatorBuilder {
@@ -323,7 +589,7 @@ impl SimulatorBuilder {
             loss: LossModel::default(),
             capacities: vec![UploadCapacity::Unlimited; n],
             queue_limit: None,
-            baseline_core: false,
+            mode: CoreMode::Flat,
         }
     }
 
@@ -331,13 +597,24 @@ impl SimulatorBuilder {
     /// [`BinaryHeapQueue`] event queue, a freshly allocated command buffer
     /// for every callback, and the seed rand shim's 128-bit-modulo uniform
     /// latency draws ([`LatencyModel::sample_seed_compat`]). Simulation
-    /// results are bit-identical to the default calendar-queue core (the pop
-    /// order is the same `(time, seq)` order and every random draw yields
-    /// the same value — asserted in tests); only speed and memory behaviour
-    /// differ. Exists so benchmarks can measure the before/after of the
-    /// scheduling-core overhaul in the same run.
+    /// results are bit-identical to the default core (the pop order is the
+    /// same `(time, seq)` order and every random draw yields the same value
+    /// — asserted in tests); only speed and memory behaviour differ. Exists
+    /// so benchmarks can measure the scheduling-core overhauls against the
+    /// original seed implementation in the same run.
     pub fn baseline_scheduling_core(mut self) -> Self {
-        self.baseline_core = true;
+        self.mode = CoreMode::Seed;
+        self
+    }
+
+    /// Routes the simulator through the PR 3 scheduling core: the calendar
+    /// queue with per-event dispatch through a pooled deferred command
+    /// buffer, and uncached loss/latency model sampling. Bit-identical to
+    /// the default flat core (asserted in tests); retained as the
+    /// measurement baseline of the PR 4 hot-path flattening (`BENCH_4.json`)
+    /// and as the differential reference for the batched dispatch path.
+    pub fn pr3_scheduling_core(mut self) -> Self {
+        self.mode = CoreMode::Pr3;
         self
     }
 
@@ -391,38 +668,45 @@ impl SimulatorBuilder {
         P: Protocol,
         F: FnMut(NodeId) -> P,
     {
-        let nodes: Vec<NodeSlot<P>> = (0..self.n)
-            .map(|i| {
-                let id = NodeId::new(i as u32);
-                let mut upload = UploadQueue::new(self.capacities[i]);
+        let protocols: Vec<P> = (0..self.n)
+            .map(|i| make_node(NodeId::new(i as u32)))
+            .collect();
+        let uploads: Vec<UploadQueue> = self
+            .capacities
+            .iter()
+            .map(|&capacity| {
+                let mut upload = UploadQueue::new(capacity);
                 upload.set_max_backlog(self.queue_limit);
-                NodeSlot {
-                    protocol: make_node(id),
-                    upload,
-                    rng: stream_rng(self.seed, 1 + i as u64),
-                    alive: true,
-                }
+                upload
             })
             .collect();
-        let queue = if self.baseline_core {
-            SimQueue::Baseline(BinaryHeapQueue::new())
-        } else {
-            SimQueue::Calendar(EventQueue::new())
+        let rngs: Vec<SmallRng> = (0..self.n)
+            .map(|i| stream_rng(self.seed, 1 + i as u64))
+            .collect();
+        let queue = match self.mode {
+            CoreMode::Flat => SimQueue::Calendar(EventQueue::new()),
+            CoreMode::Pr3 => SimQueue::CalendarFat(Pr3CalendarQueue::new()),
+            CoreMode::Seed => SimQueue::BaselineFat(BinaryHeapQueue::new()),
         };
+        let latency_fast = LatencySampler::new(&self.latency);
         let mut sim = Simulator {
-            nodes,
-            queue,
-            latency: self.latency,
-            loss: self.loss,
-            loss_state: LossState::new(self.n),
-            net_rng: stream_rng(self.seed, 0),
-            now: SimTime::ZERO,
-            timers: TimerTable::default(),
-            command_scratch: Vec::new(),
-            pooled_commands: !self.baseline_core,
-            seed_compat_draws: self.baseline_core,
-            stats: NetStats::new(self.n),
-            started: false,
+            protocols,
+            core: Core {
+                queue,
+                latency: self.latency,
+                latency_fast,
+                loss: self.loss,
+                loss_state: LossState::new(self.n),
+                net_rng: stream_rng(self.seed, 0),
+                now: SimTime::ZERO,
+                timers: TimerTable::default(),
+                command_scratch: Vec::new(),
+                mode: self.mode,
+                stats: NetStats::new(self.n),
+                uploads,
+                rngs,
+                alive: vec![true; self.n],
+            },
         };
         sim.start_all();
         sim
@@ -431,32 +715,16 @@ impl SimulatorBuilder {
 
 /// The discrete-event simulator hosting one [`Protocol`] instance per node.
 pub struct Simulator<P: Protocol> {
-    nodes: Vec<NodeSlot<P>>,
-    queue: SimQueue<EventKind<P::Message>>,
-    latency: LatencyModel,
-    loss: LossModel,
-    loss_state: LossState,
-    net_rng: SmallRng,
-    now: SimTime,
-    timers: TimerTable,
-    /// Pooled command buffer handed to callbacks (see [`Context`]).
-    command_scratch: Vec<Command<P::Message>>,
-    /// `false` in the baseline core: allocate a fresh buffer per callback.
-    pooled_commands: bool,
-    /// `true` in the baseline core: reproduce the seed shim's slow uniform
-    /// reduction for latency draws (same values, pre-PR-3 cost).
-    seed_compat_draws: bool,
-    stats: NetStats,
-    started: bool,
+    /// Protocol instances, indexed by [`NodeId::index`]. Kept apart from
+    /// [`Core`] so a callback can borrow its protocol and the core
+    /// simultaneously (the eager-dispatch seam).
+    protocols: Vec<P>,
+    core: Core<P::Message>,
 }
 
 impl<P: Protocol> Simulator<P> {
     fn start_all(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for i in 0..self.nodes.len() {
+        for i in 0..self.protocols.len() {
             let id = NodeId::new(i as u32);
             self.with_context(id, |proto, ctx| proto.on_start(ctx));
         }
@@ -464,51 +732,51 @@ impl<P: Protocol> Simulator<P> {
 
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.core.now
     }
 
     /// The number of nodes (alive or crashed).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.protocols.len()
     }
 
     /// Returns `true` if the simulation hosts no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.protocols.is_empty()
     }
 
     /// Whether `id` is still alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].alive
+        self.core.alive[id.index()]
     }
 
     /// Read access to the protocol state of `id`.
     pub fn node(&self, id: NodeId) -> &P {
-        &self.nodes[id.index()].protocol
+        &self.protocols[id.index()]
     }
 
     /// Mutable access to the protocol state of `id` (for experiment oracles;
     /// protocol logic itself should only act through callbacks).
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
-        &mut self.nodes[id.index()].protocol
+        &mut self.protocols[id.index()]
     }
 
     /// Iterates over all protocol instances with their ids.
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.nodes
+        self.protocols
             .iter()
             .enumerate()
-            .map(|(i, slot)| (NodeId::new(i as u32), &slot.protocol))
+            .map(|(i, p)| (NodeId::new(i as u32), p))
     }
 
     /// The upload queue (and thus traffic counters) of `id`.
     pub fn upload_queue(&self, id: NodeId) -> &UploadQueue {
-        &self.nodes[id.index()].upload
+        &self.core.uploads[id.index()]
     }
 
     /// Network-wide traffic statistics.
     pub fn stats(&self) -> &NetStats {
-        &self.stats
+        &self.core.stats
     }
 
     /// Schedules a crash of `node` at absolute time `at`.
@@ -517,19 +785,19 @@ impl<P: Protocol> Simulator<P> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
-        assert!(at >= self.now, "cannot schedule a crash in the past");
-        self.queue.push(at, EventKind::Crash { node });
+        assert!(at >= self.core.now, "cannot schedule a crash in the past");
+        self.core.queue.push_crash(at, node);
     }
 
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.core.queue.len()
     }
 
     /// Number of timers currently armed (set and neither fired nor
     /// cancelled).
     pub fn armed_timers(&self) -> usize {
-        self.timers.armed()
+        self.core.timers.armed()
     }
 
     /// Number of timer slots ever allocated. Bounded by the peak number of
@@ -537,26 +805,20 @@ impl<P: Protocol> Simulator<P> {
     /// cancelling an already-fired timer leaves no state behind (regression
     /// guard for the pre-PR-3 cancelled-id-set leak).
     pub fn timer_slots(&self) -> usize {
-        self.timers.capacity()
+        self.core.timers.capacity()
     }
 
     /// Runs until the event queue is exhausted or `deadline` is reached,
     /// whichever comes first. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let mut processed = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event must exist");
-            self.now = ev.time;
-            self.dispatch(ev.payload);
-            processed += 1;
-        }
+        let processed = match self.core.mode {
+            CoreMode::Flat => self.run_flat(Some(deadline)),
+            _ => self.run_deferred(Some(deadline)),
+        };
         // Advance the clock to the deadline even if the queue drained early,
         // so that subsequent scheduling is relative to the requested time.
-        if self.now < deadline {
-            self.now = deadline;
+        if self.core.now < deadline {
+            self.core.now = deadline;
         }
         processed
     }
@@ -565,142 +827,204 @@ impl<P: Protocol> Simulator<P> {
     /// of events processed. Use with care: protocols with periodic timers
     /// never drain their queue — prefer [`Simulator::run_until`].
     pub fn run_to_completion(&mut self) -> u64 {
+        match self.core.mode {
+            CoreMode::Flat => self.run_flat(None),
+            _ => self.run_deferred(None),
+        }
+    }
+
+    /// The flat event loop: fused pop, inline dispatch, batched deliveries.
+    fn run_flat(&mut self, deadline: Option<SimTime>) -> u64 {
         let mut processed = 0;
-        while let Some(ev) = self.queue.pop() {
-            self.now = ev.time;
-            self.dispatch(ev.payload);
+        loop {
+            let popped = match deadline {
+                Some(d) => self.core.queue.pop_slim_at_or_before(d),
+                None => self.core.queue.pop_slim(),
+            };
+            let Some(ev) = popped else { break };
+            self.core.now = ev.time;
+            processed += 1;
+            match ev.payload {
+                EventKind::Deliver { from, to, msg } => {
+                    processed += self.deliver_run(from, to, msg);
+                }
+                EventKind::Timer { timer } => {
+                    // Firing always frees the slot; a cancelled (or stale)
+                    // timer is simply not delivered.
+                    if let Some((node, tag)) = self.core.timers.fire(timer) {
+                        if self.core.alive[node.index()] {
+                            let mut ctx = Context {
+                                node,
+                                core: &mut self.core,
+                                commands: None,
+                            };
+                            self.protocols[node.index()].on_timer(&mut ctx, timer, tag);
+                        }
+                    }
+                }
+                EventKind::Crash { node } => {
+                    let idx = node.index();
+                    if self.core.alive[idx] {
+                        self.core.alive[idx] = false;
+                        self.protocols[idx].on_crash(self.core.now);
+                    }
+                }
+            }
+        }
+        processed
+    }
+
+    /// Delivers `msg` to `to` and drains every further delivery to `to`
+    /// scheduled for the same instant into the same callback context: one
+    /// liveness check, one context activation and one batched statistics
+    /// update for the whole run. Any interleaved timer, crash or
+    /// other-destination event at the same tick ends the run, so the
+    /// callback order is exactly the sequential dispatch order. Returns the
+    /// number of *additional* events consumed beyond the first.
+    fn deliver_run(&mut self, from: NodeId, to: NodeId, msg: P::Message) -> u64 {
+        let idx = to.index();
+        let now = self.core.now;
+        if !self.core.alive[idx] {
+            // Drain the dead-destination run without a context.
+            let mut count = 1u64;
+            while next_extends_run(&self.core, now, to) {
+                let _ = self.core.queue.pop_slim();
+                count += 1;
+            }
+            self.core.stats.record_to_dead_n(to, count);
+            return count - 1;
+        }
+        let mut count = 1u64;
+        let mut total_bytes = msg.wire_size() as u64;
+        let protocol = &mut self.protocols[idx];
+        let mut ctx = Context {
+            node: to,
+            core: &mut self.core,
+            commands: None,
+        };
+        protocol.on_message(&mut ctx, from, msg);
+        while next_extends_run(ctx.core, now, to) {
+            let ev = ctx.core.queue.pop_slim().expect("peeked event exists");
+            let EventKind::Deliver { from, msg, .. } = ev.payload else {
+                unreachable!("run extension is a delivery");
+            };
+            count += 1;
+            total_bytes += msg.wire_size() as u64;
+            protocol.on_message(&mut ctx, from, msg);
+        }
+        ctx.core.stats.record_deliveries(to, count, total_bytes);
+        count - 1
+    }
+
+    /// The deferred event loop of the compat cores: peek, pop, dispatch one
+    /// event at a time through the command buffer (the pre-PR-4 control
+    /// flow, retained for same-binary benchmarking and differential tests).
+    fn run_deferred(&mut self, deadline: Option<SimTime>) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.core.queue.peek_time() {
+            if let Some(d) = deadline {
+                if t > d {
+                    break;
+                }
+            }
+            let ev = self.core.queue.pop_fat().expect("peeked event must exist");
+            self.core.now = ev.time;
+            self.dispatch_one(ev.payload);
             processed += 1;
         }
         processed
     }
 
-    fn dispatch(&mut self, event: EventKind<P::Message>) {
+    /// Dispatches a single fat event (compat cores). Uses the bytes, node
+    /// and tag carried by the event — as the PR 3 dispatcher did — which are
+    /// identical to the values the flat core derives at the fire site.
+    fn dispatch_one(&mut self, event: FatEventKind<P::Message>) {
         match event {
-            EventKind::Deliver {
+            FatEventKind::Deliver {
                 from,
                 to,
                 msg,
                 bytes,
             } => {
-                if !self.nodes[to.index()].alive {
-                    self.stats.record_to_dead(to);
+                if !self.core.alive[to.index()] {
+                    self.core.stats.record_to_dead(to);
                     return;
                 }
-                self.stats.record_delivery(to, bytes);
+                self.core.stats.record_delivery(to, bytes);
                 self.with_context(to, |proto, ctx| proto.on_message(ctx, from, msg));
             }
-            EventKind::Timer { node, timer, tag } => {
+            FatEventKind::Timer { node, timer, tag } => {
                 // Firing always frees the slot; a cancelled (or stale) timer
                 // is simply not delivered.
-                if !self.timers.fire(timer) {
+                if self.core.timers.fire(timer).is_none() {
                     return;
                 }
-                if !self.nodes[node.index()].alive {
+                if !self.core.alive[node.index()] {
                     return;
                 }
                 self.with_context(node, |proto, ctx| proto.on_timer(ctx, timer, tag));
             }
-            EventKind::Crash { node } => {
-                let slot = &mut self.nodes[node.index()];
-                if slot.alive {
-                    slot.alive = false;
-                    slot.protocol.on_crash(self.now);
+            FatEventKind::Crash { node } => {
+                let idx = node.index();
+                if self.core.alive[idx] {
+                    self.core.alive[idx] = false;
+                    self.protocols[idx].on_crash(self.core.now);
                 }
             }
         }
     }
 
-    /// Runs a protocol callback for `id` with the pooled command buffer and
-    /// then applies the commands it issued.
+    /// Runs a protocol callback for `id` in the mode-appropriate context:
+    /// eager dispatch in the flat core, a deferred command buffer (pooled
+    /// for PR 3, freshly allocated for the seed baseline) otherwise.
     fn with_context<F>(&mut self, id: NodeId, f: F)
     where
         F: FnOnce(&mut P, &mut Context<'_, P::Message>),
     {
         let idx = id.index();
-        if !self.nodes[idx].alive {
+        if !self.core.alive[idx] {
             return;
         }
-        let now = self.now;
+        if self.core.mode == CoreMode::Flat {
+            let mut ctx = Context {
+                node: id,
+                core: &mut self.core,
+                commands: None,
+            };
+            f(&mut self.protocols[idx], &mut ctx);
+            return;
+        }
         // Callbacks never nest (applying commands only schedules events), so
-        // a single pooled buffer suffices; the baseline core allocates a
+        // a single pooled buffer suffices; the seed baseline core allocates a
         // fresh one per callback, as the seed simulator did.
-        let mut commands = if self.pooled_commands {
-            std::mem::take(&mut self.command_scratch)
+        let mut commands = if self.core.mode == CoreMode::Pr3 {
+            std::mem::take(&mut self.core.command_scratch)
         } else {
             Vec::new()
         };
         {
-            let slot = &mut self.nodes[idx];
             let mut ctx = Context {
                 node: id,
-                now,
-                rng: &mut slot.rng,
-                timers: &mut self.timers,
-                commands: &mut commands,
+                core: &mut self.core,
+                commands: Some(&mut commands),
             };
-            f(&mut slot.protocol, &mut ctx);
+            f(&mut self.protocols[idx], &mut ctx);
         }
-        self.apply_commands(id, &mut commands);
-        if self.pooled_commands {
-            self.command_scratch = commands;
-        }
-    }
-
-    fn apply_commands(&mut self, from: NodeId, commands: &mut Vec<Command<P::Message>>) {
-        for cmd in commands.drain(..) {
-            match cmd {
-                Command::Send { to, msg } => self.transmit(from, to, msg),
-                Command::SetTimer { id, delay, tag } => {
-                    self.queue.push(
-                        self.now + delay,
-                        EventKind::Timer {
-                            node: from,
-                            timer: id,
-                            tag,
-                        },
-                    );
-                }
-                Command::CancelTimer { id } => {
-                    self.timers.cancel(id);
-                }
-            }
+        self.core.apply_commands(id, &mut commands);
+        if self.core.mode == CoreMode::Pr3 {
+            self.core.command_scratch = commands;
         }
     }
+}
 
-    fn transmit(&mut self, from: NodeId, to: NodeId, msg: P::Message) {
-        let bytes = msg.wire_size();
-        let now = self.now;
-        let upload = &mut self.nodes[from.index()].upload;
-        if !upload.accepts(now) {
-            // Finite send buffer: the message is dropped at the sender.
-            self.stats.record_queue_drop(from);
-            return;
+/// Whether the front of the queue extends a same-tick delivery run to `to`.
+#[inline]
+fn next_extends_run<M>(core: &Core<M>, now: SimTime, to: NodeId) -> bool {
+    match core.queue.peek_slim() {
+        Some(ev) if ev.time == now => {
+            matches!(&ev.payload, EventKind::Deliver { to: t, .. } if *t == to)
         }
-        let departure = upload.enqueue(now, bytes);
-        self.stats.record_send(from, bytes);
-        self.stats.total_queueing_delay += departure - now;
-        if self
-            .loss_state
-            .is_lost(&self.loss, &mut self.net_rng, from, to)
-        {
-            self.stats.record_loss(from);
-            return;
-        }
-        let latency = if self.seed_compat_draws {
-            self.latency.sample_seed_compat(&mut self.net_rng, from, to)
-        } else {
-            self.latency.sample(&mut self.net_rng, from, to)
-        };
-        let arrival = departure + latency;
-        self.queue.push(
-            arrival,
-            EventKind::Deliver {
-                from,
-                to,
-                msg,
-                bytes,
-            },
-        );
+        _ => false,
     }
 }
 
@@ -888,5 +1212,59 @@ mod tests {
         let processed = sim.run_to_completion();
         assert!(processed > 0);
         assert_eq!(sim.pending_events(), 0);
+    }
+
+    /// Same-tick deliveries to one node are batched into one context
+    /// activation; the observable outcome (callback count and order, stats)
+    /// must match the one-event-per-activation compat core exactly. Constant
+    /// zero latency plus an instant echo makes every delivery share tick 0,
+    /// so this run exercises batches interleaved with eager pushes into the
+    /// current tick.
+    #[test]
+    fn batched_same_tick_deliveries_match_deferred_core() {
+        let run = |pr3: bool| {
+            let mut builder = SimulatorBuilder::new(6, 11)
+                .latency(LatencyModel::constant(SimDuration::from_millis(0)));
+            if pr3 {
+                builder = builder.pr3_scheduling_core();
+            }
+            let mut sim = builder.build(|_| Echo::new(6));
+            sim.run_until(SimTime::from_secs(1));
+            let received: Vec<u32> = (0..6).map(|i| sim.node(NodeId::new(i)).received).collect();
+            (received, format!("{:?}", sim.stats()))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A crash event firing at the same instant as (and, by insertion order,
+    /// ahead of) a same-tick delivery run to the crashed node: the batch path
+    /// must drain the whole run as dead-destination messages, exactly like
+    /// the one-event-per-dispatch compat core.
+    #[test]
+    fn same_tick_crash_turns_the_delivery_run_dead() {
+        let run = |pr3: bool| {
+            let mut builder = SimulatorBuilder::new(4, 2)
+                .latency(LatencyModel::constant(SimDuration::from_millis(5)));
+            if pr3 {
+                builder = builder.pr3_scheduling_core();
+            }
+            let mut sim = builder.build(|_| Echo::new(4));
+            // The flood arrives at nodes 1..3 at 5 ms; their echoes all
+            // arrive at node 0 at exactly 10 ms. The crash event below is
+            // pushed *now* (lower sequence number), so at 10 ms it fires
+            // before the three echoes — which then form a same-tick
+            // delivery run to a dead node.
+            sim.schedule_crash(NodeId::new(0), SimTime::from_millis(10));
+            sim.run_until(SimTime::from_secs(1));
+            (
+                sim.node(NodeId::new(0)).received,
+                sim.stats().node(NodeId::new(0)).messages_to_dead,
+                format!("{:?}", sim.stats()),
+            )
+        };
+        let flat = run(false);
+        assert_eq!(flat, run(true));
+        assert_eq!(flat.0, 0, "crashed node must not receive");
+        assert_eq!(flat.1, 3, "all three echoes hit the dead node");
     }
 }

@@ -61,16 +61,19 @@ impl Protocol for Flood {
     }
 }
 
-fn flood_sim(n: usize, seed: u64, ttl: u32, rounds: u32, baseline: bool) -> Simulator<Flood> {
+/// Which scheduling core to build: 0 = flat (default), 1 = PR 3, 2 = seed.
+fn flood_sim(n: usize, seed: u64, ttl: u32, rounds: u32, core: u8) -> Simulator<Flood> {
     let mut builder = SimulatorBuilder::new(n, seed)
         .latency(LatencyModel::uniform(
             SimDuration::from_millis(2),
             SimDuration::from_millis(80),
         ))
         .loss(LossModel::bernoulli(0.02));
-    if baseline {
-        builder = builder.baseline_scheduling_core();
-    }
+    builder = match core {
+        1 => builder.pr3_scheduling_core(),
+        2 => builder.baseline_scheduling_core(),
+        _ => builder,
+    };
     builder.build(|_| Flood {
         n,
         ttl,
@@ -94,19 +97,23 @@ fn run_fingerprint(sim: &mut Simulator<Flood>) -> (u64, u64) {
 // Baseline-core equivalence
 // ---------------------------------------------------------------------------
 
-/// The calendar-queue core and the pre-PR-3 baseline core (BinaryHeap +
-/// per-callback allocation) must produce bit-identical simulations: same
-/// event count, same stats, same per-node state, same final clock — with
-/// crashes mixed in.
+/// All three scheduling-core generations — the PR 4 flat core (eager
+/// dispatch, batched deliveries, slim events), the PR 3 core (calendar
+/// queue with a pooled deferred command buffer, fat events) and the
+/// pre-PR-3 seed core (BinaryHeap, per-callback allocation) — must produce
+/// bit-identical simulations: same event count, same stats, same per-node
+/// state, same final clock — with crashes mixed in.
 #[test]
-fn baseline_core_is_bit_identical_to_calendar_core() {
-    let run = |baseline: bool| {
-        let mut sim = flood_sim(150, 3, 40, 20, baseline);
+fn all_scheduling_cores_are_bit_identical() {
+    let run = |core: u8| {
+        let mut sim = flood_sim(150, 3, 40, 20, core);
         sim.schedule_crash(NodeId::new(7), SimTime::from_millis(300));
         sim.schedule_crash(NodeId::new(31), SimTime::from_secs(1));
         run_fingerprint(&mut sim)
     };
-    assert_eq!(run(false), run(true));
+    let flat = run(0);
+    assert_eq!(flat, run(1), "flat vs pr3 core diverged");
+    assert_eq!(flat, run(2), "flat vs seed core diverged");
 }
 
 // ---------------------------------------------------------------------------
@@ -118,7 +125,7 @@ fn baseline_core_is_bit_identical_to_calendar_core() {
 /// delivery semantics changes these constants; future PRs must keep them.
 #[test]
 fn thousand_node_run_matches_pinned_fingerprint() {
-    let mut sim = flood_sim(1000, 42, 60, 5, false);
+    let mut sim = flood_sim(1000, 42, 60, 5, 0);
     let (processed, fingerprint) = run_fingerprint(&mut sim);
     assert_eq!(processed, 55_722);
     assert_eq!(fingerprint, 8_177_022_352_140_872_795);

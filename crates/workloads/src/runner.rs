@@ -41,6 +41,26 @@ pub struct NodeResult {
     pub protocol_stats: ProtocolStats,
 }
 
+/// Network-level traffic totals of one run, read from the simulator's
+/// [`NetStats`](heap_simnet::stats::NetStats) accumulator (the
+/// struct-of-arrays column sums). Complements the per-node
+/// [`ProtocolStats`]: these counters see every wire message — including
+/// aggregation and membership traffic — plus the transport-level drops that
+/// no protocol counter observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetTotals {
+    /// Messages handed to upload queues, network-wide.
+    pub messages_sent: u64,
+    /// Messages delivered, network-wide.
+    pub messages_delivered: u64,
+    /// Messages dropped by the (lossy) network.
+    pub messages_lost: u64,
+    /// Messages dropped at the sender because its upload backlog was full.
+    pub queue_drops: u64,
+    /// Sum of upload queueing delays over all departed messages.
+    pub total_queueing_delay: SimDuration,
+}
+
 /// The outcome of running one scenario.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -52,6 +72,8 @@ pub struct ExperimentResult {
     pub nodes: Vec<NodeResult>,
     /// Number of receivers that crashed during the run.
     pub crashed_count: usize,
+    /// Network-level traffic totals over the whole run.
+    pub net: NetTotals,
 }
 
 impl ExperimentResult {
@@ -251,11 +273,21 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         });
     }
 
+    let stats = sim.stats();
+    let net = NetTotals {
+        messages_sent: stats.total_messages_sent(),
+        messages_delivered: stats.total_messages_delivered(),
+        messages_lost: stats.total_messages_lost(),
+        queue_drops: stats.total_queue_drops(),
+        total_queueing_delay: stats.total_queueing_delay,
+    };
+
     ExperimentResult {
         scenario_name: scenario.name.clone(),
         schedule,
         nodes,
         crashed_count: crashed_nodes.len(),
+        net,
     }
 }
 
@@ -336,6 +368,12 @@ mod tests {
         assert_eq!(result.nodes.len(), Scale::test().n_receivers());
         assert_eq!(result.crashed_count, 0);
         assert_eq!(result.classes(), vec!["unconstrained"]);
+        // Network totals are populated and self-consistent: a lossless run
+        // delivers everything it sends (minus in-flight at the cutoff).
+        assert!(result.net.messages_sent > 0);
+        assert!(result.net.messages_delivered <= result.net.messages_sent);
+        assert_eq!(result.net.messages_lost, 0);
+        assert_eq!(result.net.queue_drops, 0);
         for node in &result.nodes {
             assert!(!node.crashed);
             assert_eq!(node.capability, None);
