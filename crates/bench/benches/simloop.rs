@@ -38,5 +38,66 @@ fn bench_simloop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simloop);
+/// Shard counts for the sharded sweep: `HEAP_SIMLOOP_SHARDS=1,2,4` (the CI
+/// shard-matrix smoke step sets it explicitly; the default is the same
+/// matrix).
+fn shard_counts() -> Vec<usize> {
+    std::env::var("HEAP_SIMLOOP_SHARDS")
+        .ok()
+        .map(|spec| {
+            spec.split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .filter(|&s| s >= 1)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// The PR 5 sharded core across the shard-count matrix, sequential
+/// stepping (the deterministic wall-clock mode on 1-core hosts), plus the
+/// scoped-thread mode at the largest size. Event counts are asserted
+/// identical to the flat core so a silent divergence fails the bench.
+fn bench_simloop_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simloop_sharded");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let ttl = simloop::ttl_for(n, TARGET_EVENTS);
+        let mut probe = simloop::build_sim(n, 7, ttl, Core::Flat);
+        let events = probe.run_to_completion();
+        group.throughput(Throughput::Elements(events));
+        for &shards in &shard_counts() {
+            let mut probe = simloop::build_sim_sharded(n, 7, ttl, shards);
+            assert_eq!(
+                probe.run_to_completion(),
+                events,
+                "sharded core must process the identical event stream"
+            );
+            group.bench_function(&format!("sharded_{shards}_seq_{n}_nodes"), |b| {
+                b.iter_batched_ref(
+                    || simloop::build_sim_sharded(n, 7, ttl, shards),
+                    |sim| sim.run_to_completion(),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+        if n == 5000 {
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                group.bench_function(&format!("sharded_{shards}_threaded_{n}_nodes"), |b| {
+                    b.iter_batched_ref(
+                        || simloop::build_sim_sharded(n, 7, ttl, shards),
+                        |sim| sim.run_to_completion_threaded(),
+                        BatchSize::LargeInput,
+                    );
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simloop, bench_simloop_sharded);
 criterion_main!(benches);

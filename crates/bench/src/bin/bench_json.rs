@@ -1,18 +1,22 @@
-//! `bench-json` — records the scheduling-core throughput and the
-//! figure-regeneration wall-clock as a machine-readable JSON file.
+//! `bench-json` — records the scheduling-core throughput, the PR 5
+//! shard-count sweep and the figure-regeneration wall-clock as a
+//! machine-readable JSON file.
 //!
 //! ```text
 //! Usage: bench-json [--scale test|default|paper] [--out PATH]
 //! ```
 //!
-//! The emitted file (default `BENCH_4.json`, checked in at the repo root) is
-//! the benchmark trajectory of the hot-path flattening PR: simulator
-//! events/s at 100 / 271 / 1000 / 5000 nodes for the PR 4 flat core, the
-//! PR 3 calendar core *and* the pre-PR-3 `BinaryHeap` seed core, measured in
-//! the same run (same binary, interleaved repetitions, identical event
-//! streams — asserted), the timer-table footprint after the run, the
-//! parallel vs sequential figure-regeneration wall-clock, and a bit-identity
-//! check of the parallel per-figure sweeps against their sequential paths.
+//! The emitted file (default `BENCH_5.json`, checked in at the repo root) is
+//! the benchmark trajectory of the simulator-sharding PR: simulator events/s
+//! at 100 / 271 / 1000 / 5000 nodes for the PR 4 flat core, the PR 3
+//! calendar core and the pre-PR-3 `BinaryHeap` seed core (same binary,
+//! interleaved repetitions, identical event streams — asserted); a
+//! shard-count sweep (1 / 2 / 4 shards, sequential and scoped-thread
+//! stepping) against the flat core at 1000 / 5000 / 10000 nodes; host
+//! metadata (core count, GF(256) kernel, CPU model) so cross-PR numbers
+//! carry the noisy-host caveat; a sharded-scenario fingerprint check; the
+//! parallel vs sequential figure-regeneration wall-clock; and a
+//! bit-identity check of the parallel per-figure sweeps.
 
 use heap_bench::simloop::Core;
 use heap_bench::{parse_scale, simloop};
@@ -24,8 +28,15 @@ use heap_workloads::{
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Node counts the simulator loop is measured at.
+/// Node counts the three-core simulator loop is measured at.
 const SIM_SIZES: [usize; 4] = [100, 271, 1000, 5000];
+
+/// Node counts of the shard-count sweep (the ≥10⁴-node territory the
+/// sharding PR targets).
+const SHARD_SIZES: [usize; 3] = [1000, 5000, 10_000];
+
+/// Shard counts swept per size.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Events per simulator-loop measurement (full-fidelity scales).
 const SIM_TARGET_EVENTS: u64 = 2_000_000;
@@ -33,8 +44,11 @@ const SIM_TARGET_EVENTS: u64 = 2_000_000;
 /// Interleaved repetitions per (size, core) pair; best wall-clock wins.
 const SIM_REPS: usize = 5;
 
+/// Repetitions per shard-sweep configuration; best wall-clock wins.
+const SHARD_REPS: usize = 3;
+
 /// The simulator-loop measurement plan: full fidelity for the checked-in
-/// `BENCH_3.json` scales, a fast shallow pass at `--scale test` so CI's
+/// `BENCH_5.json` scales, a fast shallow pass at `--scale test` so CI's
 /// smoke step stays a smoke step.
 fn sim_plan(scale_name: &str) -> (&'static [usize], u64, usize) {
     if scale_name == "test" {
@@ -42,6 +56,36 @@ fn sim_plan(scale_name: &str) -> (&'static [usize], u64, usize) {
     } else {
         (&SIM_SIZES[..], SIM_TARGET_EVENTS, SIM_REPS)
     }
+}
+
+/// The shard-sweep plan, analogous to [`sim_plan`].
+fn shard_plan(scale_name: &str) -> (&'static [usize], u64, usize) {
+    if scale_name == "test" {
+        (&SHARD_SIZES[..1], 200_000, 1)
+    } else {
+        (&SHARD_SIZES[..], SIM_TARGET_EVENTS, SHARD_REPS)
+    }
+}
+
+/// The host's CPU model string, from `/proc/cpuinfo` (best effort). The
+/// value is interpolated into hand-built JSON, so it is restricted to a
+/// JSON-safe character set.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| {
+                    m.trim()
+                        .chars()
+                        .filter(|c| c.is_ascii_alphanumeric() || " ()@._/+-".contains(*c))
+                        .collect::<String>()
+                })
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn usage() -> ! {
@@ -97,7 +141,7 @@ fn sweep_scenarios() -> Vec<Scenario> {
 fn main() {
     let mut scale = Scale::default_scale();
     let mut scale_name = "default".to_string();
-    let mut out = "BENCH_4.json".to_string();
+    let mut out = "BENCH_5.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -114,7 +158,9 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    eprintln!("bench-json: {cores} cores, scale {scale_name}");
+    let gf_kernel = heap_fec::gf256::kernel_name();
+    let model = cpu_model();
+    eprintln!("bench-json: {cores} cores ({model}), gf kernel {gf_kernel}, scale {scale_name}");
 
     // --- Simulator loop: PR 4 flat vs PR 3 calendar vs seed BinaryHeap ----
     const CORES: [Core; 3] = [Core::Seed, Core::Pr3, Core::Flat];
@@ -166,14 +212,104 @@ fn main() {
         .expect("write to string");
     }
 
-    // Timer-table footprint: the run arms hundreds of thousands of timers
-    // over its lifetime; the slot table must stay bounded by the peak number
-    // of concurrently pending timers.
-    let (timer_slots, armed_after) = {
-        let mut sim = simloop::build_sim(271, 7, simloop::ttl_for(271, sim_events), Core::Flat);
-        sim.run_to_completion();
-        (sim.timer_slots(), sim.armed_timers())
-    };
+    // --- Shard-count sweep: flat vs 1/2/4 shards, sequential + threaded ---
+    let (shard_sizes, shard_events, shard_reps) = shard_plan(&scale_name);
+    let mut shard_json = String::new();
+    for (i, &n) in shard_sizes.iter().enumerate() {
+        // One measurement plan per size: the flat baseline plus every shard
+        // count in both execution modes, interleaved across repetitions.
+        let mut flat_best = f64::INFINITY;
+        let mut flat_events = 0u64;
+        let mut seq_best = [f64::INFINITY; SHARD_COUNTS.len()];
+        let mut thr_best = [f64::INFINITY; SHARD_COUNTS.len()];
+        for rep in 0..shard_reps {
+            let seed = 7 + rep as u64;
+            let (e, s) = simloop::measure(n, seed, shard_events, Core::Flat);
+            flat_events = e;
+            flat_best = flat_best.min(s);
+            for (slot, &shards) in SHARD_COUNTS.iter().enumerate() {
+                let (e_seq, s_seq) = simloop::measure_sharded(n, seed, shard_events, shards, false);
+                assert_eq!(
+                    e_seq, flat_events,
+                    "sharded stream diverged ({shards} shards)"
+                );
+                seq_best[slot] = seq_best[slot].min(s_seq);
+                let (e_thr, s_thr) = simloop::measure_sharded(n, seed, shard_events, shards, true);
+                assert_eq!(
+                    e_thr, flat_events,
+                    "threaded sharded stream diverged ({shards} shards)"
+                );
+                thr_best[slot] = thr_best[slot].min(s_thr);
+            }
+        }
+        let flat_eps = flat_events as f64 / flat_best;
+        let mut per_count = String::new();
+        for (slot, &shards) in SHARD_COUNTS.iter().enumerate() {
+            let seq_eps = flat_events as f64 / seq_best[slot];
+            let thr_eps = flat_events as f64 / thr_best[slot];
+            eprintln!(
+                "bench-json: shards n={n} x{shards}: seq {:.2} M ev/s ({:.2}x flat), threaded {:.2} M ev/s ({:.2}x flat)",
+                seq_eps / 1e6,
+                seq_eps / flat_eps,
+                thr_eps / 1e6,
+                thr_eps / flat_eps,
+            );
+            let sep = if slot + 1 < SHARD_COUNTS.len() {
+                ","
+            } else {
+                ""
+            };
+            writeln!(
+                per_count,
+                r#"        {{
+          "shards": {shards},
+          "sequential_events_per_sec": {seq_eps:.0},
+          "sequential_vs_flat": {seq_ratio:.2},
+          "threaded_events_per_sec": {thr_eps:.0},
+          "threaded_vs_flat": {thr_ratio:.2}
+        }}{sep}"#,
+                seq_ratio = seq_eps / flat_eps,
+                thr_ratio = thr_eps / flat_eps,
+            )
+            .expect("write to string");
+        }
+        let sep = if i + 1 < shard_sizes.len() { "," } else { "" };
+        writeln!(
+            shard_json,
+            r#"    {{
+      "nodes": {n},
+      "events": {flat_events},
+      "flat_events_per_sec": {flat_eps:.0},
+      "per_shard_count": [
+{per_count}      ]
+    }}{sep}"#,
+        )
+        .expect("write to string");
+    }
+
+    // --- Sharded scenario fingerprint check --------------------------------
+    eprintln!("bench-json: checking sharded-scenario bit-identity...");
+    let scenario = Scenario::new(
+        "shard-check/heap-ms691",
+        Scale::test(),
+        BandwidthDistribution::ms_691(),
+        ProtocolChoice::Heap { fanout: 7.0 },
+    );
+    let single_fp = run_scenario(&scenario).fingerprint();
+    let sharded_fp = run_scenario(
+        &scenario
+            .clone()
+            .with_sharding(heap_workloads::ShardingChoice::sharded(4)),
+    )
+    .fingerprint();
+    let threaded_fp =
+        run_scenario(&scenario.with_sharding(heap_workloads::ShardingChoice::sharded_threaded(4)))
+            .fingerprint();
+    let sharded_scenarios_identical = single_fp == sharded_fp && single_fp == threaded_fp;
+    assert!(
+        sharded_scenarios_identical,
+        "sharded scenario diverged from the single-core engine"
+    );
 
     // --- Sweep bit-identity: parallel vs sequential ------------------------
     eprintln!("bench-json: checking parallel sweep bit-identity...");
@@ -211,20 +347,27 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 4,
+  "pr": 5,
   "generated_by": "cargo run --release -p heap-bench --bin bench-json -- --scale {scale_name}",
   "host": {{
-    "cores": {cores}
+    "cores": {cores},
+    "cpu_model": "{model}",
+    "gf256_kernel": "{gf_kernel}",
+    "note": "shared container, +/-15-20% run-to-run noise; compare numbers within this file, not across BENCH_*.json generated on different days"
   }},
   "simulator_loop": {{
     "workload": "stride-walk flood, {chains} in-flight msgs/node + {far} standing far timers/node, uniform 2-264 ms latency",
     "baselines": "both predecessor cores in the same binary: pr3_calendar (calendar queue, pooled deferred command buffer, per-event dispatch) and seed_binary_heap (BinaryHeap queue, per-callback allocation, seed-shim uniform draws)",
     "per_size": [
-{sim_json}    ],
-    "timer_slots_after_271_node_run": {timer_slots},
-    "armed_timers_after_run": {armed_after},
-    "analysis": "PR 4 flattened the shared per-event work (eager command dispatch, SoA stats/node state, slim 32-byte queue events, batched same-tick deliveries, cached samplers); ablation on this host (LIFO-queue substitution runs the full non-queue pipeline at ~22 ns/event vs ~75 ns total) shows the remaining cost is calendar-queue ordering and cache traffic over the ~35k-event standing population, so the headroom over the faithful PR 3 core is the 1.1-1.2x recorded here rather than the 1.5x the 55%-shared-work estimate predicted; the next large win is sharding the simulator (see ROADMAP)."
+{sim_json}    ]
   }},
+  "shard_sweep": {{
+    "workload": "same stride-walk flood on the PR 5 sharded core (contiguous partition), all shard counts processing the event stream bit-identically to the flat core (asserted per run)",
+    "per_size": [
+{shard_json}    ],
+    "analysis": "sequential vs threaded shard stepping on this 1-core host: a single shard runs 1.03-1.16x the flat core (largest at 10000 nodes) because the exchange applies every push in sorted (time, seq) batches - bucket-ordered appends into the calendar beat the flat core interleaved pushes once the standing event population outgrows the mid-level cache; 2/4 shards pay the per-bucket multi-queue stepping and exchange routing with no spare core to hide it (0.72-0.92x, recovering as n grows, which is the cache-locality trend the sharding targets); scoped-thread stepping adds 3 barrier waits per ~1 ms virtual bucket that serialise to pure overhead here (0.32-1.16x) - the threaded numbers are a correctness demonstration (bit-identical, asserted per run), and shard-per-core speedup is a multi-core measurement (see ROADMAP)"
+  }},
+  "sharded_scenarios_bit_identical": {sharded_scenarios_identical},
   "figure_regen": {{
     "scale": "{scale_name}",
     "note": "StandardRuns::compute is adaptive: thread-per-scenario on multicore hosts, inline on single-core hosts (results bit-identical either way)",

@@ -148,7 +148,10 @@ fn main() {
                 fig9_lag_cdf::run(baseline.as_ref().expect("baseline")),
             ),
             "fig10" => emit("fig10", fig10_churn::run(scale)),
-            "partialview" => emit("partialview", partial_view::run(scale)),
+            "partialview" => {
+                emit("partialview", partial_view::run(scale));
+                emit("partialview-churn", partial_view::run_continuous(scale));
+            }
             "table2" => emit(
                 "table2",
                 table2_jittered_delivery::run(baseline.as_ref().expect("baseline")),

@@ -9,11 +9,12 @@
 //!   See `repro --help` for experiment selection and scaling options; the
 //!   measured outputs are recorded in `EXPERIMENTS.md`.
 //! * **`bench-json`** (`cargo run --release -p heap-bench --bin bench-json`)
-//!   — measures the scheduling-core events/s (calendar queue vs the pre-PR-3
-//!   `BinaryHeap` baseline, in the same run) at 100/271/1000/5000 nodes, the
-//!   figure-regeneration wall-clock and the parallel-sweep bit-identity
-//!   check, and writes them as JSON; `BENCH_3.json` at the repo root is its
-//!   checked-in output (`BENCH_2.json` holds the PR 2 FEC trajectory).
+//!   — measures the scheduling-core events/s (all four core generations:
+//!   sharded, flat, PR 3 calendar, seed `BinaryHeap`) at 100–10000 nodes
+//!   including the shard-count sweep, the figure-regeneration wall-clock and
+//!   the bit-identity checks, and writes them as JSON with host metadata;
+//!   `BENCH_5.json` at the repo root is its checked-in output (earlier
+//!   `BENCH_*.json` files hold the PR 2–4 trajectories).
 //! * **Criterion benches** (`cargo bench -p heap-bench`) — one benchmark per
 //!   figure/table (at a reduced scale so Criterion's repeated sampling stays
 //!   affordable) plus micro-benchmarks of the substrates (FEC coding,

@@ -7,8 +7,8 @@
 //! instead of an RNG draw for the same reason (the network still samples a
 //! random latency per hop, which is what spreads events across the
 //! calendar). Used by the `simloop` Criterion bench and by `bench-json`
-//! (which records the events/s of the calendar-queue core next to the
-//! pre-PR-3 `BinaryHeap` baseline core in `BENCH_3.json`).
+//! (which records the events/s of every scheduling-core generation —
+//! including the PR 5 shard-count sweep — in `BENCH_5.json`).
 
 use heap_simnet::prelude::*;
 use rand::Rng;
@@ -167,24 +167,37 @@ impl Core {
     }
 }
 
-/// Builds the benchmark simulator: uniform 2–264 ms latency (a power-of-two
-/// span for division-free draws) — PlanetLab-like RTTs plus queueing spread,
-/// covering hundreds of calendar buckets — lossless links (loss would
-/// truncate the chains and decouple the event count from the TTL);
-/// `core` selects the scheduling-core generation.
-pub fn build_sim(n: usize, seed: u64, ttl: u32, core: Core) -> Simulator<Flood> {
-    // A power-of-two span (2^18 µs ≈ 262 ms) keeps the per-hop latency
-    // draw division-free — the spread itself is PlanetLab-like.
-    build_sim_with_latency(
-        n,
-        seed,
-        ttl,
-        core,
-        LatencyModel::uniform(
-            SimDuration::from_micros(2_000),
-            SimDuration::from_micros(2_000 + ((1 << 18) - 1)),
-        ),
+/// The benchmark's canonical latency model: uniform 2–264 ms — a
+/// power-of-two span (2^18 µs ≈ 262 ms) keeps the per-hop draw
+/// division-free, while the spread itself is PlanetLab-like (RTTs plus
+/// queueing, covering hundreds of calendar buckets).
+fn bench_latency() -> LatencyModel {
+    LatencyModel::uniform(
+        SimDuration::from_micros(2_000),
+        SimDuration::from_micros(2_000 + ((1 << 18) - 1)),
     )
+}
+
+/// One [`Flood`] protocol instance per node — the single workload definition
+/// shared by every core's builder, so the flat baselines and the sharded
+/// sweep can never drift apart.
+fn make_flood(n: usize, ttl: u32) -> impl FnMut(NodeId) -> Flood {
+    move |id| Flood {
+        n: n as u32,
+        ttl,
+        timer_rounds: 50,
+        far_budget: FAR_TIMERS_PER_NODE as u32 * FAR_TIMER_REARMS,
+        target: id.as_u32(),
+        stride: ((2 * id.as_u32() + 3) % n as u32).max(1),
+    }
+}
+
+/// Builds the benchmark simulator on the canonical uniform 2–264 ms
+/// latency model (see `bench_latency`) with lossless links
+/// (loss would truncate the chains and decouple the event count from the
+/// TTL); `core` selects the scheduling-core generation.
+pub fn build_sim(n: usize, seed: u64, ttl: u32, core: Core) -> Simulator<Flood> {
+    build_sim_with_latency(n, seed, ttl, core, bench_latency())
 }
 
 /// [`build_sim`] with an explicit latency model (ablation measurements).
@@ -203,14 +216,7 @@ pub fn build_sim_with_latency(
         Core::Pr3 => builder.pr3_scheduling_core(),
         Core::Flat => builder,
     };
-    builder.build(|id| Flood {
-        n: n as u32,
-        ttl,
-        timer_rounds: 50,
-        far_budget: FAR_TIMERS_PER_NODE as u32 * FAR_TIMER_REARMS,
-        target: id.as_u32(),
-        stride: ((2 * id.as_u32() + 3) % n as u32).max(1),
-    })
+    builder.build(make_flood(n, ttl))
 }
 
 /// Runs one measurement: builds the simulator (untimed), drains it to
@@ -220,6 +226,40 @@ pub fn measure(n: usize, seed: u64, target_events: u64, core: Core) -> (u64, f64
     let mut sim = build_sim(n, seed, ttl, core);
     let start = Instant::now();
     let processed = sim.run_to_completion();
+    (processed, start.elapsed().as_secs_f64())
+}
+
+/// [`build_sim`]'s sharded counterpart: the same workload on the PR 5
+/// sharded core with `shards` contiguous partitions. Bit-identical to every
+/// other core (the differential tests assert it; `bench-json` re-checks the
+/// event counts per run).
+pub fn build_sim_sharded(n: usize, seed: u64, ttl: u32, shards: usize) -> Simulator<Flood> {
+    SimulatorBuilder::new(n, seed)
+        .latency(bench_latency())
+        .loss(LossModel::none())
+        .sharded(shards)
+        .shard_policy(ShardPolicy::Contiguous)
+        .build(make_flood(n, ttl))
+}
+
+/// One sharded measurement: `(events processed, seconds)` for `shards`
+/// shards, stepped sequentially (`threaded == false`, the cache-locality
+/// mode) or one shard per core on scoped threads.
+pub fn measure_sharded(
+    n: usize,
+    seed: u64,
+    target_events: u64,
+    shards: usize,
+    threaded: bool,
+) -> (u64, f64) {
+    let ttl = ttl_for(n, target_events);
+    let mut sim = build_sim_sharded(n, seed, ttl, shards);
+    let start = Instant::now();
+    let processed = if threaded {
+        sim.run_to_completion_threaded()
+    } else {
+        sim.run_to_completion()
+    };
     (processed, start.elapsed().as_secs_f64())
 }
 
@@ -236,6 +276,17 @@ mod tests {
         assert_eq!(flat_events, pr3_events);
         assert_eq!(flat_events, seed_events);
         assert!(flat_events > 40_000);
+    }
+
+    #[test]
+    fn sharded_workload_processes_the_identical_event_stream() {
+        let (flat_events, _) = measure(60, 5, 50_000, Core::Flat);
+        for shards in [1usize, 2, 4] {
+            let (seq_events, _) = measure_sharded(60, 5, 50_000, shards, false);
+            assert_eq!(flat_events, seq_events, "{shards}-shard sequential");
+            let (thr_events, _) = measure_sharded(60, 5, 50_000, shards, true);
+            assert_eq!(flat_events, thr_events, "{shards}-shard threaded");
+        }
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub const TAG_AGGREGATION: u64 = 1;
 pub const TAG_SOURCE: u64 = 2;
 /// Timer tag of the periodic Cyclon shuffle (partial membership mode).
 pub const TAG_SHUFFLE: u64 = 3;
+/// Timer tag of a standby node's deferred join (continuous-churn workloads):
+/// fired once at the node's scheduled join instant, after which the node
+/// arms its regular periodic timers and starts participating.
+pub const TAG_JOIN: u64 = 4;
 
 /// Whether a node produces the stream or only relays it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -133,6 +137,7 @@ pub struct GossipNodeBuilder {
     capability: Bandwidth,
     role: Role,
     partial: Option<PartialMembershipConfig>,
+    join_at: Option<SimTime>,
 }
 
 impl GossipNodeBuilder {
@@ -159,6 +164,17 @@ impl GossipNodeBuilder {
     /// Sets the node's role (default: [`Role::Receiver`]).
     pub fn role(mut self, role: Role) -> Self {
         self.role = role;
+        self
+    }
+
+    /// Defers the node's participation until `at`: a *standby joiner* of the
+    /// continuous-churn workloads. Until its join instant the node arms no
+    /// periodic timers and ignores incoming traffic (a host that has not
+    /// started yet); at `at` it runs its regular start-up sequence —
+    /// randomised timer phases, aggregation seeding — and participates
+    /// normally from then on.
+    pub fn join_at(mut self, at: SimTime) -> Self {
+        self.join_at = Some(at);
         self
     }
 
@@ -206,6 +222,8 @@ impl GossipNodeBuilder {
             stats: ProtocolStats::default(),
             config: self.config,
             next_source_seq: 0,
+            join_at: self.join_at,
+            joined: self.join_at.is_none(),
             served_recent: std::collections::HashSet::new(),
             served_prev: std::collections::HashSet::new(),
             served_generation_start: SimTime::ZERO,
@@ -239,6 +257,11 @@ pub struct GossipNode {
     retransmit: RetransmitTracker,
     stats: ProtocolStats,
     next_source_seq: u64,
+    /// The deferred join instant of a standby node (`None` = present from
+    /// the start).
+    join_at: Option<SimTime>,
+    /// Whether the node participates yet (always `true` without `join_at`).
+    joined: bool,
     /// Serve-side duplicate suppression: `(requester, packet)` pairs served
     /// during the current and the previous dedup generation (rotated every
     /// `serve_dedup_window`), so a retransmitted request does not duplicate
@@ -258,6 +281,7 @@ impl GossipNode {
             schedule,
             config: GossipConfig::paper(),
             policy: FanoutPolicy::fixed(GossipConfig::paper().fanout),
+            join_at: None,
             capability: Bandwidth::from_mbps(100),
             role: Role::Receiver,
             partial: None,
@@ -277,6 +301,18 @@ impl GossipNode {
     /// `true` if this node is the stream source.
     pub fn is_source(&self) -> bool {
         self.role == Role::Source
+    }
+
+    /// `true` once the node participates in the protocol: always for
+    /// ordinary nodes, from the scheduled join instant onwards for standby
+    /// joiners ([`GossipNodeBuilder::join_at`]).
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// The deferred join instant, if this node is a standby joiner.
+    pub fn join_at(&self) -> Option<SimTime> {
+        self.join_at
     }
 
     /// The node's advertised upload capability.
@@ -517,24 +553,84 @@ impl Protocol for GossipNode {
     type Message = GossipMessage;
 
     fn on_start(&mut self, ctx: &mut Context<'_, GossipMessage>) {
+        if let Some(at) = self.join_at {
+            if !self.joined {
+                // Standby joiner: sleep until the scheduled join instant; no
+                // periodic timers, no participation until then.
+                ctx.set_timer(at.saturating_since(ctx.now()), TAG_JOIN);
+                return;
+            }
+        }
+        self.start_participation(ctx, false);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage>,
+        from: NodeId,
+        msg: GossipMessage,
+    ) {
+        if !self.joined {
+            // A standby joiner is indistinguishable from a host that has not
+            // started: traffic addressed to it goes unanswered.
+            return;
+        }
+        self.handle_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, GossipMessage>, _timer: TimerId, tag: u64) {
+        match tag {
+            TAG_JOIN => {
+                self.joined = true;
+                self.start_participation(ctx, true);
+            }
+            TAG_GOSSIP => self.on_gossip_round(ctx),
+            TAG_AGGREGATION => self.on_aggregation_round(ctx),
+            TAG_SOURCE => self.on_source_tick(ctx),
+            TAG_SHUFFLE => self.on_shuffle_round(ctx),
+            t if RetransmitTracker::is_retransmit_tag(t) => self.on_retransmit_timer(ctx, t),
+            other => debug_assert!(false, "unknown timer tag {other}"),
+        }
+    }
+}
+
+impl GossipNode {
+    /// The regular start-up sequence: randomised periodic-timer phases and,
+    /// for the source, the first publication tick. Runs from `on_start` for
+    /// ordinary nodes (`mid_run == false`) and from the `TAG_JOIN` timer for
+    /// standby joiners (`mid_run == true` — even a joiner scheduled at time
+    /// zero fires inside a regular timer callback).
+    fn start_participation(&mut self, ctx: &mut Context<'_, GossipMessage>, mid_run: bool) {
         // De-synchronise the periodic timers across nodes with a random phase,
         // as real deployments (and PlanetLab nodes started at different
-        // instants) naturally are.
+        // instants) naturally are. A *mid-run* joiner floors its phases to
+        // one calendar bucket: the sharded engine's determinism contract
+        // forbids sub-bucket timer delays outside `on_start`, and the floor
+        // is applied identically under every engine so they stay
+        // bit-identical (the RNG draws themselves are unchanged).
+        let min_phase = if mid_run {
+            SimDuration::from_micros(heap_simnet::event::BUCKET_WIDTH_MICROS)
+        } else {
+            SimDuration::ZERO
+        };
         let gossip_phase = SimDuration::from_micros(
             ctx.rng()
                 .gen_range(0..=self.config.gossip_period.as_micros()),
-        );
+        )
+        .max(min_phase);
         self.arm_gossip_timer(ctx, gossip_phase);
         let agg_phase = SimDuration::from_micros(
             ctx.rng()
                 .gen_range(0..=self.config.aggregation_period.as_micros()),
-        );
+        )
+        .max(min_phase);
         self.arm_aggregation_timer(ctx, agg_phase);
         if let Some(partial) = &self.partial {
             let shuffle_phase = SimDuration::from_micros(
                 ctx.rng()
                     .gen_range(0..=partial.config.shuffle_period.as_micros()),
-            );
+            )
+            .max(min_phase);
             ctx.set_timer(shuffle_phase, TAG_SHUFFLE);
         }
         if self.is_source() {
@@ -543,7 +639,7 @@ impl Protocol for GossipNode {
         }
     }
 
-    fn on_message(
+    fn handle_message(
         &mut self,
         ctx: &mut Context<'_, GossipMessage>,
         from: NodeId,
@@ -603,17 +699,6 @@ impl Protocol for GossipNode {
                     partial.view.merge(&entries);
                 }
             }
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, GossipMessage>, _timer: TimerId, tag: u64) {
-        match tag {
-            TAG_GOSSIP => self.on_gossip_round(ctx),
-            TAG_AGGREGATION => self.on_aggregation_round(ctx),
-            TAG_SOURCE => self.on_source_tick(ctx),
-            TAG_SHUFFLE => self.on_shuffle_round(ctx),
-            t if RetransmitTracker::is_retransmit_tag(t) => self.on_retransmit_timer(ctx, t),
-            other => debug_assert!(false, "unknown timer tag {other}"),
         }
     }
 }

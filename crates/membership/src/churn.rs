@@ -20,6 +20,43 @@ pub struct ChurnEvent {
     pub node: NodeId,
 }
 
+/// A single scheduled join of a standby node (continuous churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEvent {
+    /// When the standby node joins the system.
+    pub at: SimTime,
+    /// The joining node.
+    pub node: NodeId,
+}
+
+/// A continuous-churn plan: a pool of standby nodes, the Poisson arrival
+/// process that activates them, and the Poisson departure process that
+/// crashes active nodes — the fig. 10 extension from one catastrophic event
+/// to an ongoing join/leave arrival process.
+///
+/// Generation walks virtual time over the churn window with two competing
+/// exponential clocks (rates `joins_per_min` and `leaves_per_min`),
+/// activating a uniformly drawn standby node on each join arrival and
+/// crashing a uniformly drawn *active, not yet crashed* node on each leave
+/// arrival. Nodes that joined during the window can leave later; nodes still
+/// standby at the window's end simply never participate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContinuousChurn {
+    /// Nodes that start on standby (offline until their join event, if any).
+    pub standby: Vec<NodeId>,
+    /// The scheduled joins, ordered by time.
+    pub joins: Vec<JoinEvent>,
+    /// The leave (crash) events and the failure-detection model.
+    pub schedule: ChurnSchedule,
+}
+
+impl ContinuousChurn {
+    /// The join instant of `node`, if it is a standby node that joins.
+    pub fn join_time(&self, node: NodeId) -> Option<SimTime> {
+        self.joins.iter().find(|j| j.node == node).map(|j| j.at)
+    }
+}
+
 /// An ordered list of crash events plus the failure-detection delay model.
 ///
 /// # Examples
@@ -100,6 +137,98 @@ impl ChurnSchedule {
         ChurnSchedule {
             events,
             detection_mean: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Builds a continuous Poisson join/leave plan over `window`.
+    ///
+    /// `standby_fraction` of the `n` nodes (never those in `exclude`) start
+    /// offline and form the join pool; joins arrive at `joins_per_min` and
+    /// leaves at `leaves_per_min` (exponential inter-arrival times), both
+    /// clipped to the window. A leave crashes a uniformly drawn node that is
+    /// online (initially active, or joined earlier) and not yet crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standby_fraction` is not within `[0, 1)`, a rate is
+    /// negative, or the window is empty.
+    pub fn continuous<R: Rng + ?Sized>(
+        n: usize,
+        standby_fraction: f64,
+        joins_per_min: f64,
+        leaves_per_min: f64,
+        window: (SimTime, SimTime),
+        exclude: &[u32],
+        rng: &mut R,
+    ) -> ContinuousChurn {
+        assert!(
+            (0.0..1.0).contains(&standby_fraction),
+            "standby fraction must be in [0,1), got {standby_fraction}"
+        );
+        assert!(
+            joins_per_min >= 0.0 && leaves_per_min >= 0.0,
+            "churn rates must be non-negative"
+        );
+        let (start, end) = window;
+        assert!(start < end, "churn window must be non-empty");
+
+        let mut candidates: Vec<NodeId> = (0..n as u32)
+            .filter(|i| !exclude.contains(i))
+            .map(NodeId::new)
+            .collect();
+        candidates.shuffle(rng);
+        let standby_count = ((n as f64) * standby_fraction).round() as usize;
+        let standby_count = standby_count.min(candidates.len());
+        let mut standby: Vec<NodeId> = candidates.drain(..standby_count).collect();
+        let mut active: Vec<NodeId> = candidates;
+
+        // Two competing exponential clocks, advanced lazily.
+        let exp = |rng: &mut R, per_min: f64| -> Option<SimDuration> {
+            if per_min <= 0.0 {
+                return None;
+            }
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            Some(SimDuration::from_secs_f64(-u.ln() * 60.0 / per_min))
+        };
+        let mut joins = Vec::new();
+        let mut leaves = Vec::new();
+        let mut next_join = exp(rng, joins_per_min).map(|d| start + d);
+        let mut next_leave = exp(rng, leaves_per_min).map(|d| start + d);
+        loop {
+            let (at, is_join) = match (next_join, next_leave) {
+                (Some(j), Some(l)) if j <= l => (j, true),
+                (Some(_) | None, Some(l)) => (l, false),
+                (Some(j), None) => (j, true),
+                (None, None) => break,
+            };
+            if at >= end {
+                break;
+            }
+            if is_join {
+                if !standby.is_empty() {
+                    let idx = rng.gen_range(0..standby.len());
+                    let node = standby.swap_remove(idx);
+                    joins.push(JoinEvent { at, node });
+                    active.push(node);
+                }
+                next_join = exp(rng, joins_per_min).map(|d| at + d);
+            } else {
+                if !active.is_empty() {
+                    let idx = rng.gen_range(0..active.len());
+                    let node = active.swap_remove(idx);
+                    leaves.push(ChurnEvent { at, node });
+                }
+                next_leave = exp(rng, leaves_per_min).map(|d| at + d);
+            }
+        }
+        joins.sort_by_key(|j| (j.at, j.node));
+        let mut all_standby: Vec<NodeId> = standby;
+        all_standby.extend(joins.iter().map(|j| j.node));
+        all_standby.sort();
+        ContinuousChurn {
+            standby: all_standby,
+            joins,
+            schedule: ChurnSchedule::from_events(leaves),
         }
     }
 
@@ -220,6 +349,78 @@ mod tests {
         }
         let mean = total / n as f64;
         assert!((mean - 10.0).abs() < 0.2, "mean detection delay {mean}");
+    }
+
+    #[test]
+    fn continuous_churn_respects_pools_window_and_exclusions() {
+        let window = (SimTime::from_secs(10), SimTime::from_secs(190));
+        let plan = ChurnSchedule::continuous(200, 0.2, 6.0, 4.0, window, &[0], &mut rng());
+        // ~40 nodes start on standby; every join activates one of them.
+        assert_eq!(plan.standby.len(), 40);
+        assert!(plan.standby.iter().all(|n| n.index() != 0));
+        assert!(
+            !plan.joins.is_empty(),
+            "3 minutes at 6 joins/min must join someone"
+        );
+        for j in &plan.joins {
+            assert!(j.at >= window.0 && j.at < window.1);
+            assert!(
+                plan.standby.contains(&j.node),
+                "joins come from the standby pool"
+            );
+            assert_eq!(plan.join_time(j.node), Some(j.at));
+        }
+        // Joins are unique nodes.
+        let mut joined: Vec<NodeId> = plan.joins.iter().map(|j| j.node).collect();
+        joined.sort();
+        joined.dedup();
+        assert_eq!(joined.len(), plan.joins.len());
+        // Leaves hit online, non-excluded, not-yet-crashed nodes only.
+        assert!(
+            !plan.schedule.is_empty(),
+            "3 minutes at 4 leaves/min must crash someone"
+        );
+        let crashed = plan.schedule.crashed_nodes();
+        assert_eq!(
+            crashed.len(),
+            plan.schedule.events().len(),
+            "a node leaves at most once"
+        );
+        for e in plan.schedule.events() {
+            assert!(e.at >= window.0 && e.at < window.1);
+            assert!(e.node.index() != 0);
+            // A standby node can only leave after its join.
+            if let Some(join) = plan.join_time(e.node) {
+                assert!(e.at > join, "{} left before joining", e.node);
+            }
+        }
+        // Expected event counts are in the right ballpark (Poisson means:
+        // 18 joins capped by the pool, 12 leaves over 3 minutes).
+        assert!(plan.joins.len() >= 6 && plan.joins.len() <= 40);
+        assert!(plan.schedule.events().len() >= 4);
+    }
+
+    #[test]
+    fn continuous_churn_with_zero_rates_is_quiet() {
+        let window = (SimTime::ZERO, SimTime::from_secs(60));
+        let plan = ChurnSchedule::continuous(50, 0.1, 0.0, 0.0, window, &[], &mut rng());
+        assert_eq!(plan.standby.len(), 5);
+        assert!(plan.joins.is_empty());
+        assert!(plan.schedule.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "standby fraction")]
+    fn continuous_churn_rejects_full_standby() {
+        let _ = ChurnSchedule::continuous(
+            10,
+            1.0,
+            1.0,
+            1.0,
+            (SimTime::ZERO, SimTime::from_secs(1)),
+            &[],
+            &mut rng(),
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod partial;
 pub mod sampler;
 pub mod view;
 
-pub use churn::{ChurnEvent, ChurnSchedule};
+pub use churn::{ChurnEvent, ChurnSchedule, ContinuousChurn, JoinEvent};
 pub use partial::PartialView;
 pub use sampler::UniformSampler;
 pub use view::MembershipView;

@@ -277,8 +277,28 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, payload: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let event = ScheduledEvent { time, seq, payload };
-        let micros = time.as_micros();
+        self.push_event(ScheduledEvent { time, seq, payload });
+        seq
+    }
+
+    /// Schedules `payload` to fire at `time` under an *externally assigned*
+    /// sequence number, bypassing the queue's own counter.
+    ///
+    /// The sharded simulator assigns one global sequence stream across all
+    /// shard queues at its exchange points (so the `(time, seq)` pop order
+    /// of every shard queue is the restriction of the flat core's global
+    /// order); this is the entry point exchanged events are routed through.
+    /// Callers must keep the calendar's ordering invariant: pushes into any
+    /// one bucket must arrive in ascending `seq` order — which exchanges
+    /// guarantee by applying events in ascending assigned-seq order.
+    pub fn push_at_seq(&mut self, time: SimTime, seq: u64, payload: E) {
+        self.push_event(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Shared insertion path of [`EventQueue::push`] and
+    /// [`EventQueue::push_at_seq`].
+    fn push_event(&mut self, event: ScheduledEvent<E>) {
+        let micros = event.time.as_micros();
         let bucket = bucket_of(micros);
         if bucket < self.cursor_bucket {
             if self.is_empty() {
@@ -317,7 +337,6 @@ impl<E> EventQueue<E> {
         } else {
             self.overflow.push(event);
         }
-        seq
     }
 
     /// Removes and returns the earliest scheduled event, if any.

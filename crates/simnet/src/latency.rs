@@ -188,6 +188,22 @@ pub(crate) enum LatencySampler {
 }
 
 impl LatencySampler {
+    /// The smallest delay the compiled sampler can produce — the *lookahead
+    /// bound* of the sharded simulator: a delivery scheduled at `now` cannot
+    /// arrive before `now + min_delay()`, so shards that synchronise every
+    /// calendar bucket stay conservative as long as this bound spans at
+    /// least one bucket ([`BUCKET_WIDTH_MICROS`](crate::event)).
+    pub(crate) fn min_delay(&self) -> SimDuration {
+        match self {
+            LatencySampler::Constant(d) => *d,
+            LatencySampler::UniformPow2 { min_micros, .. }
+            | LatencySampler::UniformSpan { min_micros, .. } => {
+                SimDuration::from_micros(*min_micros)
+            }
+            LatencySampler::BasePlusExp { base, .. } => *base,
+        }
+    }
+
     /// Classifies `model` into its fast path.
     pub(crate) fn new(model: &LatencyModel) -> Self {
         match model {

@@ -104,6 +104,7 @@ pub mod latency;
 pub mod loss;
 pub mod node;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -113,6 +114,7 @@ pub use event::{BinaryHeapQueue, EventQueue, Pr3CalendarQueue, ScheduledEvent};
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use node::NodeId;
+pub use shard::ShardPolicy;
 pub use sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
 pub use stats::{NetStats, NodeStats, ReferenceNetStats};
 pub use time::{SimDuration, SimTime};
@@ -123,6 +125,7 @@ pub mod prelude {
     pub use crate::latency::LatencyModel;
     pub use crate::loss::LossModel;
     pub use crate::node::NodeId;
+    pub use crate::shard::ShardPolicy;
     pub use crate::sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
     pub use crate::time::{SimDuration, SimTime};
 }

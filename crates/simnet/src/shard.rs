@@ -1,0 +1,1113 @@
+//! The sharded simulator: per-region event loops with deterministic
+//! cross-shard delivery exchange.
+//!
+//! [`SimulatorBuilder::sharded`](crate::sim::SimulatorBuilder::sharded)
+//! partitions the node population into *shards* (per a pluggable
+//! [`ShardPolicy`]), each owning its own calendar queue, struct-of-arrays
+//! node and statistics columns, upload queues and per-node RNG streams.
+//! Shards advance in lockstep over calendar buckets
+//! ([`BUCKET_WIDTH_MICROS`] ≈ 1 ms of virtual time) and synchronise only at
+//! bucket boundaries — conservative
+//! parallel discrete-event simulation with the *minimum link latency* as the
+//! lookahead bound.
+//!
+//! ## Why the result is bit-identical to the flat core
+//!
+//! Within one bucket, events on different nodes are causally independent:
+//! protocol callbacks touch only per-node state and per-node RNG streams,
+//! and — under the determinism contract below — nothing a callback schedules
+//! can fire before the *next* bucket. The only globally ordered resources
+//! are the network RNG (loss and latency draws) and the event sequence
+//! numbers that break `(time, seq)` ties. Shards therefore run their bucket
+//! eagerly but record every `send`/`set_timer` into a fixed-capacity
+//! per-shard **mailbox**, keyed by `(trigger time, trigger seq, command
+//! index)` — the same `(offset, arrival)` total order the calendar buckets
+//! sort by, extended to commands. At the bucket boundary the mailboxes are
+//! merged, sorted by that key and resolved *serially*: loss and latency are
+//! drawn from the shared network RNG and global sequence numbers are
+//! assigned in exactly the order the flat core's inline transmit path would
+//! have produced, then each resulting event is routed to its destination
+//! shard's queue ([`EventQueue::push_at_seq`]). Every shard queue thus pops
+//! the restriction of the flat core's global `(time, seq)` order, every RNG
+//! stream is consumed identically, and the per-shard statistics columns sum
+//! to the flat core's counters exactly — asserted by the four-core
+//! fingerprint test and the shard differential proptests.
+//!
+//! ## The determinism contract (lookahead bound)
+//!
+//! Deferring command resolution to the bucket boundary is only equivalent to
+//! the flat core if nothing scheduled *during* a bucket fires *within* that
+//! bucket:
+//!
+//! * **link latency** — asserted at build time: the latency model's minimum
+//!   delay must span at least one calendar bucket;
+//! * **timer delays** — checked at every exchange: a timer armed with a
+//!   sub-bucket delay is counted as a violation and the run panics at its
+//!   end (the flat core would have fired it inside the already-completed
+//!   bucket region).
+//!
+//! `on_start` callbacks are exempt: they run before any event exists, so
+//! their commands (including sub-bucket random timer phases) are exchanged
+//! before the first bucket is processed, in node order — exactly the flat
+//! core's `start_all` order.
+//!
+//! ## Execution modes
+//!
+//! * **Sequential shard stepping** ([`Simulator::run_until`]) — shards step
+//!   one after another within each bucket. No threads; the win is cache
+//!   locality (each shard's queue and columns fit hotter cache levels than
+//!   the whole population's).
+//! * **Shard-per-core** ([`Simulator::run_until_threaded`]) — scoped threads
+//!   run all shards' buckets concurrently, with barriers around the serial
+//!   exchange. Bit-identical to the sequential path by construction (the
+//!   exchange is the only cross-shard communication and it is serial).
+//!
+//! [`Simulator::run_until`]: crate::sim::Simulator::run_until
+//! [`Simulator::run_until_threaded`]: crate::sim::Simulator::run_until_threaded
+//! [`EventQueue::push_at_seq`]: crate::event::EventQueue::push_at_seq
+
+use crate::bandwidth::{UploadCapacity, UploadQueue};
+use crate::event::{EventQueue, BUCKET_WIDTH_MICROS};
+use crate::latency::LatencySampler;
+use crate::loss::{LossModel, LossState};
+use crate::node::NodeId;
+use crate::rng::stream_rng;
+use crate::sim::{Context, EventKind, Protocol, SimulatorBuilder, TimerId, TimerTable, WireSize};
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use std::fmt;
+use std::ops::DerefMut;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// How the node population is partitioned across shards.
+///
+/// The policy is *pluggable* (cf. the adaptive-middleware argument that the
+/// partitioning decision should be swappable, not baked in): three built-in
+/// strategies plus an arbitrary custom assignment function. Whatever the
+/// policy, simulation results are bit-identical — the partition changes
+/// which shard does the work, never the work itself.
+#[derive(Clone)]
+pub enum ShardPolicy {
+    /// Node `i` lives on shard `i % shards`: spreads densely interacting
+    /// neighbour ranges across shards (maximum balance, maximum cross-shard
+    /// traffic).
+    RoundRobin,
+    /// Equal-size contiguous id ranges per shard (the default): keeps each
+    /// shard's columns dense and its id range compact.
+    Contiguous,
+    /// Groups nodes of the same upload-capability class — the heterogeneity
+    /// axis of the paper's bandwidth distributions — onto the same shard
+    /// (stable sort by capacity, then contiguous equal-size split), so a
+    /// shard's working set covers nodes with similar queueing behaviour.
+    ByCapacityClass,
+    /// A custom assignment: `f(n, shards, capacities)` returns the shard of
+    /// every node (`len() == n`, entries `< shards`). Must be deterministic
+    /// for reproducible runs.
+    Custom(fn(usize, usize, &[UploadCapacity]) -> Vec<u32>),
+}
+
+impl fmt::Debug for ShardPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardPolicy::RoundRobin => f.write_str("RoundRobin"),
+            ShardPolicy::Contiguous => f.write_str("Contiguous"),
+            ShardPolicy::ByCapacityClass => f.write_str("ByCapacityClass"),
+            ShardPolicy::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// Resolves the policy into one shard id per node.
+    pub(crate) fn assign(
+        &self,
+        n: usize,
+        shards: usize,
+        capacities: &[UploadCapacity],
+    ) -> Vec<u32> {
+        assert!(shards >= 1, "need at least one shard");
+        match self {
+            ShardPolicy::RoundRobin => (0..n).map(|i| (i % shards) as u32).collect(),
+            ShardPolicy::Contiguous => contiguous_split(n, shards, (0..n as u32).collect()),
+            ShardPolicy::ByCapacityClass => {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                // Stable: ids stay ascending within one capacity class.
+                order.sort_by_key(|&i| capacity_key(capacities.get(i as usize)));
+                contiguous_split(n, shards, order)
+            }
+            ShardPolicy::Custom(f) => {
+                let assignment = f(n, shards, capacities);
+                assert_eq!(
+                    assignment.len(),
+                    n,
+                    "custom shard policy must assign every node"
+                );
+                assert!(
+                    assignment.iter().all(|&s| (s as usize) < shards),
+                    "custom shard policy assigned a shard out of range"
+                );
+                assignment
+            }
+        }
+    }
+}
+
+/// Sort key of [`ShardPolicy::ByCapacityClass`]: capped upload rate in bps,
+/// with unconstrained nodes sorting last as one class.
+fn capacity_key(capacity: Option<&UploadCapacity>) -> u64 {
+    match capacity {
+        Some(UploadCapacity::Limited(b)) => b.as_bps(),
+        _ => u64::MAX,
+    }
+}
+
+/// Assigns the nodes listed in `order` to shards in equal-size contiguous
+/// runs (the first `n % shards` shards take one extra node).
+fn contiguous_split(n: usize, shards: usize, order: Vec<u32>) -> Vec<u32> {
+    let base = n / shards;
+    let rem = n % shards;
+    let mut out = vec![0u32; n];
+    let mut pos = 0usize;
+    for s in 0..shards {
+        let size = base + usize::from(s < rem);
+        for _ in 0..size {
+            out[order[pos] as usize] = s as u32;
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// The resolved partition: node → shard, node → shard-local index, and the
+/// member list (global ids, ascending) of every shard.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    /// Shard of every node, indexed by global id.
+    pub(crate) shard_of: Vec<u32>,
+    /// Shard-local index of every node, indexed by global id. Shared with
+    /// every shard's state (read-only) so event dispatch can map the global
+    /// ids carried by queue events without going through the plan.
+    pub(crate) local_of: Arc<Vec<u32>>,
+    /// Global ids per shard, in ascending id order (the local index space).
+    pub(crate) members: Vec<Vec<u32>>,
+}
+
+impl ShardPlan {
+    fn new(assignment: Vec<u32>, shards: usize) -> Self {
+        let n = assignment.len();
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        let mut local_of = vec![0u32; n];
+        for (i, &s) in assignment.iter().enumerate() {
+            let list = &mut members[s as usize];
+            local_of[i] = list.len() as u32;
+            list.push(i as u32);
+        }
+        ShardPlan {
+            shard_of: assignment,
+            local_of: Arc::new(local_of),
+            members,
+        }
+    }
+}
+
+/// The exchange ordering key of one deferred command: the `(time, seq)` pair
+/// of the *triggering* event — the same packed order the calendar buckets
+/// sort by — extended by the command's position within its callback. Sorting
+/// all shards' mailbox entries by this key reproduces the flat core's global
+/// command order exactly (callbacks run in ascending `(time, seq)` event
+/// order; commands within one callback run in issue order).
+///
+/// For `on_start` callbacks, which no event triggers, `trigger_seq` is the
+/// node's global index — the flat core's `start_all` iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ExchangeKey {
+    /// Virtual time of the triggering event, in microseconds.
+    time_micros: u64,
+    /// Global sequence number of the triggering event.
+    trigger_seq: u64,
+    /// Command position within the triggering callback.
+    cmd: u32,
+}
+
+/// One deferred command awaiting the bucket-boundary exchange.
+#[derive(Debug)]
+enum OutEntry<M> {
+    /// A `Context::send` whose upload-queue pass was already applied
+    /// shard-side; the exchange draws loss and latency and schedules the
+    /// delivery.
+    Deliver {
+        /// Exchange ordering key.
+        key: ExchangeKey,
+        /// When the message leaves the sender's upload queue.
+        departure: SimTime,
+        /// The sending node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A `Context::set_timer` whose slot was already armed shard-side; the
+    /// exchange assigns the sequence number and schedules the fire event.
+    Timer {
+        /// Exchange ordering key.
+        key: ExchangeKey,
+        /// When the timer fires.
+        fire: SimTime,
+        /// The owning node (routes the event to its shard).
+        node: NodeId,
+        /// The armed timer's handle.
+        timer: TimerId,
+    },
+}
+
+impl<M> OutEntry<M> {
+    fn key(&self) -> ExchangeKey {
+        match self {
+            OutEntry::Deliver { key, .. } | OutEntry::Timer { key, .. } => *key,
+        }
+    }
+}
+
+/// A shard's fixed-capacity outbox: commands deferred until the next
+/// exchange. Preallocated once; exceeding the capacity is not an error (the
+/// buffer grows and the high-water mark records it), but steady state never
+/// allocates.
+#[derive(Debug)]
+pub(crate) struct Mailbox<M> {
+    entries: Vec<OutEntry<M>>,
+    high_water: usize,
+}
+
+impl<M> Mailbox<M> {
+    fn with_capacity(capacity: usize) -> Self {
+        Mailbox {
+            entries: Vec::with_capacity(capacity),
+            high_water: 0,
+        }
+    }
+
+    fn push(&mut self, entry: OutEntry<M>) {
+        self.entries.push(entry);
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+}
+
+/// Events and statistics routed *to* one shard by an exchange, applied by
+/// the shard itself (so the threaded mode's coordinator never needs mutable
+/// access to another thread's shard).
+#[derive(Debug)]
+struct Inbox<M> {
+    /// `(time, global seq, event)` triples, in ascending seq order — the
+    /// push order [`EventQueue::push_at_seq`] requires.
+    pushes: Vec<(SimTime, u64, EventKind<M>)>,
+    /// Shard-local ids of senders whose message the network dropped.
+    losses: Vec<u32>,
+}
+
+impl<M> Inbox<M> {
+    fn with_capacity(capacity: usize) -> Self {
+        Inbox {
+            pushes: Vec::with_capacity(capacity),
+            losses: Vec::new(),
+        }
+    }
+}
+
+/// Everything one shard owns except its protocol instances, in
+/// struct-of-arrays form over the *shard-local* index space. The split from
+/// the protocols mirrors the flat core's `Core`/protocol seam: a callback
+/// borrows its protocol from `Shard::protocols` while the [`Context`] holds
+/// this state.
+pub(crate) struct ShardState<M> {
+    /// The shard's calendar queue, holding exactly its members' events under
+    /// globally assigned sequence numbers.
+    pub(crate) queue: EventQueue<EventKind<M>>,
+    /// The shard clock: the time of the event being processed.
+    pub(crate) now: SimTime,
+    /// The shard's timer slots (timers never cross shards).
+    pub(crate) timers: TimerTable,
+    /// Traffic counters over the local index space; merged under global ids
+    /// at the end of a run.
+    pub(crate) stats: NetStats,
+    /// Per-member upload queues, locally indexed.
+    pub(crate) uploads: Vec<UploadQueue>,
+    /// Per-member deterministic RNG streams (`stream_rng(seed, 1 + global
+    /// id)`, exactly the flat core's streams), locally indexed.
+    pub(crate) rngs: Vec<SmallRng>,
+    /// Per-member liveness, locally indexed.
+    pub(crate) alive: Vec<bool>,
+    /// Commands deferred to the next exchange.
+    pub(crate) outbox: Mailbox<M>,
+    /// Global id → shard-local index (shared, read-only).
+    pub(crate) local_of: Arc<Vec<u32>>,
+}
+
+impl<M: WireSize> ShardState<M> {
+    /// The shard-side half of the transmit path: the upload-queue pass and
+    /// sender statistics run eagerly (they touch only this shard's columns);
+    /// the loss/latency draws and the event push — which need the global
+    /// network RNG and sequence stream — are deferred to the exchange under
+    /// the command's [`ExchangeKey`].
+    pub(crate) fn transmit_local(
+        &mut self,
+        from: NodeId,
+        local: u32,
+        to: NodeId,
+        msg: M,
+        trigger_seq: u64,
+        cmd: u32,
+    ) {
+        let bytes = msg.wire_size();
+        let now = self.now;
+        let lid = NodeId::new(local);
+        let upload = &mut self.uploads[local as usize];
+        let Some(departure) = upload.enqueue_if_accepted(now, bytes) else {
+            // Finite send buffer: the message is dropped at the sender.
+            self.stats.record_queue_drop(lid);
+            return;
+        };
+        self.stats.record_send(lid, bytes);
+        self.stats.total_queueing_delay += departure - now;
+        self.outbox.push(OutEntry::Deliver {
+            key: ExchangeKey {
+                time_micros: now.as_micros(),
+                trigger_seq,
+                cmd,
+            },
+            departure,
+            from,
+            to,
+            msg,
+        });
+    }
+
+    /// The shard-side half of `set_timer`: the slot is armed immediately (so
+    /// the returned [`TimerId`] is live and cancellable within the same
+    /// callback), the fire event is deferred to the exchange.
+    pub(crate) fn arm_timer_local(
+        &mut self,
+        node: NodeId,
+        tag: u64,
+        delay: SimDuration,
+        trigger_seq: u64,
+        cmd: u32,
+    ) -> TimerId {
+        let id = self.timers.arm(node, tag);
+        self.outbox.push(OutEntry::Timer {
+            key: ExchangeKey {
+                time_micros: self.now.as_micros(),
+                trigger_seq,
+                cmd,
+            },
+            fire: self.now + delay,
+            node,
+            timer: id,
+        });
+        id
+    }
+}
+
+/// One shard: its protocol instances plus its [`ShardState`].
+struct Shard<P: Protocol> {
+    /// Protocol instances, indexed by shard-local index.
+    protocols: Vec<P>,
+    state: ShardState<P::Message>,
+}
+
+impl<P: Protocol> Shard<P> {
+    /// Processes every pending event with `time <= cutoff` (the current
+    /// bucket, possibly truncated by a run deadline) in ascending
+    /// `(time, seq)` order — the restriction of the flat core's global order
+    /// to this shard. Returns the number of events processed.
+    fn run_bucket(&mut self, cutoff: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(ev) = self.state.queue.pop_at_or_before(cutoff) {
+            self.state.now = ev.time;
+            processed += 1;
+            match ev.payload {
+                EventKind::Deliver { from, to, msg } => {
+                    processed += self.deliver_run(ev.seq, from, to, msg);
+                }
+                EventKind::Timer { timer } => {
+                    // Firing always frees the slot; a cancelled (or stale)
+                    // timer is simply not delivered.
+                    if let Some((node, tag)) = self.state.timers.fire(timer) {
+                        let local = self.state.local_of[node.index()];
+                        if self.state.alive[local as usize] {
+                            let mut ctx = Context::shard(node, local, ev.seq, &mut self.state);
+                            self.protocols[local as usize].on_timer(&mut ctx, timer, tag);
+                        }
+                    }
+                }
+                EventKind::Crash { node } => {
+                    let local = self.state.local_of[node.index()] as usize;
+                    if self.state.alive[local] {
+                        self.state.alive[local] = false;
+                        self.protocols[local].on_crash(self.state.now);
+                    }
+                }
+            }
+        }
+        processed
+    }
+
+    /// The shard counterpart of the flat core's batched delivery run: drains
+    /// every same-tick delivery to `to` pending *in this shard's queue* into
+    /// one callback context. The shard may see a longer contiguous run than
+    /// the flat core (events of other shards' nodes no longer interleave),
+    /// but activation boundaries are invisible to protocols and the batched
+    /// statistics sum identically, so the difference is unobservable; the
+    /// per-command exchange keys are re-anchored on each extension's own
+    /// event ([`Context::retrigger`]) so the global command order is
+    /// preserved exactly. Returns the number of *additional* events consumed
+    /// beyond the first.
+    fn deliver_run(&mut self, trigger_seq: u64, from: NodeId, to: NodeId, msg: P::Message) -> u64 {
+        let local = self.state.local_of[to.index()] as usize;
+        let now = self.state.now;
+        if !self.state.alive[local] {
+            // Drain the dead-destination run without a context.
+            let mut count = 1u64;
+            while next_extends_shard_run(&self.state, now, to) {
+                let _ = self.state.queue.pop();
+                count += 1;
+            }
+            self.state
+                .stats
+                .record_to_dead_n(NodeId::new(local as u32), count);
+            return count - 1;
+        }
+        let mut count = 1u64;
+        let mut total_bytes = msg.wire_size() as u64;
+        let protocol = &mut self.protocols[local];
+        let mut ctx = Context::shard(to, local as u32, trigger_seq, &mut self.state);
+        protocol.on_message(&mut ctx, from, msg);
+        loop {
+            let state = ctx.shard_state();
+            if !next_extends_shard_run(state, now, to) {
+                break;
+            }
+            let ev = state.queue.pop().expect("peeked event exists");
+            let EventKind::Deliver { from, msg, .. } = ev.payload else {
+                unreachable!("run extension is a delivery");
+            };
+            ctx.retrigger(ev.seq);
+            count += 1;
+            total_bytes += msg.wire_size() as u64;
+            protocol.on_message(&mut ctx, from, msg);
+        }
+        ctx.shard_state()
+            .stats
+            .record_deliveries(NodeId::new(local as u32), count, total_bytes);
+        count - 1
+    }
+
+    /// Applies the events and loss records an exchange routed to this shard.
+    fn apply_inbox(&mut self, inbox: &mut Inbox<P::Message>) {
+        for local in inbox.losses.drain(..) {
+            self.state.stats.record_loss(NodeId::new(local));
+        }
+        for (time, seq, kind) in inbox.pushes.drain(..) {
+            self.state.queue.push_at_seq(time, seq, kind);
+        }
+    }
+}
+
+/// Whether the front of the shard queue extends a same-tick delivery run to
+/// `to`.
+#[inline]
+fn next_extends_shard_run<M>(state: &ShardState<M>, now: SimTime, to: NodeId) -> bool {
+    match state.queue.peek() {
+        Some(ev) if ev.time == now => {
+            matches!(&ev.payload, EventKind::Deliver { to: t, .. } if *t == to)
+        }
+        _ => false,
+    }
+}
+
+/// The serial, globally ordered state of the sharded simulator: everything
+/// the exchange touches between bucket rounds.
+struct ExchangeState {
+    /// The shared network RNG (loss and latency draws) — the same stream,
+    /// consumed in the same order, as the flat core's `net_rng`.
+    net_rng: SmallRng,
+    loss: LossModel,
+    loss_state: LossState,
+    latency: LatencySampler,
+    /// The global sequence stream: the flat core's queue counter, assigned
+    /// at exchange points instead of push sites.
+    next_seq: u64,
+    /// Determinism-contract violations (sub-bucket delays) observed so far;
+    /// checked at the end of every run call.
+    violations: u64,
+}
+
+/// Runs one exchange: merges the deferred commands, restores the flat
+/// core's global command order by sorting on the [`ExchangeKey`]s, draws
+/// loss/latency and assigns sequence numbers serially in that order, and
+/// routes each resulting event to its destination shard's inbox.
+///
+/// A command scheduling an event at or before `cutoff` — inside the bucket
+/// region the shards just completed — is a determinism-contract violation:
+/// the flat core would have interleaved that event into the completed
+/// region. It is counted (and still applied) rather than panicking here, so
+/// the threaded mode's barrier protocol cannot deadlock on an unwinding
+/// coordinator; the run panics once the threads have joined.
+fn run_exchange<M, I>(
+    exch: &mut ExchangeState,
+    plan: &ShardPlan,
+    merged: &mut Vec<OutEntry<M>>,
+    inboxes: &mut [I],
+    cutoff: Option<SimTime>,
+) where
+    I: DerefMut<Target = Inbox<M>>,
+{
+    merged.sort_unstable_by_key(|e| e.key());
+    for entry in merged.drain(..) {
+        match entry {
+            OutEntry::Deliver {
+                departure,
+                from,
+                to,
+                msg,
+                ..
+            } => {
+                if exch
+                    .loss_state
+                    .is_lost(&exch.loss, &mut exch.net_rng, from, to)
+                {
+                    // Lost messages consume no sequence number (the flat
+                    // core never pushes them).
+                    inboxes[plan.shard_of[from.index()] as usize]
+                        .losses
+                        .push(plan.local_of[from.index()]);
+                    continue;
+                }
+                let latency = exch.latency.sample(&mut exch.net_rng);
+                let arrival = departure + latency;
+                if cutoff.is_some_and(|c| arrival <= c) {
+                    exch.violations += 1;
+                }
+                let seq = exch.next_seq;
+                exch.next_seq += 1;
+                inboxes[plan.shard_of[to.index()] as usize].pushes.push((
+                    arrival,
+                    seq,
+                    EventKind::Deliver { from, to, msg },
+                ));
+            }
+            OutEntry::Timer {
+                fire, node, timer, ..
+            } => {
+                if cutoff.is_some_and(|c| fire <= c) {
+                    exch.violations += 1;
+                }
+                let seq = exch.next_seq;
+                exch.next_seq += 1;
+                inboxes[plan.shard_of[node.index()] as usize].pushes.push((
+                    fire,
+                    seq,
+                    EventKind::Timer { timer },
+                ));
+            }
+        }
+    }
+}
+
+/// The sharded simulation engine behind
+/// [`Simulator`](crate::sim::Simulator); see the [module docs](self).
+pub(crate) struct ShardedSim<P: Protocol> {
+    shards: Vec<Shard<P>>,
+    plan: ShardPlan,
+    exchange: ExchangeState,
+    /// Reusable merge buffer for the exchange sort.
+    merged: Vec<OutEntry<P::Message>>,
+    /// Reusable per-shard routing buffers.
+    inboxes: Vec<Inbox<P::Message>>,
+    /// Per-shard statistics merged under global ids; refreshed at the end of
+    /// every run call.
+    stats_cache: NetStats,
+    now: SimTime,
+    n: usize,
+}
+
+impl<P: Protocol> ShardedSim<P> {
+    /// Builds the sharded simulator from the builder's configuration,
+    /// constructing protocol instances in global id order (exactly the flat
+    /// core's construction order) and running every `on_start` at time zero.
+    pub(crate) fn build<F>(builder: SimulatorBuilder, mut make_node: F) -> Self
+    where
+        F: FnMut(NodeId) -> P,
+    {
+        let n = builder.n;
+        let nshards = builder.shards;
+        let latency = LatencySampler::new(&builder.latency);
+        assert!(
+            latency.min_delay().as_micros() >= BUCKET_WIDTH_MICROS,
+            "sharded simulation requires the latency model's minimum delay (the conservative \
+             lookahead bound) to span at least one calendar bucket ({BUCKET_WIDTH_MICROS} us); \
+             the configured model can deliver after {:?}",
+            latency.min_delay()
+        );
+        let assignment = builder.shard_policy.assign(n, nshards, &builder.capacities);
+        let plan = ShardPlan::new(assignment, nshards);
+
+        // Protocol construction in global id order, then distribution.
+        let mut protos: Vec<Option<P>> = (0..n)
+            .map(|i| Some(make_node(NodeId::new(i as u32))))
+            .collect();
+        let mut shards: Vec<Shard<P>> = Vec::with_capacity(nshards);
+        for members in &plan.members {
+            let local_n = members.len();
+            let mailbox_capacity = builder
+                .mailbox_capacity
+                .unwrap_or_else(|| (8 * local_n).max(1024));
+            let protocols: Vec<P> = members
+                .iter()
+                .map(|&g| {
+                    protos[g as usize]
+                        .take()
+                        .expect("each node joins one shard")
+                })
+                .collect();
+            let uploads: Vec<UploadQueue> = members
+                .iter()
+                .map(|&g| {
+                    let mut upload = UploadQueue::new(builder.capacities[g as usize]);
+                    upload.set_max_backlog(builder.queue_limit);
+                    upload
+                })
+                .collect();
+            let rngs: Vec<SmallRng> = members
+                .iter()
+                .map(|&g| stream_rng(builder.seed, 1 + g as u64))
+                .collect();
+            shards.push(Shard {
+                protocols,
+                state: ShardState {
+                    queue: EventQueue::new(),
+                    now: SimTime::ZERO,
+                    timers: TimerTable::default(),
+                    stats: NetStats::new(local_n),
+                    uploads,
+                    rngs,
+                    alive: vec![true; local_n],
+                    outbox: Mailbox::with_capacity(mailbox_capacity),
+                    local_of: Arc::clone(&plan.local_of),
+                },
+            });
+        }
+
+        let inboxes = shards
+            .iter()
+            .map(|s| Inbox::with_capacity(s.state.outbox.entries.capacity()))
+            .collect();
+        let mut sim = ShardedSim {
+            shards,
+            plan,
+            exchange: ExchangeState {
+                net_rng: stream_rng(builder.seed, 0),
+                loss: builder.loss,
+                loss_state: LossState::new(n),
+                latency,
+                next_seq: 0,
+                violations: 0,
+            },
+            merged: Vec::new(),
+            inboxes,
+            stats_cache: NetStats::new(n),
+            now: SimTime::ZERO,
+            n,
+        };
+        sim.start_all();
+        sim
+    }
+
+    /// Runs every node's `on_start` in global id order — the flat core's
+    /// `start_all` order — then exchanges the deferred commands under
+    /// `(node index, command index)` keys (no cutoff: nothing has been
+    /// processed, so even sub-bucket timer phases are in-contract here).
+    fn start_all(&mut self) {
+        for g in 0..self.n as u32 {
+            let id = NodeId::new(g);
+            let s = self.plan.shard_of[g as usize] as usize;
+            let local = self.plan.local_of[g as usize];
+            let shard = &mut self.shards[s];
+            let mut ctx = Context::shard(id, local, g as u64, &mut shard.state);
+            shard.protocols[local as usize].on_start(&mut ctx);
+        }
+        self.collect_and_exchange(None);
+        self.refresh_stats();
+    }
+
+    /// The earliest pending event time across all shards.
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.state.queue.peek_time())
+            .min()
+    }
+
+    /// Merges every shard's outbox, exchanges, and routes the results back
+    /// into the shard queues (sequential mode).
+    fn collect_and_exchange(&mut self, cutoff: Option<SimTime>) {
+        let merged = &mut self.merged;
+        for shard in &mut self.shards {
+            merged.append(&mut shard.state.outbox.entries);
+        }
+        let mut inbox_refs: Vec<&mut Inbox<P::Message>> = self.inboxes.iter_mut().collect();
+        run_exchange(
+            &mut self.exchange,
+            &self.plan,
+            merged,
+            &mut inbox_refs,
+            cutoff,
+        );
+        for (shard, inbox) in self.shards.iter_mut().zip(self.inboxes.iter_mut()) {
+            shard.apply_inbox(inbox);
+        }
+    }
+
+    /// The sequential bucket-stepping driver: find the next populated
+    /// bucket, let every shard drain its slice of it, exchange, repeat.
+    fn run_sequential(&mut self, deadline: Option<SimTime>) -> u64 {
+        let mut processed = 0;
+        while let Some(next) = self.next_event_time() {
+            if deadline.is_some_and(|d| next > d) {
+                break;
+            }
+            let bucket_last = next.as_micros() | (BUCKET_WIDTH_MICROS - 1);
+            let cutoff_us = match deadline {
+                Some(d) => bucket_last.min(d.as_micros()),
+                None => bucket_last,
+            };
+            let cutoff = SimTime::from_micros(cutoff_us);
+            for shard in &mut self.shards {
+                processed += shard.run_bucket(cutoff);
+            }
+            self.collect_and_exchange(Some(cutoff));
+        }
+        processed
+    }
+
+    /// The shard-per-core driver: scoped threads step all shards' buckets
+    /// concurrently; thread 0 doubles as the exchange coordinator between
+    /// two barriers. The barrier protocol (store next-event times → barrier
+    /// → agree on the bucket → run it → publish outboxes → barrier →
+    /// serial exchange → barrier → apply own inbox) makes every thread take
+    /// identical control-flow decisions from identical data, so the result
+    /// is bit-identical to the sequential driver.
+    fn run_threaded(&mut self, deadline: Option<SimTime>) -> u64
+    where
+        P: Send,
+        P::Message: Send,
+    {
+        if self.shards.len() <= 1 {
+            return self.run_sequential(deadline);
+        }
+        let deadline_us = deadline.map_or(u64::MAX, |d| d.as_micros());
+        let nshards = self.shards.len();
+        let barrier = Barrier::new(nshards);
+        let next_times: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let outbox_slots: Vec<Mutex<Vec<OutEntry<P::Message>>>> =
+            (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+        let inbox_slots: Vec<Mutex<Inbox<P::Message>>> = std::mem::take(&mut self.inboxes)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let total = AtomicU64::new(0);
+        let plan = &self.plan;
+        let mut coordinator = Some((&mut self.exchange, &mut self.merged));
+        std::thread::scope(|scope| {
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let mut coord = coordinator.take();
+                let barrier = &barrier;
+                let next_times = &next_times[..];
+                let outbox_slots = &outbox_slots[..];
+                let inbox_slots = &inbox_slots[..];
+                let total = &total;
+                scope.spawn(move || {
+                    let mut processed = 0u64;
+                    loop {
+                        let t = shard
+                            .state
+                            .queue
+                            .peek_time()
+                            .map_or(u64::MAX, |t| t.as_micros());
+                        next_times[i].store(t, Ordering::SeqCst);
+                        barrier.wait();
+                        let t_min = next_times
+                            .iter()
+                            .map(|a| a.load(Ordering::SeqCst))
+                            .min()
+                            .expect("at least one shard");
+                        if t_min == u64::MAX || t_min > deadline_us {
+                            break;
+                        }
+                        let cutoff = SimTime::from_micros(
+                            (t_min | (BUCKET_WIDTH_MICROS - 1)).min(deadline_us),
+                        );
+                        processed += shard.run_bucket(cutoff);
+                        *outbox_slots[i].lock().expect("outbox slot") =
+                            std::mem::take(&mut shard.state.outbox.entries);
+                        barrier.wait();
+                        if let Some((exch, merged)) = coord.as_mut() {
+                            for slot in outbox_slots {
+                                merged.append(&mut slot.lock().expect("outbox slot"));
+                            }
+                            let mut guards: Vec<_> = inbox_slots
+                                .iter()
+                                .map(|m| m.lock().expect("inbox slot"))
+                                .collect();
+                            run_exchange(exch, plan, merged, &mut guards, Some(cutoff));
+                        }
+                        barrier.wait();
+                        // Reclaim the (empty, capacity-preserving) outbox
+                        // buffer and apply whatever the exchange routed here.
+                        shard.state.outbox.entries =
+                            std::mem::take(&mut *outbox_slots[i].lock().expect("outbox slot"));
+                        shard.apply_inbox(&mut inbox_slots[i].lock().expect("inbox slot"));
+                    }
+                    total.fetch_add(processed, Ordering::SeqCst);
+                });
+            }
+        });
+        self.inboxes = inbox_slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("inbox lock"))
+            .collect();
+        total.into_inner()
+    }
+
+    /// Post-run bookkeeping shared by both drivers: advance the clocks,
+    /// refresh the merged statistics, enforce the determinism contract.
+    fn finish_run(&mut self, deadline: Option<SimTime>) {
+        if let Some(last) = self.shards.iter().map(|s| s.state.now).max() {
+            self.now = self.now.max(last);
+        }
+        if let Some(d) = deadline {
+            // Advance the clocks to the deadline even if the queues drained
+            // early, so that subsequent scheduling is relative to the
+            // requested time (the flat core does the same).
+            if self.now < d {
+                self.now = d;
+            }
+            for shard in &mut self.shards {
+                if shard.state.now < d {
+                    shard.state.now = d;
+                }
+            }
+        }
+        self.refresh_stats();
+        assert!(
+            self.exchange.violations == 0,
+            "sharded determinism contract violated: {} command(s) scheduled events inside an \
+             already-completed calendar bucket (every link latency and timer delay must span at \
+             least one bucket of {BUCKET_WIDTH_MICROS} us so the bucket-boundary exchange stays \
+             conservative)",
+            self.exchange.violations
+        );
+    }
+
+    /// Rebuilds the merged network-wide statistics from the per-shard
+    /// columns (exact: counter addition is commutative), reusing the cache
+    /// buffer.
+    fn refresh_stats(&mut self) {
+        self.stats_cache.reset();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (local, &global) in self.plan.members[s].iter().enumerate() {
+                self.stats_cache.add_node_stats(
+                    NodeId::new(global),
+                    &shard.state.stats.node(NodeId::new(local as u32)),
+                );
+            }
+            self.stats_cache.total_queueing_delay += shard.state.stats.total_queueing_delay;
+        }
+    }
+
+    // --- public surface (dispatched from `Simulator`) ----------------------
+
+    pub(crate) fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let processed = self.run_sequential(Some(deadline));
+        self.finish_run(Some(deadline));
+        processed
+    }
+
+    pub(crate) fn run_to_completion(&mut self) -> u64 {
+        let processed = self.run_sequential(None);
+        self.finish_run(None);
+        processed
+    }
+
+    pub(crate) fn run_until_threaded(&mut self, deadline: SimTime) -> u64
+    where
+        P: Send,
+        P::Message: Send,
+    {
+        let processed = self.run_threaded(Some(deadline));
+        self.finish_run(Some(deadline));
+        processed
+    }
+
+    pub(crate) fn run_to_completion_threaded(&mut self) -> u64
+    where
+        P: Send,
+        P::Message: Send,
+    {
+        let processed = self.run_threaded(None);
+        self.finish_run(None);
+        processed
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn mailbox_high_water(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.outbox.high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn locate(&self, id: NodeId) -> (usize, usize) {
+        (
+            self.plan.shard_of[id.index()] as usize,
+            self.plan.local_of[id.index()] as usize,
+        )
+    }
+
+    pub(crate) fn is_alive(&self, id: NodeId) -> bool {
+        let (s, l) = self.locate(id);
+        self.shards[s].state.alive[l]
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &P {
+        let (s, l) = self.locate(id);
+        &self.shards[s].protocols[l]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut P {
+        let (s, l) = self.locate(id);
+        &mut self.shards[s].protocols[l]
+    }
+
+    pub(crate) fn upload_queue(&self, id: NodeId) -> &UploadQueue {
+        let (s, l) = self.locate(id);
+        &self.shards[s].state.uploads[l]
+    }
+
+    pub(crate) fn stats(&self) -> &NetStats {
+        &self.stats_cache
+    }
+
+    pub(crate) fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        // Serial context (between runs): assign the next global sequence
+        // number directly, exactly where the flat core's push would.
+        let seq = self.exchange.next_seq;
+        self.exchange.next_seq += 1;
+        let s = self.plan.shard_of[node.index()] as usize;
+        self.shards[s]
+            .state
+            .queue
+            .push_at_seq(at, seq, EventKind::Crash { node });
+    }
+
+    pub(crate) fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.state.queue.len()).sum()
+    }
+
+    pub(crate) fn armed_timers(&self) -> usize {
+        self.shards.iter().map(|s| s.state.timers.armed()).sum()
+    }
+
+    pub(crate) fn timer_slots(&self) -> usize {
+        self.shards.iter().map(|s| s.state.timers.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+
+    fn caps(pattern: &[u64]) -> Vec<UploadCapacity> {
+        pattern
+            .iter()
+            .map(|&kbps| {
+                if kbps == 0 {
+                    UploadCapacity::Unlimited
+                } else {
+                    UploadCapacity::Limited(Bandwidth::from_kbps(kbps))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_over_shards() {
+        let a = ShardPolicy::RoundRobin.assign(7, 3, &caps(&[0; 7]));
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn contiguous_splits_evenly_with_remainder_up_front() {
+        let a = ShardPolicy::Contiguous.assign(7, 3, &caps(&[0; 7]));
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn by_capacity_class_groups_equal_capacities() {
+        // Two capacity classes interleaved over six nodes, two shards: the
+        // slow class must land on shard 0, the fast class on shard 1.
+        let a =
+            ShardPolicy::ByCapacityClass.assign(6, 2, &caps(&[512, 3000, 512, 3000, 512, 3000]));
+        assert_eq!(a, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn custom_policy_is_validated_and_applied() {
+        let a =
+            ShardPolicy::Custom(|n, shards, _| (0..n).map(|i| ((i / 2) % shards) as u32).collect())
+                .assign(6, 2, &caps(&[0; 6]));
+        assert_eq!(a, vec![0, 0, 1, 1, 0, 0]);
+        assert_eq!(format!("{:?}", ShardPolicy::Contiguous), "Contiguous");
+        assert_eq!(
+            format!("{:?}", ShardPolicy::Custom(|_, _, _| Vec::new())),
+            "Custom(..)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must assign every node")]
+    fn custom_policy_must_cover_every_node() {
+        let _ = ShardPolicy::Custom(|_, _, _| vec![0]).assign(3, 2, &caps(&[0; 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn custom_policy_must_stay_in_range() {
+        let _ = ShardPolicy::Custom(|n, _, _| vec![9; n]).assign(3, 2, &caps(&[0; 3]));
+    }
+
+    #[test]
+    fn plan_builds_dense_local_index_spaces() {
+        let plan = ShardPlan::new(vec![1, 0, 1, 0, 1], 2);
+        assert_eq!(plan.members[0], vec![1, 3]);
+        assert_eq!(plan.members[1], vec![0, 2, 4]);
+        assert_eq!(plan.local_of.as_slice(), &[0, 0, 1, 1, 2]);
+        assert_eq!(plan.shard_of, vec![1, 0, 1, 0, 1]);
+    }
+}

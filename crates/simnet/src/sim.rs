@@ -31,6 +31,7 @@ use crate::latency::{LatencyModel, LatencySampler};
 use crate::loss::{LossModel, LossState};
 use crate::node::NodeId;
 use crate::rng::stream_rng;
+use crate::shard::ShardPolicy;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -89,8 +90,13 @@ impl TimerId {
 /// `Timer` variant previously inflated *every* queue slot of a
 /// small-message protocol, because an enum is as large as its widest
 /// variant.
+///
+/// The sharded simulator keeps one table per shard (timers are armed and
+/// fired on the owning node, which never changes shards), so [`TimerId`]
+/// values are shard-relative there — an opaque-handle property protocols
+/// already must not rely on.
 #[derive(Debug, Default)]
-struct TimerTable {
+pub(crate) struct TimerTable {
     slots: Vec<TimerSlot>,
     free: Vec<u32>,
 }
@@ -108,7 +114,7 @@ struct TimerSlot {
 impl TimerTable {
     /// Allocates an armed slot for `node` carrying `tag`, returning its
     /// handle.
-    fn arm(&mut self, node: NodeId, tag: u64) -> TimerId {
+    pub(crate) fn arm(&mut self, node: NodeId, tag: u64) -> TimerId {
         let slot = match self.free.pop() {
             Some(slot) => slot,
             None => {
@@ -131,7 +137,7 @@ impl TimerTable {
     }
 
     /// Disarms `id` if it is still pending; stale handles are ignored.
-    fn cancel(&mut self, id: TimerId) {
+    pub(crate) fn cancel(&mut self, id: TimerId) {
         let (slot, generation) = id.unpack();
         if let Some(entry) = self.slots.get_mut(slot as usize) {
             if entry.generation == generation {
@@ -143,7 +149,7 @@ impl TimerTable {
     /// Consumes the firing of `id`'s queue event: frees the slot and, if the
     /// timer was still armed (i.e. the callback should run), returns the
     /// owning node and tag.
-    fn fire(&mut self, id: TimerId) -> Option<(NodeId, u64)> {
+    pub(crate) fn fire(&mut self, id: TimerId) -> Option<(NodeId, u64)> {
         let (slot, generation) = id.unpack();
         let entry = &mut self.slots[slot as usize];
         if entry.generation != generation {
@@ -164,12 +170,12 @@ impl TimerTable {
     }
 
     /// Number of timers currently armed.
-    fn armed(&self) -> usize {
+    pub(crate) fn armed(&self) -> usize {
         self.slots.iter().filter(|s| s.armed).count()
     }
 
     /// Number of slots ever allocated.
-    fn capacity(&self) -> usize {
+    pub(crate) fn capacity(&self) -> usize {
         self.slots.len()
     }
 }
@@ -254,10 +260,23 @@ enum CoreMode {
 /// rides along in the queue. An enum is as wide as its widest variant, so
 /// slimming `Timer` shrinks *every* queue slot of a small-message protocol.
 #[derive(Debug, Clone)]
-enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { timer: TimerId },
-    Crash { node: NodeId },
+pub(crate) enum EventKind<M> {
+    Deliver {
+        /// The sending node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// The message being delivered.
+        msg: M,
+    },
+    Timer {
+        /// Handle of the firing timer (owner and tag live in its slot).
+        timer: TimerId,
+    },
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+    },
 }
 
 /// The PR 3-era event payload, retained verbatim for the compat cores: the
@@ -506,12 +525,106 @@ impl<M: WireSize> Core<M> {
 /// tests).
 pub struct Context<'a, M> {
     node: NodeId,
-    core: &'a mut Core<M>,
-    /// `Some` in the deferred-dispatch compat cores, `None` in the flat core.
-    commands: Option<&'a mut Vec<Command<M>>>,
+    inner: CtxInner<'a, M>,
+}
+
+/// The dispatch target behind a [`Context`]: the single-core simulator (flat
+/// eager dispatch or a deferred command buffer) or one shard of the sharded
+/// simulator (eager per-shard state plus a deferred exchange outbox).
+enum CtxInner<'a, M> {
+    /// A single-core simulator callback.
+    Single {
+        core: &'a mut Core<M>,
+        /// `Some` in the deferred-dispatch compat cores, `None` in the flat
+        /// core.
+        commands: Option<&'a mut Vec<Command<M>>>,
+    },
+    /// A sharded-simulator callback: per-node and per-shard state is touched
+    /// eagerly (upload queue, sender-side statistics, timer table), while
+    /// everything that needs global coordination — loss and latency draws
+    /// from the shared network RNG, global sequence numbers — is recorded in
+    /// the shard's outbox keyed by `(trigger event, command index)` and
+    /// resolved at the next bucket-boundary exchange in exactly the order
+    /// the flat core would have resolved it.
+    Shard {
+        state: &'a mut crate::shard::ShardState<M>,
+        /// Shard-local index of the node executing the callback.
+        local: u32,
+        /// Global sequence number of the event that triggered the callback
+        /// (the node's global index for `on_start`, which runs before any
+        /// event exists).
+        trigger_seq: u64,
+        /// Position of the next command within this callback, breaking
+        /// exchange-ordering ties among commands of one callback.
+        cmd_idx: u32,
+    },
 }
 
 impl<'a, M: WireSize> Context<'a, M> {
+    /// A flat-core or compat-core context (the single-core simulator).
+    fn single(
+        node: NodeId,
+        core: &'a mut Core<M>,
+        commands: Option<&'a mut Vec<Command<M>>>,
+    ) -> Self {
+        Context {
+            node,
+            inner: CtxInner::Single { core, commands },
+        }
+    }
+
+    /// A shard context for `node` (shard-local index `local`), triggered by
+    /// the event with global sequence number `trigger_seq`.
+    pub(crate) fn shard(
+        node: NodeId,
+        local: u32,
+        trigger_seq: u64,
+        state: &'a mut crate::shard::ShardState<M>,
+    ) -> Self {
+        Context {
+            node,
+            inner: CtxInner::Shard {
+                state,
+                local,
+                trigger_seq,
+                cmd_idx: 0,
+            },
+        }
+    }
+
+    /// Re-keys a shard context to a new triggering event (the batched
+    /// delivery path reuses one context across a same-tick run) and resets
+    /// the command index.
+    pub(crate) fn retrigger(&mut self, seq: u64) {
+        match &mut self.inner {
+            CtxInner::Shard {
+                trigger_seq,
+                cmd_idx,
+                ..
+            } => {
+                *trigger_seq = seq;
+                *cmd_idx = 0;
+            }
+            CtxInner::Single { .. } => unreachable!("retrigger is a shard-context operation"),
+        }
+    }
+
+    /// The shard state this context acts on (shard contexts only).
+    pub(crate) fn shard_state(&mut self) -> &mut crate::shard::ShardState<M> {
+        match &mut self.inner {
+            CtxInner::Shard { state, .. } => state,
+            CtxInner::Single { .. } => unreachable!("shard_state on a single-core context"),
+        }
+    }
+
+    /// The single-core state this context acts on (single contexts only).
+    fn single_core(&mut self) -> &mut Core<M> {
+        match &mut self.inner {
+            CtxInner::Single { core, .. } => core,
+            CtxInner::Shard { .. } => unreachable!("single_core on a shard context"),
+        }
+    }
+
     /// The id of the node executing the callback.
     pub fn node_id(&self) -> NodeId {
         self.node
@@ -519,46 +632,86 @@ impl<'a, M: WireSize> Context<'a, M> {
 
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        match &self.inner {
+            CtxInner::Single { core, .. } => core.now,
+            CtxInner::Shard { state, .. } => state.now,
+        }
     }
 
     /// The node's deterministic random-number generator.
     #[inline]
     pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.core.rngs[self.node.index()]
+        match &mut self.inner {
+            CtxInner::Single { core, .. } => &mut core.rngs[self.node.index()],
+            CtxInner::Shard { state, local, .. } => &mut state.rngs[*local as usize],
+        }
     }
 
     /// Sends `msg` to `to`. The message passes through this node's upload
     /// queue, may be lost, and otherwise arrives after the sampled latency.
     #[inline]
     pub fn send(&mut self, to: NodeId, msg: M) {
-        match &mut self.commands {
-            None => self.core.transmit(self.node, to, msg),
-            Some(buffer) => buffer.push(Command::Send { to, msg }),
+        match &mut self.inner {
+            CtxInner::Single {
+                core,
+                commands: None,
+            } => core.transmit(self.node, to, msg),
+            CtxInner::Single {
+                commands: Some(buffer),
+                ..
+            } => buffer.push(Command::Send { to, msg }),
+            CtxInner::Shard {
+                state,
+                local,
+                trigger_seq,
+                cmd_idx,
+            } => {
+                state.transmit_local(self.node, *local, to, msg, *trigger_seq, *cmd_idx);
+                *cmd_idx += 1;
+            }
         }
     }
 
     /// Arms a timer that fires `delay` from now, carrying an arbitrary `tag`
     /// the protocol can use to distinguish timer purposes.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = self.core.timers.arm(self.node, tag);
-        match &mut self.commands {
-            None => {
-                self.core
-                    .queue
-                    .push_timer(self.core.now + delay, self.node, id, tag);
+        match &mut self.inner {
+            CtxInner::Single { core, commands } => {
+                let id = core.timers.arm(self.node, tag);
+                match commands {
+                    None => {
+                        core.queue.push_timer(core.now + delay, self.node, id, tag);
+                    }
+                    Some(buffer) => buffer.push(Command::SetTimer { id, delay, tag }),
+                }
+                id
             }
-            Some(buffer) => buffer.push(Command::SetTimer { id, delay, tag }),
+            CtxInner::Shard {
+                state,
+                trigger_seq,
+                cmd_idx,
+                ..
+            } => {
+                let id = state.arm_timer_local(self.node, tag, delay, *trigger_seq, *cmd_idx);
+                *cmd_idx += 1;
+                id
+            }
         }
-        id
     }
 
     /// Cancels a previously armed timer. Cancelling an already-fired or
     /// unknown timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        match &mut self.commands {
-            None => self.core.timers.cancel(id),
-            Some(buffer) => buffer.push(Command::CancelTimer { id }),
+        match &mut self.inner {
+            CtxInner::Single {
+                core,
+                commands: None,
+            } => core.timers.cancel(id),
+            CtxInner::Single {
+                commands: Some(buffer),
+                ..
+            } => buffer.push(Command::CancelTimer { id }),
+            CtxInner::Shard { state, .. } => state.timers.cancel(id),
         }
     }
 }
@@ -570,13 +723,20 @@ impl<'a, M: WireSize> Context<'a, M> {
 /// See the [crate-level documentation](crate).
 #[derive(Debug, Clone)]
 pub struct SimulatorBuilder {
-    n: usize,
-    seed: u64,
-    latency: LatencyModel,
-    loss: LossModel,
-    capacities: Vec<UploadCapacity>,
-    queue_limit: Option<SimDuration>,
+    pub(crate) n: usize,
+    pub(crate) seed: u64,
+    pub(crate) latency: LatencyModel,
+    pub(crate) loss: LossModel,
+    pub(crate) capacities: Vec<UploadCapacity>,
+    pub(crate) queue_limit: Option<SimDuration>,
     mode: CoreMode,
+    /// Number of shards (`0` = the unsharded single-core simulator).
+    pub(crate) shards: usize,
+    /// How the node population is partitioned when sharded.
+    pub(crate) shard_policy: ShardPolicy,
+    /// Outbox/inbox preallocation per shard (`None` = a size-derived
+    /// default).
+    pub(crate) mailbox_capacity: Option<usize>,
 }
 
 impl SimulatorBuilder {
@@ -590,7 +750,57 @@ impl SimulatorBuilder {
             capacities: vec![UploadCapacity::Unlimited; n],
             queue_limit: None,
             mode: CoreMode::Flat,
+            shards: 0,
+            shard_policy: ShardPolicy::Contiguous,
+            mailbox_capacity: None,
         }
+    }
+
+    /// Splits the simulation into `shards` per-region event loops that
+    /// exchange cross-shard deliveries at calendar-bucket boundaries.
+    ///
+    /// Each shard owns a partition of the node population (see
+    /// [`SimulatorBuilder::shard_policy`]) with its own calendar queue,
+    /// struct-of-arrays node/statistics columns and per-node RNG streams.
+    /// Results are *bit-identical* to the default flat core for any shard
+    /// count — same callback order per node, same RNG draws, same statistics
+    /// — provided the determinism contract holds: every scheduling delay
+    /// (link latency and timer delay) must span at least one calendar bucket
+    /// ([`BUCKET_WIDTH_MICROS`](crate::event::BUCKET_WIDTH_MICROS)), which
+    /// bounds the conservative lookahead. The latency bound is asserted at
+    /// build time; timer-delay violations are detected at the next exchange
+    /// and panic at the end of the run.
+    ///
+    /// Shards step sequentially by default ([`Simulator::run_until`]) — the
+    /// cache-locality configuration for single-core hosts — or one shard per
+    /// core on scoped threads via [`Simulator::run_until_threaded`].
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if `shards` is zero, if a compat scheduling core was
+    /// also selected, or if the latency model's minimum delay is shorter
+    /// than one calendar bucket.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "sharded() needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the node-partitioning policy used by [`SimulatorBuilder::sharded`]
+    /// (default: [`ShardPolicy::Contiguous`]).
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
+    }
+
+    /// Overrides the fixed mailbox capacity preallocated per shard for the
+    /// bucket-boundary exchange (outbox and inbox entries). The default is
+    /// derived from the shard size; exceeding the capacity is not an error —
+    /// the mailbox grows and the overflow is counted
+    /// ([`Simulator::mailbox_high_water`]).
+    pub fn shard_mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.mailbox_capacity = Some(capacity);
+        self
     }
 
     /// Routes the simulator through the pre-PR-3 scheduling core: the
@@ -663,7 +873,27 @@ impl SimulatorBuilder {
 
     /// Builds the simulator, constructing one protocol instance per node via
     /// `make_node`, and schedules every node's `on_start` at time zero.
-    pub fn build<P, F>(self, mut make_node: F) -> Simulator<P>
+    pub fn build<P, F>(self, make_node: F) -> Simulator<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P,
+    {
+        if self.shards > 0 {
+            assert!(
+                self.mode == CoreMode::Flat,
+                "sharding applies to the default flat scheduling core only"
+            );
+            return Simulator {
+                inner: SimInner::Sharded(crate::shard::ShardedSim::build(self, make_node)),
+            };
+        }
+        Simulator {
+            inner: SimInner::Single(self.build_single(make_node)),
+        }
+    }
+
+    /// Builds the single-core simulator (the pre-sharding engine).
+    fn build_single<P, F>(self, mut make_node: F) -> SingleSim<P>
     where
         P: Protocol,
         F: FnMut(NodeId) -> P,
@@ -689,7 +919,7 @@ impl SimulatorBuilder {
             CoreMode::Seed => SimQueue::BaselineFat(BinaryHeapQueue::new()),
         };
         let latency_fast = LatencySampler::new(&self.latency);
-        let mut sim = Simulator {
+        let mut sim = SingleSim {
             protocols,
             core: Core {
                 queue,
@@ -714,7 +944,28 @@ impl SimulatorBuilder {
 }
 
 /// The discrete-event simulator hosting one [`Protocol`] instance per node.
+///
+/// Since PR 5 this is a dispatch front over two engines: the *single-core*
+/// simulator (the flat event loop plus the retained compat cores) and the
+/// *sharded* simulator ([`SimulatorBuilder::sharded`]), which partitions the
+/// node population into per-region event loops that exchange cross-shard
+/// deliveries at calendar-bucket boundaries. Both produce bit-identical
+/// simulations for a given seed (asserted by the differential tests); the
+/// public API is engine-agnostic.
 pub struct Simulator<P: Protocol> {
+    inner: SimInner<P>,
+}
+
+/// The engine behind a [`Simulator`].
+enum SimInner<P: Protocol> {
+    /// One event loop over the whole population (flat or compat cores).
+    Single(SingleSim<P>),
+    /// Per-region event loops with bucket-boundary exchange.
+    Sharded(crate::shard::ShardedSim<P>),
+}
+
+/// The single-core engine: one event loop over the whole node population.
+struct SingleSim<P: Protocol> {
     /// Protocol instances, indexed by [`NodeId::index`]. Kept apart from
     /// [`Core`] so a callback can borrow its protocol and the core
     /// simultaneously (the eager-dispatch seam).
@@ -723,60 +974,95 @@ pub struct Simulator<P: Protocol> {
 }
 
 impl<P: Protocol> Simulator<P> {
-    fn start_all(&mut self) {
-        for i in 0..self.protocols.len() {
-            let id = NodeId::new(i as u32);
-            self.with_context(id, |proto, ctx| proto.on_start(ctx));
-        }
-    }
-
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        match &self.inner {
+            SimInner::Single(s) => s.core.now,
+            SimInner::Sharded(s) => s.now(),
+        }
     }
 
     /// The number of nodes (alive or crashed).
     pub fn len(&self) -> usize {
-        self.protocols.len()
+        match &self.inner {
+            SimInner::Single(s) => s.protocols.len(),
+            SimInner::Sharded(s) => s.len(),
+        }
     }
 
     /// Returns `true` if the simulation hosts no nodes.
     pub fn is_empty(&self) -> bool {
-        self.protocols.is_empty()
+        self.len() == 0
+    }
+
+    /// The number of shards the simulation runs on (1 when unsharded).
+    pub fn shards(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(_) => 1,
+            SimInner::Sharded(s) => s.shards(),
+        }
+    }
+
+    /// The peak number of entries any shard mailbox held at one exchange
+    /// (0 when unsharded). Diagnostic for sizing
+    /// [`SimulatorBuilder::shard_mailbox_capacity`].
+    pub fn mailbox_high_water(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(_) => 0,
+            SimInner::Sharded(s) => s.mailbox_high_water(),
+        }
     }
 
     /// Whether `id` is still alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.core.alive[id.index()]
+        match &self.inner {
+            SimInner::Single(s) => s.core.alive[id.index()],
+            SimInner::Sharded(s) => s.is_alive(id),
+        }
     }
 
     /// Read access to the protocol state of `id`.
     pub fn node(&self, id: NodeId) -> &P {
-        &self.protocols[id.index()]
+        match &self.inner {
+            SimInner::Single(s) => &s.protocols[id.index()],
+            SimInner::Sharded(s) => s.node(id),
+        }
     }
 
     /// Mutable access to the protocol state of `id` (for experiment oracles;
     /// protocol logic itself should only act through callbacks).
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
-        &mut self.protocols[id.index()]
+        match &mut self.inner {
+            SimInner::Single(s) => &mut s.protocols[id.index()],
+            SimInner::Sharded(s) => s.node_mut(id),
+        }
     }
 
-    /// Iterates over all protocol instances with their ids.
+    /// Iterates over all protocol instances with their ids, in id order.
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.protocols
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (NodeId::new(i as u32), p))
+        (0..self.len() as u32).map(move |i| {
+            let id = NodeId::new(i);
+            (id, self.node(id))
+        })
     }
 
     /// The upload queue (and thus traffic counters) of `id`.
     pub fn upload_queue(&self, id: NodeId) -> &UploadQueue {
-        &self.core.uploads[id.index()]
+        match &self.inner {
+            SimInner::Single(s) => &s.core.uploads[id.index()],
+            SimInner::Sharded(s) => s.upload_queue(id),
+        }
     }
 
     /// Network-wide traffic statistics.
+    ///
+    /// In the sharded engine this is the merged view of the per-shard
+    /// statistics columns, refreshed at the end of every run call.
     pub fn stats(&self) -> &NetStats {
-        &self.core.stats
+        match &self.inner {
+            SimInner::Single(s) => &s.core.stats,
+            SimInner::Sharded(s) => s.stats(),
+        }
     }
 
     /// Schedules a crash of `node` at absolute time `at`.
@@ -785,19 +1071,30 @@ impl<P: Protocol> Simulator<P> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
-        assert!(at >= self.core.now, "cannot schedule a crash in the past");
-        self.core.queue.push_crash(at, node);
+        match &mut self.inner {
+            SimInner::Single(s) => {
+                assert!(at >= s.core.now, "cannot schedule a crash in the past");
+                s.core.queue.push_crash(at, node);
+            }
+            SimInner::Sharded(s) => s.schedule_crash(node, at),
+        }
     }
 
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
-        self.core.queue.len()
+        match &self.inner {
+            SimInner::Single(s) => s.core.queue.len(),
+            SimInner::Sharded(s) => s.pending_events(),
+        }
     }
 
     /// Number of timers currently armed (set and neither fired nor
     /// cancelled).
     pub fn armed_timers(&self) -> usize {
-        self.core.timers.armed()
+        match &self.inner {
+            SimInner::Single(s) => s.core.timers.armed(),
+            SimInner::Sharded(s) => s.armed_timers(),
+        }
     }
 
     /// Number of timer slots ever allocated. Bounded by the peak number of
@@ -805,12 +1102,76 @@ impl<P: Protocol> Simulator<P> {
     /// cancelling an already-fired timer leaves no state behind (regression
     /// guard for the pre-PR-3 cancelled-id-set leak).
     pub fn timer_slots(&self) -> usize {
-        self.core.timers.capacity()
+        match &self.inner {
+            SimInner::Single(s) => s.core.timers.capacity(),
+            SimInner::Sharded(s) => s.timer_slots(),
+        }
     }
 
     /// Runs until the event queue is exhausted or `deadline` is reached,
     /// whichever comes first. Returns the number of events processed.
+    ///
+    /// On a sharded simulator this steps the shards *sequentially*, bucket
+    /// by bucket — the cache-locality configuration for single-core hosts
+    /// (each shard's working set fits hotter cache levels); see
+    /// [`Simulator::run_until_threaded`] for the shard-per-core mode.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        match &mut self.inner {
+            SimInner::Single(s) => s.run_until(deadline),
+            SimInner::Sharded(s) => s.run_until(deadline),
+        }
+    }
+
+    /// Runs until the event queue is completely exhausted. Returns the number
+    /// of events processed. Use with care: protocols with periodic timers
+    /// never drain their queue — prefer [`Simulator::run_until`].
+    pub fn run_to_completion(&mut self) -> u64 {
+        match &mut self.inner {
+            SimInner::Single(s) => s.run_to_completion(),
+            SimInner::Sharded(s) => s.run_to_completion(),
+        }
+    }
+}
+
+impl<P: Protocol> Simulator<P>
+where
+    P: Send,
+    P::Message: Send,
+{
+    /// [`Simulator::run_until`], stepping shards on scoped threads — one
+    /// shard per core, synchronised at every calendar-bucket boundary by the
+    /// serial exchange. Results are bit-identical to the sequential path
+    /// (and therefore to the unsharded flat core); only wall-clock time
+    /// differs. On an unsharded (or single-shard) simulator this is exactly
+    /// [`Simulator::run_until`].
+    pub fn run_until_threaded(&mut self, deadline: SimTime) -> u64 {
+        match &mut self.inner {
+            SimInner::Single(s) => s.run_until(deadline),
+            SimInner::Sharded(s) => s.run_until_threaded(deadline),
+        }
+    }
+
+    /// [`Simulator::run_to_completion`] on scoped threads; see
+    /// [`Simulator::run_until_threaded`].
+    pub fn run_to_completion_threaded(&mut self) -> u64 {
+        match &mut self.inner {
+            SimInner::Single(s) => s.run_to_completion(),
+            SimInner::Sharded(s) => s.run_to_completion_threaded(),
+        }
+    }
+}
+
+impl<P: Protocol> SingleSim<P> {
+    fn start_all(&mut self) {
+        for i in 0..self.protocols.len() {
+            let id = NodeId::new(i as u32);
+            self.with_context(id, |proto, ctx| proto.on_start(ctx));
+        }
+    }
+
+    /// Runs until the event queue is exhausted or `deadline` is reached,
+    /// whichever comes first. Returns the number of events processed.
+    fn run_until(&mut self, deadline: SimTime) -> u64 {
         let processed = match self.core.mode {
             CoreMode::Flat => self.run_flat(Some(deadline)),
             _ => self.run_deferred(Some(deadline)),
@@ -823,10 +1184,8 @@ impl<P: Protocol> Simulator<P> {
         processed
     }
 
-    /// Runs until the event queue is completely exhausted. Returns the number
-    /// of events processed. Use with care: protocols with periodic timers
-    /// never drain their queue — prefer [`Simulator::run_until`].
-    pub fn run_to_completion(&mut self) -> u64 {
+    /// Runs until the event queue is completely exhausted.
+    fn run_to_completion(&mut self) -> u64 {
         match self.core.mode {
             CoreMode::Flat => self.run_flat(None),
             _ => self.run_deferred(None),
@@ -853,11 +1212,7 @@ impl<P: Protocol> Simulator<P> {
                     // timer is simply not delivered.
                     if let Some((node, tag)) = self.core.timers.fire(timer) {
                         if self.core.alive[node.index()] {
-                            let mut ctx = Context {
-                                node,
-                                core: &mut self.core,
-                                commands: None,
-                            };
+                            let mut ctx = Context::single(node, &mut self.core, None);
                             self.protocols[node.index()].on_timer(&mut ctx, timer, tag);
                         }
                     }
@@ -897,14 +1252,14 @@ impl<P: Protocol> Simulator<P> {
         let mut count = 1u64;
         let mut total_bytes = msg.wire_size() as u64;
         let protocol = &mut self.protocols[idx];
-        let mut ctx = Context {
-            node: to,
-            core: &mut self.core,
-            commands: None,
-        };
+        let mut ctx = Context::single(to, &mut self.core, None);
         protocol.on_message(&mut ctx, from, msg);
-        while next_extends_run(ctx.core, now, to) {
-            let ev = ctx.core.queue.pop_slim().expect("peeked event exists");
+        while next_extends_run(ctx.single_core(), now, to) {
+            let ev = ctx
+                .single_core()
+                .queue
+                .pop_slim()
+                .expect("peeked event exists");
             let EventKind::Deliver { from, msg, .. } = ev.payload else {
                 unreachable!("run extension is a delivery");
             };
@@ -912,7 +1267,9 @@ impl<P: Protocol> Simulator<P> {
             total_bytes += msg.wire_size() as u64;
             protocol.on_message(&mut ctx, from, msg);
         }
-        ctx.core.stats.record_deliveries(to, count, total_bytes);
+        ctx.single_core()
+            .stats
+            .record_deliveries(to, count, total_bytes);
         count - 1
     }
 
@@ -986,11 +1343,7 @@ impl<P: Protocol> Simulator<P> {
             return;
         }
         if self.core.mode == CoreMode::Flat {
-            let mut ctx = Context {
-                node: id,
-                core: &mut self.core,
-                commands: None,
-            };
+            let mut ctx = Context::single(id, &mut self.core, None);
             f(&mut self.protocols[idx], &mut ctx);
             return;
         }
@@ -1003,11 +1356,7 @@ impl<P: Protocol> Simulator<P> {
             Vec::new()
         };
         {
-            let mut ctx = Context {
-                node: id,
-                core: &mut self.core,
-                commands: Some(&mut commands),
-            };
+            let mut ctx = Context::single(id, &mut self.core, Some(&mut commands));
             f(&mut self.protocols[idx], &mut ctx);
         }
         self.core.apply_commands(id, &mut commands);

@@ -1,0 +1,302 @@
+//! Differential property test of the sharded simulator.
+//!
+//! Drives randomly generated protocol workloads — random message walks,
+//! random timer arm/cancel churn, random upload-capacity caps with finite
+//! send buffers, random loss rates and mid-run crashes — through the flat
+//! single-core simulator and through 1-, 2- and 4-shard configurations of
+//! every partition policy, in both execution modes, and requires *bit
+//! identity* on every observable:
+//!
+//! * the per-node callback history (a rolling hash over every delivery,
+//!   timer firing and crash a node observes, including `now` at each),
+//!   which pins the *event order* each node sees;
+//! * the complete [`NetStats`] rendering (per-node counters and the global
+//!   queueing-delay sum);
+//! * the processed-event count, the final clock and the per-node RNG
+//!   positions (hashed into the history via post-run draws).
+//!
+//! The workloads respect the sharded determinism contract: every latency
+//! model's minimum delay and every timer delay spans at least one calendar
+//! bucket (the random initial timer phases are armed in `on_start`, which
+//! the contract exempts).
+
+use heap_simnet::prelude::*;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A protocol that behaves pseudo-randomly (driven by its per-node RNG
+/// stream) and records everything it observes into a rolling hash.
+struct Chaos {
+    n: u32,
+    history: u64,
+    /// Remaining timer re-arms.
+    rounds: u32,
+    /// A cancellable timer handle, to exercise cancel and stale-cancel
+    /// paths across shards.
+    pending: Option<TimerId>,
+}
+
+#[derive(Clone, Debug)]
+struct Token(u32, u16);
+
+impl WireSize for Token {
+    fn wire_size(&self) -> usize {
+        32 + self.1 as usize % 96
+    }
+}
+
+impl Chaos {
+    fn observe(&mut self, a: u64, b: u64, c: u64) {
+        let mut h = DefaultHasher::new();
+        (self.history, a, b, c).hash(&mut h);
+        self.history = h.finish();
+    }
+}
+
+impl Protocol for Chaos {
+    type Message = Token;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+        let fanout = ctx.rng().gen_range(0..4u32);
+        for _ in 0..fanout {
+            let to = NodeId::new(ctx.rng().gen_range(0..self.n));
+            let ttl = ctx.rng().gen_range(0..12u32);
+            ctx.send(to, Token(ttl, ctx.node_id().as_u32() as u16));
+        }
+        // Random phase below one bucket is allowed here: on_start runs
+        // before the first bucket is processed.
+        let phase = SimDuration::from_micros(ctx.rng().gen_range(0..400_000u64));
+        ctx.set_timer(phase, 1);
+        // A far timer exercises the overflow-heap path per shard.
+        let far = SimDuration::from_millis(ctx.rng().gen_range(2_000..9_000u64));
+        self.pending = Some(ctx.set_timer(far, 2));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Token>, from: NodeId, msg: Token) {
+        self.observe(ctx.now().as_micros(), from.as_u32() as u64, msg.0 as u64);
+        if msg.0 > 0 {
+            let to = NodeId::new(ctx.rng().gen_range(0..self.n));
+            ctx.send(to, Token(msg.0 - 1, msg.1.wrapping_add(1)));
+        }
+        if ctx.rng().gen_range(0..8u32) == 0 {
+            // Cancel whatever is pending (possibly a stale handle) and
+            // re-arm with a contract-respecting delay.
+            if let Some(id) = self.pending.take() {
+                ctx.cancel_timer(id);
+            }
+            let delay = SimDuration::from_micros(ctx.rng().gen_range(1_024..600_000u64));
+            self.pending = Some(ctx.set_timer(delay, 3));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Token>, _timer: TimerId, tag: u64) {
+        self.observe(ctx.now().as_micros(), u64::MAX, tag);
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            let to = NodeId::new(ctx.rng().gen_range(0..self.n));
+            let ttl = ctx.rng().gen_range(0..6u32);
+            ctx.send(to, Token(ttl, tag as u16));
+            let delay = SimDuration::from_micros(ctx.rng().gen_range(1_024..300_000u64));
+            ctx.set_timer(delay, 1);
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        self.observe(now.as_micros(), u64::MAX - 1, u64::MAX - 1);
+    }
+}
+
+/// One observable outcome of a run, compared across configurations.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    processed: u64,
+    histories: u64,
+    stats: String,
+    now_micros: u64,
+    pending: usize,
+    armed: usize,
+}
+
+/// Builds and runs one configuration. `shards == 0` means the flat core.
+fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: bool) -> Outcome {
+    let mut cfg = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xD1FF);
+    // Latency: minimum >= one bucket (1.024 ms), as the contract requires.
+    let latency = if cfg.gen_bool(0.5) {
+        LatencyModel::uniform(
+            SimDuration::from_micros(2_000),
+            SimDuration::from_micros(cfg.gen_range(4_000..120_000u64)),
+        )
+    } else {
+        LatencyModel::base_plus_exp(
+            SimDuration::from_micros(cfg.gen_range(1_100..30_000u64)),
+            SimDuration::from_millis(cfg.gen_range(1..40u64)),
+        )
+    };
+    let loss = if cfg.gen_bool(0.5) {
+        LossModel::bernoulli(cfg.gen_range(0.0..0.08))
+    } else {
+        LossModel::none()
+    };
+    let capacities: Vec<_> = (0..n)
+        .map(|_| {
+            if cfg.gen_bool(0.3) {
+                heap_simnet::bandwidth::UploadCapacity::Limited(Bandwidth::from_kbps(
+                    cfg.gen_range(64..2_048u64),
+                ))
+            } else {
+                heap_simnet::bandwidth::UploadCapacity::Unlimited
+            }
+        })
+        .collect();
+    let mut builder = SimulatorBuilder::new(n as usize, seed)
+        .latency(latency)
+        .loss(loss)
+        .capacities(capacities)
+        .upload_queue_limit(SimDuration::from_secs(2));
+    if shards > 0 {
+        builder = builder.sharded(shards);
+        if let Some(policy) = policy {
+            builder = builder.shard_policy(policy);
+        }
+    }
+    let mut sim = builder.build(|_| Chaos {
+        n,
+        history: 0,
+        rounds: 8,
+        pending: None,
+    });
+    // A couple of pre-run crashes plus one scheduled mid-run.
+    let c1 = NodeId::new(cfg.gen_range(0..n));
+    sim.schedule_crash(c1, SimTime::from_micros(cfg.gen_range(1_000..500_000u64)));
+    // Deadline at an odd microsecond: cuts a calendar bucket in half.
+    let mut processed = sim.run_until(SimTime::from_micros(399_999));
+    let c2 = NodeId::new(cfg.gen_range(0..n));
+    sim.schedule_crash(c2, SimTime::from_micros(cfg.gen_range(400_000..900_000u64)));
+    processed += if threaded {
+        sim.run_until_threaded(SimTime::from_secs(12))
+    } else {
+        sim.run_until(SimTime::from_secs(12))
+    };
+
+    let mut h = DefaultHasher::new();
+    for (id, node) in sim.iter_nodes() {
+        (id.as_u32(), node.history).hash(&mut h);
+    }
+    Outcome {
+        processed,
+        histories: h.finish(),
+        stats: format!("{:?}", sim.stats()),
+        now_micros: sim.now().as_micros(),
+        pending: sim.pending_events(),
+        armed: sim.armed_timers(),
+    }
+}
+
+/// Flat vs sharded {1, 2, 4} x every policy x both execution modes.
+fn differential(seed: u64, n: u32) {
+    let flat = run(seed, n, 0, None, false);
+    assert!(flat.processed > 0, "workload must process events");
+    for shards in [1usize, 2, 4] {
+        for policy in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::Contiguous,
+            ShardPolicy::ByCapacityClass,
+        ] {
+            let sequential = run(seed, n, shards, Some(policy.clone()), false);
+            assert_eq!(
+                flat, sequential,
+                "sequential sharded run diverged: seed {seed}, {shards} shards, {policy:?}"
+            );
+        }
+        // The threaded mode shares the exchange with the sequential mode;
+        // one policy per shard count keeps the case affordable.
+        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true);
+        assert_eq!(
+            flat, threaded,
+            "threaded sharded run diverged: seed {seed}, {shards} shards"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random workloads through 1/2/4-shard configurations: identical event
+    /// order, statistics and fingerprints in every configuration.
+    #[test]
+    fn sharded_simulations_match_the_flat_core(seed in 0u64..1_000_000) {
+        differential(seed, 48);
+    }
+}
+
+/// A deeper single case than the proptest budget affords.
+#[test]
+fn sharded_simulations_match_the_flat_core_on_a_larger_population() {
+    differential(0xBEEF, 160);
+}
+
+/// The custom policy plugs into the same differential harness.
+#[test]
+fn custom_policy_matches_the_flat_core() {
+    let flat = run(7, 48, 0, None, false);
+    let custom = run(
+        7,
+        48,
+        3,
+        Some(ShardPolicy::Custom(|n, shards, _| {
+            // A deliberately unbalanced deterministic assignment.
+            (0..n).map(|i| ((i * i) % shards) as u32).collect()
+        })),
+        false,
+    );
+    assert_eq!(flat, custom);
+}
+
+/// Sub-bucket latency is rejected at build time: the lookahead bound would
+/// not cover one calendar bucket.
+#[test]
+#[should_panic(expected = "lookahead")]
+fn sub_bucket_latency_is_rejected_when_sharded() {
+    let _ = SimulatorBuilder::new(4, 1)
+        .latency(LatencyModel::constant(SimDuration::from_micros(100)))
+        .sharded(2)
+        .build(|_| Chaos {
+            n: 4,
+            history: 0,
+            rounds: 0,
+            pending: None,
+        });
+}
+
+/// A sub-bucket *timer* delay armed during a bucket violates the
+/// determinism contract and must abort the run.
+#[test]
+#[should_panic(expected = "determinism contract")]
+fn sub_bucket_timer_delay_is_detected_when_sharded() {
+    struct TightTimer;
+    #[derive(Clone, Debug)]
+    struct Never;
+    impl WireSize for Never {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+    impl Protocol for TightTimer {
+        type Message = Never;
+        fn on_start(&mut self, ctx: &mut Context<'_, Never>) {
+            ctx.set_timer(SimDuration::from_millis(5), 0);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Never>, _: NodeId, _: Never) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Never>, _: TimerId, _: u64) {
+            // 100 us < one bucket: would fire inside the completed region.
+            ctx.set_timer(SimDuration::from_micros(100), 1);
+        }
+    }
+    let mut sim = SimulatorBuilder::new(2, 1)
+        .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+        .sharded(2)
+        .build(|_| TightTimer);
+    sim.run_until(SimTime::from_secs(1));
+}

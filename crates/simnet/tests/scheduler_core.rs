@@ -61,7 +61,8 @@ impl Protocol for Flood {
     }
 }
 
-/// Which scheduling core to build: 0 = flat (default), 1 = PR 3, 2 = seed.
+/// Which scheduling core to build: 0 = flat (default), 1 = PR 3, 2 = seed,
+/// 3 = sharded (PR 5; two shards, round-robin partition).
 fn flood_sim(n: usize, seed: u64, ttl: u32, rounds: u32, core: u8) -> Simulator<Flood> {
     let mut builder = SimulatorBuilder::new(n, seed)
         .latency(LatencyModel::uniform(
@@ -72,6 +73,7 @@ fn flood_sim(n: usize, seed: u64, ttl: u32, rounds: u32, core: u8) -> Simulator<
     builder = match core {
         1 => builder.pr3_scheduling_core(),
         2 => builder.baseline_scheduling_core(),
+        3 => builder.sharded(2).shard_policy(ShardPolicy::RoundRobin),
         _ => builder,
     };
     builder.build(|_| Flood {
@@ -97,7 +99,8 @@ fn run_fingerprint(sim: &mut Simulator<Flood>) -> (u64, u64) {
 // Baseline-core equivalence
 // ---------------------------------------------------------------------------
 
-/// All three scheduling-core generations — the PR 4 flat core (eager
+/// All four scheduling-core generations — the PR 5 sharded core (per-region
+/// event loops with bucket-boundary exchange), the PR 4 flat core (eager
 /// dispatch, batched deliveries, slim events), the PR 3 core (calendar
 /// queue with a pooled deferred command buffer, fat events) and the
 /// pre-PR-3 seed core (BinaryHeap, per-callback allocation) — must produce
@@ -114,6 +117,63 @@ fn all_scheduling_cores_are_bit_identical() {
     let flat = run(0);
     assert_eq!(flat, run(1), "flat vs pr3 core diverged");
     assert_eq!(flat, run(2), "flat vs seed core diverged");
+    assert_eq!(flat, run(3), "flat vs sharded core diverged");
+}
+
+/// The sharded core must be bit-identical to the flat core for every shard
+/// count, partition policy and execution mode — including a deadline that
+/// cuts a calendar bucket in half (`run_until` to an odd microsecond) and
+/// crashes scheduled mid-run.
+#[test]
+fn sharded_runs_are_bit_identical_across_counts_policies_and_modes() {
+    let run = |configure: &dyn Fn(SimulatorBuilder) -> SimulatorBuilder, threaded: bool| {
+        let n = 120;
+        let builder = SimulatorBuilder::new(n, 11)
+            .latency(LatencyModel::uniform(
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(80),
+            ))
+            .loss(LossModel::bernoulli(0.02));
+        let mut sim = configure(builder).build(|_| Flood {
+            n,
+            ttl: 30,
+            rounds: 10,
+            received: 0,
+        });
+        sim.schedule_crash(NodeId::new(5), SimTime::from_millis(123));
+        // A deadline that splits a bucket, then a crash scheduled mid-run,
+        // then the drain: exercises partial-bucket cutoffs and the serial
+        // sequence-number assignment between runs.
+        let mut processed = sim.run_until(SimTime::from_micros(777_777));
+        sim.schedule_crash(NodeId::new(9), SimTime::from_secs(2));
+        processed += if threaded {
+            sim.run_to_completion_threaded()
+        } else {
+            sim.run_to_completion()
+        };
+        let (drained, fingerprint) = run_fingerprint(&mut sim);
+        (processed + drained, fingerprint, sim.now())
+    };
+    let flat = run(&|b| b, false);
+    for policy in [
+        ShardPolicy::RoundRobin,
+        ShardPolicy::Contiguous,
+        ShardPolicy::ByCapacityClass,
+    ] {
+        for shards in [1usize, 2, 4] {
+            for threaded in [false, true] {
+                let p = policy.clone();
+                let result = run(
+                    &move |b| b.sharded(shards).shard_policy(p.clone()),
+                    threaded,
+                );
+                assert_eq!(
+                    flat, result,
+                    "sharded run diverged: {policy:?}, {shards} shards, threaded={threaded}"
+                );
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -86,9 +86,109 @@ pub fn run(scale: Scale) -> Figure {
     run_with_fraction(scale, 0.2)
 }
 
+/// The continuous-churn variant (the fig. 10 extension): instead of one
+/// catastrophic failure, membership turns over for the whole stream — a
+/// standby pool of receivers joins at a Poisson rate while online receivers
+/// leave at a Poisson rate ([`ChurnSpec::Continuous`]) — again once with
+/// full membership and once with Cyclon partial views.
+///
+/// The churn rates are scaled to the stream duration so roughly 12 % of the
+/// population joins and 8 % leaves regardless of scale; the shapes to expect
+/// are window coverage *dipping and recovering* as joiners catch up (instead
+/// of fig. 10's single step), with Cyclon tracking full membership modulo
+/// the shuffle-driven view refresh lag.
+pub fn run_continuous(scale: Scale) -> Figure {
+    let stream_minutes = StreamConfig::paper(scale.n_windows)
+        .stream_duration()
+        .as_secs_f64()
+        / 60.0;
+    let n = scale.n_nodes as f64;
+    let joins_per_min = (0.12 * n / stream_minutes).max(1.0);
+    let leaves_per_min = (0.08 * n / stream_minutes).max(1.0);
+    let churn = ChurnSpec::Continuous {
+        standby_fraction: 0.15,
+        joins_per_min,
+        leaves_per_min,
+        detection_secs: 10,
+    };
+    let scenarios = vec![
+        Scenario::new(
+            "partial-view/continuous/full",
+            scale,
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        )
+        .with_churn(churn),
+        Scenario::new(
+            "partial-view/continuous/cyclon",
+            scale,
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        )
+        .with_churn(churn)
+        .with_membership(MembershipChoice::cyclon()),
+    ];
+    let results = run_scenarios_parallel(&scenarios);
+    let (full, cyclon) = (&results[0], &results[1]);
+
+    let mut fig = Figure::new(
+        "Partial view under continuous churn",
+        format!(
+            "HEAP under Poisson join/leave churn ({joins_per_min:.1} joins/min, \
+             {leaves_per_min:.1} leaves/min, 15% standby pool): full membership vs Cyclon \
+             partial views"
+        ),
+    );
+    fig.series.push(window_coverage_series(
+        full,
+        SimDuration::from_secs(12),
+        "full membership - 12s lag",
+    ));
+    fig.series.push(window_coverage_series(
+        cyclon,
+        SimDuration::from_secs(12),
+        "cyclon - 12s lag",
+    ));
+    fig.series.push(lag_cdf_series(
+        full,
+        LagKind::Delivery99,
+        "full membership CDF",
+    ));
+    fig.series
+        .push(lag_cdf_series(cyclon, LagKind::Delivery99, "cyclon CDF"));
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn continuous_churn_comparison_produces_both_series() {
+        let fig = run_continuous(Scale::test());
+        assert_eq!(fig.series.len(), 4);
+        let full = fig.series_named("full membership - 12s lag").unwrap();
+        let cyclon = fig.series_named("cyclon - 12s lag").unwrap();
+        assert_eq!(full.points.len(), cyclon.points.len());
+        // Nodes present from the start dominate early windows: coverage
+        // starts well above the standby fraction's complement floor.
+        assert!(
+            full.points.first().unwrap().1 > 50.0,
+            "first-window coverage {}",
+            full.points.first().unwrap().1
+        );
+        // The system keeps serving through ongoing turnover.
+        assert!(
+            full.points.last().unwrap().1 > 20.0,
+            "full-membership tail coverage {}",
+            full.points.last().unwrap().1
+        );
+        assert!(
+            cyclon.points.last().unwrap().1 > 10.0,
+            "cyclon tail coverage {}",
+            cyclon.points.last().unwrap().1
+        );
+    }
 
     #[test]
     fn cyclon_tracks_full_membership_under_churn() {

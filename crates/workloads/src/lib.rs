@@ -31,4 +31,6 @@ pub use runner::{
     NodeResult,
 };
 pub use scale::Scale;
-pub use scenario::{ChurnSpec, MembershipChoice, ProtocolChoice, Scenario};
+pub use scenario::{
+    ChurnSpec, MembershipChoice, ProtocolChoice, Scenario, ShardPolicyChoice, ShardingChoice,
+};

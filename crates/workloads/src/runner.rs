@@ -1,6 +1,6 @@
 //! Executes a [`Scenario`] on the simulator and collects per-node results.
 
-use crate::scenario::{ChurnSpec, Scenario};
+use crate::scenario::{ChurnSpec, Scenario, ShardingChoice};
 use heap_gossip::fanout::FanoutPolicy;
 use heap_gossip::node::{GossipNode, ProtocolStats, Role};
 use heap_membership::churn::ChurnSchedule;
@@ -29,6 +29,10 @@ pub struct NodeResult {
     pub capability: Option<Bandwidth>,
     /// Whether the node crashed during the run (churn scenarios).
     pub crashed: bool,
+    /// When the node joined, if it started on standby (continuous churn);
+    /// `None` for nodes present from the start. Standby nodes that never
+    /// joined report `Some(SimTime::MAX)`.
+    pub joined_at: Option<SimTime>,
     /// Stream-quality metrics derived from the node's receive log.
     pub metrics: NodeStreamMetrics,
     /// Fraction of the node's upload capacity actually used during the
@@ -166,12 +170,60 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     let policy = scenario.protocol.policy(scenario.distribution.average());
     let gossip_config = scenario.gossip.clone();
 
+    // Continuous churn needs its plan *before* the nodes are built (standby
+    // joiners are configured at construction); the catastrophic path keeps
+    // its original post-build draw order.
+    let continuous = match scenario.churn {
+        ChurnSpec::Continuous {
+            standby_fraction,
+            joins_per_min,
+            leaves_per_min,
+            ..
+        } => {
+            let window = (
+                schedule.start(),
+                schedule.start() + stream_config.stream_duration(),
+            );
+            Some(ChurnSchedule::continuous(
+                n,
+                standby_fraction,
+                joins_per_min,
+                leaves_per_min,
+                window,
+                &[0],
+                &mut setup_rng,
+            ))
+        }
+        _ => None,
+    };
+    let join_at: Vec<Option<SimTime>> = match &continuous {
+        None => vec![None; n],
+        Some(plan) => {
+            let join_time: std::collections::HashMap<NodeId, SimTime> =
+                plan.joins.iter().map(|j| (j.node, j.at)).collect();
+            (0..n)
+                .map(|i| {
+                    let id = NodeId::new(i as u32);
+                    // `plan.standby` is sorted (ChurnSchedule::continuous).
+                    if plan.standby.binary_search(&id).is_err() {
+                        return None;
+                    }
+                    // Standby nodes that never join stay offline forever.
+                    Some(join_time.get(&id).copied().unwrap_or(SimTime::MAX))
+                })
+                .collect()
+        }
+    };
+
     let mut builder = SimulatorBuilder::new(n, scale.seed)
         .latency(scenario.latency.clone())
         .loss(scenario.loss.clone())
         .capacities(capacities);
     if let Some(limit) = scenario.upload_queue_limit {
         builder = builder.upload_queue_limit(limit);
+    }
+    if let ShardingChoice::Sharded { shards, policy, .. } = scenario.sharding {
+        builder = builder.sharded(shards).shard_policy(policy.resolve());
     }
     let partial_membership = scenario.membership.partial_config();
     let mut sim: Simulator<GossipNode> = builder.build(|id| {
@@ -193,6 +245,9 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         if let Some(partial) = partial_membership {
             node = node.partial_membership(partial);
         }
+        if let Some(at) = join_at[id.index()] {
+            node = node.join_at(at);
+        }
         node.build()
     });
 
@@ -208,6 +263,12 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             ChurnSchedule::catastrophic(n, fraction, at, &[0], &mut setup_rng)
                 .with_detection_mean(SimDuration::from_secs(detection_secs))
         }
+        ChurnSpec::Continuous { detection_secs, .. } => continuous
+            .as_ref()
+            .expect("continuous plan generated above")
+            .schedule
+            .clone()
+            .with_detection_mean(SimDuration::from_secs(detection_secs)),
     };
     for event in churn_schedule.events() {
         sim.schedule_crash(event.node, event.at);
@@ -228,10 +289,23 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     notifications.sort_by_key(|(t, _)| *t);
 
     // --- Run ----------------------------------------------------------------
+    // Sharded scenarios pick their execution mode here; both modes (and the
+    // single-core engine) are bit-identical, so this only changes wall-clock.
+    let threaded = matches!(
+        scenario.sharding,
+        ShardingChoice::Sharded { threaded: true, .. }
+    );
+    let advance = |sim: &mut Simulator<GossipNode>, to: SimTime| {
+        if threaded {
+            sim.run_until_threaded(to)
+        } else {
+            sim.run_until(to)
+        }
+    };
     let end = schedule.start() + scenario.run_duration();
     for (at, crashed) in notifications {
         let at = at.min(end);
-        sim.run_until(at);
+        advance(&mut sim, at);
         for i in 0..n {
             let id = NodeId::new(i as u32);
             if sim.is_alive(id) {
@@ -239,7 +313,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             }
         }
     }
-    sim.run_until(end);
+    advance(&mut sim, end);
 
     // --- Collect -------------------------------------------------------------
     // Bandwidth usage is measured over the streaming phase (start of stream to
@@ -266,6 +340,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             class: scenario.distribution.class_label(advertised_cap),
             capability: advertised_cap,
             crashed: crashed_nodes.contains(&id),
+            joined_at: join_at[i],
             metrics,
             upload_utilization,
             upload_rate_kbps,
@@ -564,6 +639,147 @@ mod tests {
                 p.scenario_name
             );
         }
+    }
+
+    #[test]
+    fn sharded_scenarios_are_bit_identical_to_single_core() {
+        use crate::scenario::{ShardPolicyChoice, ShardingChoice};
+        let base = quick_scenario(
+            BandwidthDistribution::ms_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::Catastrophic {
+                fraction: 0.2,
+                at_secs: 4,
+                detection_secs: 5,
+            },
+        )
+        .with_membership(MembershipChoice::cyclon());
+        let reference = run_scenario(&base).fingerprint();
+        for sharding in [
+            ShardingChoice::sharded(2),
+            ShardingChoice::sharded_threaded(4),
+            ShardingChoice::Sharded {
+                shards: 3,
+                policy: ShardPolicyChoice::ByCapacityClass,
+                threaded: false,
+            },
+            ShardingChoice::Sharded {
+                shards: 2,
+                policy: ShardPolicyChoice::RoundRobin,
+                threaded: true,
+            },
+        ] {
+            let sharded = base.clone().with_sharding(sharding);
+            assert_eq!(
+                run_scenario(&sharded).fingerprint(),
+                reference,
+                "sharded scenario diverged from the single-core engine: {}",
+                sharding.label()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_engine_runs_continuous_churn_bit_identically() {
+        // The adversarial combination: standby joiners fire TAG_JOIN *mid
+        // run* and re-draw random timer phases, which must respect the
+        // sharded determinism contract (phases are floored to one calendar
+        // bucket on mid-run joins) — and the sharded result must still match
+        // the single-core engine exactly, Cyclon shuffles included.
+        use crate::scenario::ShardingChoice;
+        let mut base = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::Continuous {
+                standby_fraction: 0.4,
+                joins_per_min: 90.0,
+                leaves_per_min: 30.0,
+                detection_secs: 5,
+            },
+        )
+        .with_membership(MembershipChoice::cyclon());
+        // A small population keeps the tight-period run affordable; 2 ms
+        // periods make a *sub-bucket* phase draw (< 1.024 ms, ~51 % per
+        // draw) at each mid-run join near-certain across the joiners, so a
+        // missing phase floor would trip the sharded determinism contract
+        // here with overwhelming probability.
+        base.scale = Scale::test().with_nodes(12).with_windows(2);
+        base.gossip.gossip_period = SimDuration::from_millis(2);
+        base.gossip.aggregation_period = SimDuration::from_millis(2);
+        let reference = run_scenario(&base);
+        assert!(
+            reference
+                .nodes
+                .iter()
+                .any(|n| n.joined_at.is_some() && n.joined_at != Some(SimTime::MAX)),
+            "the run must contain mid-run joiners for this test to bite"
+        );
+        for sharding in [
+            ShardingChoice::sharded(3),
+            ShardingChoice::sharded_threaded(2),
+        ] {
+            let sharded = run_scenario(&base.clone().with_sharding(sharding));
+            assert_eq!(
+                sharded.fingerprint(),
+                reference.fingerprint(),
+                "sharded + continuous churn diverged ({})",
+                sharding.label()
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_churn_joins_and_leaves_nodes() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::Continuous {
+                standby_fraction: 0.2,
+                joins_per_min: 30.0,
+                leaves_per_min: 20.0,
+                detection_secs: 5,
+            },
+        );
+        let result = run_scenario(&scenario);
+        // Leaves happened and are reported as crashes.
+        assert!(result.crashed_count > 0, "poisson leaves must crash nodes");
+        // Standby nodes exist; joiners are marked with their join instant.
+        let standby: Vec<_> = result
+            .nodes
+            .iter()
+            .filter(|n| n.joined_at.is_some())
+            .collect();
+        assert!(
+            !standby.is_empty(),
+            "a fifth of the receivers starts standby"
+        );
+        let joined: Vec<_> = standby
+            .iter()
+            .filter(|n| n.joined_at != Some(SimTime::MAX))
+            .collect();
+        assert!(!joined.is_empty(), "joins must activate standby nodes");
+        // Nodes present from the start still receive the stream.
+        let original_mean: f64 = {
+            let o: Vec<_> = result
+                .survivors()
+                .filter(|n| n.joined_at.is_none())
+                .collect();
+            o.iter().map(|n| n.metrics.delivery_ratio()).sum::<f64>() / o.len() as f64
+        };
+        assert!(
+            original_mean > 0.6,
+            "original nodes keep receiving under continuous churn, got {original_mean}"
+        );
+        // A node that never joined must not have sent anything.
+        for n in &result.nodes {
+            if n.joined_at == Some(SimTime::MAX) {
+                assert_eq!(n.protocol_stats.proposals_sent, 0);
+                assert_eq!(n.metrics.delivery_ratio(), 0.0);
+            }
+        }
+        // Determinism: the plan derives from the scenario seed.
+        let again = run_scenario(&scenario);
+        assert_eq!(result.fingerprint(), again.fingerprint());
     }
 
     #[test]

@@ -119,6 +119,99 @@ impl MembershipChoice {
     }
 }
 
+/// Which simulator engine executes the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+pub enum ShardingChoice {
+    /// The single-core flat simulator (the default).
+    #[default]
+    Single,
+    /// The sharded simulator: per-region event loops with deterministic
+    /// bucket-boundary exchange
+    /// ([`SimulatorBuilder::sharded`](heap_simnet::SimulatorBuilder::sharded)).
+    /// Results are bit-identical to [`ShardingChoice::Single`] — asserted in
+    /// tests — so sharding is purely an execution-speed knob.
+    Sharded {
+        /// Number of shards the node population is split into.
+        shards: usize,
+        /// The partitioning policy.
+        policy: ShardPolicyChoice,
+        /// `true` runs one shard per core on scoped threads; `false` steps
+        /// the shards sequentially (the cache-locality mode for single-core
+        /// hosts).
+        threaded: bool,
+    },
+}
+
+impl ShardingChoice {
+    /// A sequential sharded configuration with the default (contiguous)
+    /// partition.
+    pub fn sharded(shards: usize) -> Self {
+        ShardingChoice::Sharded {
+            shards,
+            policy: ShardPolicyChoice::Contiguous,
+            threaded: false,
+        }
+    }
+
+    /// A shard-per-core threaded configuration with the default partition.
+    pub fn sharded_threaded(shards: usize) -> Self {
+        ShardingChoice::Sharded {
+            shards,
+            policy: ShardPolicyChoice::Contiguous,
+            threaded: true,
+        }
+    }
+
+    /// A short label for logs and bench output.
+    pub fn label(&self) -> String {
+        match self {
+            ShardingChoice::Single => "single".to_string(),
+            ShardingChoice::Sharded {
+                shards,
+                policy,
+                threaded,
+            } => format!(
+                "{shards}x{}{}",
+                policy.label(),
+                if *threaded { "-threaded" } else { "" }
+            ),
+        }
+    }
+}
+
+/// The scenario-level mirror of [`heap_simnet::ShardPolicy`]'s built-in
+/// partition policies (the `Custom` variant is a function pointer and stays
+/// a simulator-level concern).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ShardPolicyChoice {
+    /// Node `i` on shard `i % shards`.
+    RoundRobin,
+    /// Equal-size contiguous id ranges.
+    Contiguous,
+    /// Nodes grouped by upload-capability class.
+    ByCapacityClass,
+}
+
+impl ShardPolicyChoice {
+    /// Resolves into the simulator's policy type.
+    pub fn resolve(&self) -> heap_simnet::ShardPolicy {
+        match self {
+            ShardPolicyChoice::RoundRobin => heap_simnet::ShardPolicy::RoundRobin,
+            ShardPolicyChoice::Contiguous => heap_simnet::ShardPolicy::Contiguous,
+            ShardPolicyChoice::ByCapacityClass => heap_simnet::ShardPolicy::ByCapacityClass,
+        }
+    }
+
+    /// A short label for logs and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardPolicyChoice::RoundRobin => "rr",
+            ShardPolicyChoice::Contiguous => "contig",
+            ShardPolicyChoice::ByCapacityClass => "class",
+        }
+    }
+}
+
 /// Churn injected during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum ChurnSpec {
@@ -135,12 +228,41 @@ pub enum ChurnSpec {
         /// Mean failure-detection delay, in seconds.
         detection_secs: u64,
     },
+    /// Continuous churn: a Poisson join/leave arrival process over the
+    /// streaming window ([`ChurnSchedule::continuous`]). A fraction of the
+    /// receivers starts on *standby* (offline), joins arrive at
+    /// `joins_per_min` activating standby nodes, and leaves arrive at
+    /// `leaves_per_min` crashing online nodes — the fig. 10 extension from
+    /// one catastrophic event to ongoing membership turnover.
+    ///
+    /// [`ChurnSchedule::continuous`]: heap_membership::churn::ChurnSchedule::continuous
+    Continuous {
+        /// Fraction of receivers held back as the standby join pool.
+        standby_fraction: f64,
+        /// Poisson join arrivals per minute.
+        joins_per_min: f64,
+        /// Poisson leave (crash) arrivals per minute.
+        leaves_per_min: f64,
+        /// Mean failure-detection delay for leaves, in seconds.
+        detection_secs: u64,
+    },
 }
 
 impl ChurnSpec {
     /// Returns `true` if the spec injects no churn.
     pub fn is_none(&self) -> bool {
         matches!(self, ChurnSpec::None)
+    }
+
+    /// A paper-plausible continuous-churn default: 10 % standby pool, six
+    /// joins and four leaves per minute, 10 s mean failure detection.
+    pub fn continuous_default() -> Self {
+        ChurnSpec::Continuous {
+            standby_fraction: 0.1,
+            joins_per_min: 6.0,
+            leaves_per_min: 4.0,
+            detection_secs: 10,
+        }
     }
 }
 
@@ -176,6 +298,10 @@ pub struct Scenario {
     /// messages (the finite application/UDP send buffer of the paper's
     /// rate limiter). `None` = unbounded queue (ablation).
     pub upload_queue_limit: Option<SimDuration>,
+    /// Which simulator engine runs the scenario (default: the single-core
+    /// flat simulator). Bit-identical results either way; sharding is an
+    /// execution-speed knob for large populations.
+    pub sharding: ShardingChoice,
 }
 
 impl Scenario {
@@ -201,6 +327,7 @@ impl Scenario {
             source_capability: Bandwidth::from_mbps(5),
             straggler_fraction: 0.06,
             upload_queue_limit: Some(SimDuration::from_secs(4)),
+            sharding: ShardingChoice::Single,
         }
     }
 
@@ -243,6 +370,12 @@ impl Scenario {
     /// Sets (or removes) the upload-queue backlog limit.
     pub fn with_queue_limit(mut self, limit: Option<SimDuration>) -> Self {
         self.upload_queue_limit = limit;
+        self
+    }
+
+    /// Sets the simulator engine (sharding) configuration.
+    pub fn with_sharding(mut self, sharding: ShardingChoice) -> Self {
+        self.sharding = sharding;
         self
     }
 
