@@ -30,32 +30,61 @@ pub struct EmpiricalCdf {
     sorted: Vec<f64>,
     /// Total population size, including missing observations.
     population: usize,
+    /// Non-finite inputs (NaN, ±∞) that were dropped at construction rather
+    /// than silently compared.
+    dropped_non_finite: usize,
 }
 
 impl EmpiricalCdf {
-    /// Builds a CDF from finite observations only.
+    /// Builds a CDF from finite observations only. Non-finite inputs (NaN,
+    /// ±∞) are dropped — never compared — and the number dropped is
+    /// available via [`EmpiricalCdf::dropped_non_finite`].
     pub fn new<I: IntoIterator<Item = f64>>(values: I) -> Self {
-        let mut sorted: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut dropped = 0usize;
+        let mut sorted: Vec<f64> = values
+            .into_iter()
+            .filter(|v| {
+                let keep = v.is_finite();
+                if !keep {
+                    dropped += 1;
+                }
+                keep
+            })
+            .collect();
+        // `total_cmp` is a total order over all f64 bit patterns, so the
+        // sort cannot panic even if the finiteness filter above ever lets a
+        // NaN through (the pre-PR-6 `partial_cmp(..).unwrap()` could).
+        sorted.sort_by(f64::total_cmp);
         let population = sorted.len();
-        EmpiricalCdf { sorted, population }
+        EmpiricalCdf {
+            sorted,
+            population,
+            dropped_non_finite: dropped,
+        }
     }
 
     /// Builds a CDF over a population where `None` marks a member that never
     /// attains the measured value (counted in the denominator forever).
     pub fn with_missing<I: IntoIterator<Item = Option<f64>>>(values: I) -> Self {
         let mut population = 0usize;
+        let mut dropped = 0usize;
         let mut sorted = Vec::new();
         for v in values {
             population += 1;
             if let Some(v) = v {
                 if v.is_finite() {
                     sorted.push(v);
+                } else {
+                    dropped += 1;
                 }
             }
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        EmpiricalCdf { sorted, population }
+        sorted.sort_by(f64::total_cmp);
+        EmpiricalCdf {
+            sorted,
+            population,
+            dropped_non_finite: dropped,
+        }
     }
 
     /// Population size (including missing observations).
@@ -66,6 +95,13 @@ impl EmpiricalCdf {
     /// Number of finite observations.
     pub fn observed(&self) -> usize {
         self.sorted.len()
+    }
+
+    /// Number of non-finite inputs (NaN, ±∞) dropped at construction. NaN
+    /// propagation is explicit: callers that must not lose samples can
+    /// assert this is zero instead of discovering a panic mid-sort.
+    pub fn dropped_non_finite(&self) -> usize {
+        self.dropped_non_finite
     }
 
     /// Returns `true` if the population is empty.
@@ -177,9 +213,33 @@ mod tests {
         let cdf = EmpiricalCdf::new(vec![1.0, f64::INFINITY, f64::NAN, 2.0]);
         assert_eq!(cdf.observed(), 2);
         assert_eq!(cdf.population(), 2);
+        assert_eq!(cdf.dropped_non_finite(), 2);
         let cdf = EmpiricalCdf::with_missing(vec![Some(f64::INFINITY), Some(1.0)]);
         assert_eq!(cdf.population(), 2);
         assert_eq!(cdf.observed(), 1);
+        assert_eq!(cdf.dropped_non_finite(), 1);
+    }
+
+    #[test]
+    fn nan_samples_never_panic_the_sort() {
+        // Regression: construction used `partial_cmp(..).unwrap()`, which
+        // panics the moment a NaN reaches the sort. NaN samples must instead
+        // be dropped, counted, and leave the remaining CDF fully usable.
+        let cdf = EmpiricalCdf::new(vec![f64::NAN, 3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(cdf.observed(), 3);
+        assert_eq!(cdf.dropped_non_finite(), 2);
+        assert_eq!(cdf.percentile(0.5), Some(2.0));
+        assert_eq!(cdf.fraction_at_or_below(1.5), 1.0 / 3.0);
+        // All-NaN input degenerates to an empty CDF, not a panic.
+        let all_nan = EmpiricalCdf::new(vec![f64::NAN, f64::NAN]);
+        assert!(all_nan.is_empty());
+        assert_eq!(all_nan.dropped_non_finite(), 2);
+        assert_eq!(all_nan.percentile(0.5), None);
+        // Same through the population-preserving constructor.
+        let with_missing = EmpiricalCdf::with_missing(vec![Some(f64::NAN), Some(1.0), None]);
+        assert_eq!(with_missing.population(), 3);
+        assert_eq!(with_missing.observed(), 1);
+        assert_eq!(with_missing.dropped_non_finite(), 1);
     }
 
     #[test]
@@ -199,7 +259,7 @@ mod tests {
         #[test]
         fn fraction_is_monotone_and_bounded(mut values in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
             let cdf = EmpiricalCdf::new(values.clone());
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.sort_by(f64::total_cmp);
             let mut prev = 0.0;
             for x in [0.0, 10.0, 100.0, 500.0, 1000.0] {
                 let f = cdf.fraction_at_or_below(x);

@@ -1,0 +1,315 @@
+//! Prometheus-style text exposition of metrics.
+//!
+//! [`Exposition`] renders metric families in the Prometheus text format
+//! (version 0.0.4): a `# HELP` and `# TYPE` comment per family followed by
+//! one `name{label="value",...} value` sample line each. The output is fully
+//! deterministic — families render in registration order, samples in
+//! insertion order, values through one shared formatter — so a golden-file
+//! test can pin the export format byte for byte (timestamps are the caller's
+//! business and deliberately *not* part of the rendered text).
+//!
+//! The builder validates metric and label names at registration time and
+//! escapes label values, so malformed output cannot be constructed.
+
+use std::fmt::Write as _;
+
+/// The type of a metric family, as announced in its `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing counter.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One labelled sample of a metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// A named metric family: help text, type and its labelled samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Vec<MetricSample>,
+}
+
+impl MetricFamily {
+    /// The family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The family kind.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// Number of samples added so far.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Adds one sample with the given `(label name, label value)` pairs.
+    /// Returns `&mut self` so samples chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid label name (label *values* are free-form and
+    /// escaped at render time).
+    pub fn sample(&mut self, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        for (name, _) in labels {
+            assert!(
+                is_valid_label_name(name),
+                "invalid label name {name:?} on metric {}",
+                self.name
+            );
+        }
+        self.samples.push(MetricSample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+        self
+    }
+}
+
+/// A deterministic builder for a Prometheus text exposition.
+///
+/// # Examples
+///
+/// ```
+/// use heap_analytics::expo::{Exposition, MetricKind};
+///
+/// let mut expo = Exposition::new();
+/// expo.family("heap_demo_score", "A demo gauge.", MetricKind::Gauge)
+///     .sample(&[("run", "ref-691/heap")], 97.5);
+/// let text = expo.render();
+/// assert!(text.contains("# TYPE heap_demo_score gauge"));
+/// assert!(text.contains("heap_demo_score{run=\"ref-691/heap\"} 97.5"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    families: Vec<MetricFamily>,
+}
+
+impl Exposition {
+    /// Creates an empty exposition.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    /// Registers a new metric family and returns it for sample insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name, a help text containing a newline,
+    /// or a duplicate family name (each family renders exactly once).
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut MetricFamily {
+        assert!(is_valid_metric_name(name), "invalid metric name {name:?}");
+        assert!(
+            !help.contains('\n'),
+            "help text of {name} must be single-line"
+        );
+        assert!(
+            !self.families.iter().any(|f| f.name == name),
+            "duplicate metric family {name}"
+        );
+        self.families.push(MetricFamily {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    /// The registered families, in registration order.
+    pub fn families(&self) -> &[MetricFamily] {
+        &self.families
+    }
+
+    /// Looks up a family by name.
+    pub fn family_named(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Renders the exposition in the Prometheus text format. Deterministic:
+    /// same registrations, same bytes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            writeln!(out, "# HELP {} {}", family.name, family.help).expect("write to string");
+            writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str())
+                .expect("write to string");
+            for sample in &family.samples {
+                out.push_str(&family.name);
+                if !sample.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in sample.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write!(out, "{k}=\"{}\"", escape_label_value(v)).expect("write to string");
+                    }
+                    out.push('}');
+                }
+                writeln!(out, " {}", format_value(sample.value)).expect("write to string");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a sample value the Prometheus way: integral values without a
+/// fractional part, everything else through the shortest-roundtrip float
+/// formatter, and the special values as `NaN` / `+Inf` / `-Inf`.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*`
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes `\`, `"` and newlines in a label value, per the text format.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_samples_in_order() {
+        let mut expo = Exposition::new();
+        expo.family("a_total", "First.", MetricKind::Counter)
+            .sample(&[("run", "x")], 3.0)
+            .sample(&[("run", "y")], 4.5);
+        expo.family("b_score", "Second.", MetricKind::Gauge)
+            .sample(&[], 1.25);
+        let text = expo.render();
+        assert_eq!(
+            text,
+            "# HELP a_total First.\n\
+             # TYPE a_total counter\n\
+             a_total{run=\"x\"} 3\n\
+             a_total{run=\"y\"} 4.5\n\
+             # HELP b_score Second.\n\
+             # TYPE b_score gauge\n\
+             b_score 1.25\n"
+        );
+        assert_eq!(expo.families().len(), 2);
+        assert_eq!(expo.family_named("a_total").unwrap().sample_count(), 2);
+        assert_eq!(
+            expo.family_named("a_total").unwrap().kind(),
+            MetricKind::Counter
+        );
+        assert_eq!(expo.family_named("missing"), None);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut expo = Exposition::new();
+        expo.family("m", "Escaping.", MetricKind::Gauge)
+            .sample(&[("l", "a\"b\\c\nd")], 1.0);
+        let text = expo.render();
+        assert!(text.contains(r#"m{l="a\"b\\c\nd"} 1"#), "got: {text}");
+    }
+
+    #[test]
+    fn special_values_render_prometheus_style() {
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(42.0), "42");
+        assert_eq!(format_value(-0.5), "-0.5");
+        assert_eq!(format_value(0.1 + 0.2), "0.30000000000000004");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_metric_name("heap_health_score"));
+        assert!(is_valid_metric_name("ns:sub_total"));
+        assert!(!is_valid_metric_name("9lives"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(!is_valid_metric_name(""));
+        assert!(is_valid_label_name("run_name"));
+        assert!(!is_valid_label_name("run:name"));
+        assert!(!is_valid_label_name(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric family")]
+    fn duplicate_families_are_rejected() {
+        let mut expo = Exposition::new();
+        expo.family("m", "one", MetricKind::Gauge);
+        expo.family("m", "two", MetricKind::Gauge);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_metric_names_are_rejected() {
+        let mut expo = Exposition::new();
+        expo.family("bad name", "x", MetricKind::Gauge);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn invalid_label_names_are_rejected() {
+        let mut expo = Exposition::new();
+        expo.family("m", "x", MetricKind::Gauge)
+            .sample(&[("bad label", "v")], 1.0);
+    }
+}

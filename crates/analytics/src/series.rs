@@ -81,6 +81,139 @@ impl fmt::Display for Series {
     }
 }
 
+/// Streaming per-bucket aggregates of one bucket of a [`BucketSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketStats {
+    /// Observations that fell into this bucket.
+    pub count: u64,
+    /// Sum of the observed `y` values.
+    pub sum: f64,
+    /// Smallest observed `y` (meaningless while `count == 0`).
+    pub min: f64,
+    /// Largest observed `y` (meaningless while `count == 0`).
+    pub max: f64,
+}
+
+impl BucketStats {
+    const EMPTY: BucketStats = BucketStats {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// Mean of the bucket's observations, or `None` for an empty bucket.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// A bucketed streaming series: `record(x, y)` folds each observation into
+/// the aggregates (count/sum/min/max) of the bucket `floor(x / width)`.
+///
+/// Memory is bounded by the covered `x` range divided by the bucket width —
+/// independent of the number of observations — so long runs over large node
+/// populations emit fixed-size bucket rows instead of whole-run per-node
+/// vectors.
+///
+/// # Examples
+///
+/// ```
+/// use heap_analytics::BucketSeries;
+///
+/// let mut s = BucketSeries::new("health", 10.0);
+/// s.record(1.0, 80.0);
+/// s.record(4.0, 100.0);
+/// s.record(15.0, 60.0);
+/// assert_eq!(s.len(), 2);
+/// let rows: Vec<_> = s.buckets().collect();
+/// assert_eq!(rows[0].1.mean(), Some(90.0));
+/// assert_eq!(rows[1].0, 10.0); // bucket start
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketSeries {
+    /// Series label (as it would appear in a figure legend).
+    pub name: String,
+    width: f64,
+    buckets: Vec<BucketStats>,
+}
+
+impl BucketSeries {
+    /// Creates an empty bucketed series.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is finite and positive.
+    pub fn new(name: impl Into<String>, width: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "bucket width must be finite and positive, got {width}"
+        );
+        BucketSeries {
+            name: name.into(),
+            width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Folds one observation into its bucket. Observations with a negative
+    /// or non-finite `x`, or a non-finite `y`, are ignored (they have no
+    /// meaningful bucket).
+    pub fn record(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || x < 0.0 || !y.is_finite() {
+            return;
+        }
+        let idx = (x / self.width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, BucketStats::EMPTY);
+        }
+        let b = &mut self.buckets[idx];
+        b.count += 1;
+        b.sum += y;
+        b.min = b.min.min(y);
+        b.max = b.max.max(y);
+    }
+
+    /// Number of buckets (dense from `x = 0` to the largest observed `x`;
+    /// buckets with no observations are present but empty).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterates over `(bucket start x, stats)` rows, including empty gaps.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, BucketStats)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * self.width, b))
+    }
+
+    /// Renders the per-bucket means as a plain [`Series`] (x = bucket
+    /// midpoint), skipping empty buckets.
+    pub fn mean_series(&self) -> Series {
+        let half = self.width / 2.0;
+        let points = self
+            .buckets()
+            .filter_map(|(start, b)| b.mean().map(|m| (start + half, m)))
+            .collect();
+        Series::new(self.name.clone()).with_points(points)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +229,54 @@ mod tests {
         assert_eq!(s.y_at(3.0), None);
         assert_eq!(s.y_max(), Some(30.0));
         assert_eq!(Series::new("e").y_max(), None);
+    }
+
+    #[test]
+    fn bucket_series_aggregates_per_bucket() {
+        let mut s = BucketSeries::new("agg", 5.0);
+        assert!(s.is_empty());
+        assert_eq!(s.width(), 5.0);
+        s.record(0.0, 10.0);
+        s.record(4.999, 20.0);
+        s.record(5.0, 7.0);
+        s.record(17.0, 1.0);
+        assert_eq!(s.len(), 4);
+        let rows: Vec<_> = s.buckets().collect();
+        assert_eq!(rows[0].1.count, 2);
+        assert_eq!(rows[0].1.sum, 30.0);
+        assert_eq!(rows[0].1.min, 10.0);
+        assert_eq!(rows[0].1.max, 20.0);
+        assert_eq!(rows[1].1.count, 1);
+        assert_eq!(rows[2].1.count, 0, "gap buckets are present but empty");
+        assert_eq!(rows[2].1.mean(), None);
+        assert_eq!(rows[3].0, 15.0);
+        // Mean series skips the empty gap bucket and uses midpoints.
+        let mean = s.mean_series();
+        assert_eq!(mean.points.len(), 3);
+        assert_eq!(mean.points[0], (2.5, 15.0));
+        assert_eq!(mean.points[2], (17.5, 1.0));
+    }
+
+    #[test]
+    fn bucket_series_ignores_unbucketable_samples() {
+        let mut s = BucketSeries::new("x", 1.0);
+        s.record(-0.5, 1.0);
+        s.record(f64::NAN, 1.0);
+        s.record(f64::INFINITY, 1.0);
+        s.record(1.0, f64::NAN);
+        assert!(s.is_empty());
+        // Memory stays bounded by the x range, not the sample count.
+        for i in 0..10_000 {
+            s.record((i % 10) as f64, 1.0);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.buckets().map(|(_, b)| b.count).sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be finite and positive")]
+    fn bucket_series_rejects_zero_width() {
+        let _ = BucketSeries::new("bad", 0.0);
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
     let count = values.len();
     let mean = values.iter().sum::<f64>() / count as f64;
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must be comparable"));
+    // Total order over all f64 bit patterns — a stray NaN cannot panic the
+    // sort (it sorts above +∞ and shows up in `max`, which is debuggable;
+    // a panic mid-experiment is not).
+    sorted.sort_by(f64::total_cmp);
     let median = sorted[(count - 1) / 2];
     let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
     Some(Summary {

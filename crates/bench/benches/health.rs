@@ -1,0 +1,56 @@
+//! Health-tracker micro-benchmark: per-sample cost of the incremental
+//! drift/cadence/freeze accounting (`ReceiverHealth::on_packet`), plus the
+//! cost of a full report snapshot.
+//!
+//! The tracker sits on the per-delivery hot path of every receiver, so the
+//! observability-layer budget is well under a microsecond per sample (the
+//! PR records the measured number).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use heap_simnet::time::{SimDuration, SimTime};
+use heap_streaming::health::{HealthConfig, ReceiverHealth};
+use heap_streaming::source::{StreamConfig, StreamSchedule};
+
+/// Samples folded into the tracker per measured iteration.
+const SAMPLES: u64 = 100_000;
+
+fn bench_health(c: &mut Criterion) {
+    let schedule = StreamSchedule::new(StreamConfig::paper(4), SimTime::ZERO);
+    let config = HealthConfig::for_schedule(&schedule);
+    let interval = config.packet_interval;
+
+    let mut group = c.benchmark_group("health");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(SAMPLES));
+    group.bench_function("on_packet", |b| {
+        b.iter(|| {
+            let mut tracker = ReceiverHealth::new(config);
+            let mut publish = config.stream_start;
+            for i in 0..SAMPLES {
+                publish += interval;
+                let arrival = publish + SimDuration::from_micros(500 + (i % 7) * 133);
+                tracker.on_packet(black_box(publish), black_box(arrival));
+            }
+            black_box(tracker.samples())
+        });
+    });
+
+    let mut tracker = ReceiverHealth::new(config);
+    let mut publish = config.stream_start;
+    for i in 0..SAMPLES {
+        publish += interval;
+        tracker.on_packet(
+            publish,
+            publish + SimDuration::from_micros(500 + (i % 7) * 133),
+        );
+    }
+    let now = publish + interval;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("report", |b| {
+        b.iter(|| black_box(tracker.report(black_box(now))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_health);
+criterion_main!(benches);

@@ -67,27 +67,6 @@ fn shard_plan(scale_name: &str) -> (&'static [usize], u64, usize) {
     }
 }
 
-/// The host's CPU model string, from `/proc/cpuinfo` (best effort). The
-/// value is interpolated into hand-built JSON, so it is restricted to a
-/// JSON-safe character set.
-fn cpu_model() -> String {
-    std::fs::read_to_string("/proc/cpuinfo")
-        .ok()
-        .and_then(|info| {
-            info.lines()
-                .find(|l| l.starts_with("model name"))
-                .and_then(|l| l.split(':').nth(1))
-                .map(|m| {
-                    m.trim()
-                        .chars()
-                        .filter(|c| c.is_ascii_alphanumeric() || " ()@._/+-".contains(*c))
-                        .collect::<String>()
-                })
-        })
-        .filter(|m| !m.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn usage() -> ! {
     eprintln!("usage: bench-json [--scale test|default|paper] [--out PATH]");
     std::process::exit(2);
@@ -155,11 +134,9 @@ fn main() {
         }
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = heap_bench::hostmeta::core_count();
     let gf_kernel = heap_fec::gf256::kernel_name();
-    let model = cpu_model();
+    let model = heap_bench::hostmeta::cpu_model();
     eprintln!("bench-json: {cores} cores ({model}), gf kernel {gf_kernel}, scale {scale_name}");
 
     // --- Simulator loop: PR 4 flat vs PR 3 calendar vs seed BinaryHeap ----

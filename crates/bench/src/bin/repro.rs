@@ -1,23 +1,30 @@
 //! `repro` — regenerates every figure and table of the HEAP paper.
 //!
 //! ```text
-//! Usage: repro [--scale test|default|paper] [--seed N] [EXPERIMENT ...]
+//! Usage: repro [--scale test|default|paper] [--seed N] [--metrics-out PATH]
+//!              [EXPERIMENT ...]
 //!
 //! EXPERIMENT is one or more of:
 //!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3
-//!   partialview
+//!   partialview health
 //! or `all` (the default).
 //! ```
 //!
 //! Output is plain text: one block per figure with its tables and/or
 //! gnuplot-friendly series. `EXPERIMENTS.md` records a run of this binary and
 //! compares the measured shapes against the paper.
+//!
+//! `--metrics-out PATH` additionally writes a Prometheus-style text
+//! exposition of the six baseline runs (see `docs/METRICS.md`) to `PATH`,
+//! prefixed with one `# generated-at <unix seconds>` comment line so
+//! byte-comparisons can strip the only non-deterministic part.
 
 use heap_bench::parse_scale;
 use heap_workloads::experiments::{
     fig10_churn, fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1, fig4_bandwidth_usage,
     fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf, partial_view,
-    table1_distributions, table2_jittered_delivery, table3_jitter_free_nodes, Figure, StandardRuns,
+    stream_health, table1_distributions, table2_jittered_delivery, table3_jitter_free_nodes,
+    Figure, StandardRuns,
 };
 use heap_workloads::Scale;
 use std::collections::BTreeSet;
@@ -38,11 +45,13 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "table2",
     "table3",
     "partialview",
+    "health",
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale test|default|paper] [--seed N] [EXPERIMENT ...]\n\
+        "usage: repro [--scale test|default|paper] [--seed N] [--metrics-out PATH] \
+         [EXPERIMENT ...]\n\
          experiments: {} or 'all'",
         ALL_EXPERIMENTS.join(" ")
     );
@@ -52,6 +61,7 @@ fn usage() -> ! {
 fn main() {
     let mut scale = Scale::default_scale();
     let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut metrics_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +74,9 @@ fn main() {
                 let value = args.next().unwrap_or_else(|| usage());
                 let seed: u64 = value.parse().unwrap_or_else(|_| usage());
                 scale = scale.with_seed(seed);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
             "all" => {
@@ -88,12 +101,14 @@ fn main() {
         scale.n_nodes, scale.n_windows, scale.seed
     );
 
-    // The six baseline runs are shared by most figures; compute them lazily.
-    let needs_baseline = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3",
-    ]
-    .iter()
-    .any(|e| wanted.contains(*e));
+    // The six baseline runs are shared by most figures (and by the metrics
+    // export); compute them lazily.
+    let needs_baseline = metrics_out.is_some()
+        || [
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3",
+        ]
+        .iter()
+        .any(|e| wanted.contains(*e));
     let baseline = if needs_baseline {
         let start = Instant::now();
         eprintln!("computing the six baseline runs (3 distributions x 2 protocols)...");
@@ -148,6 +163,7 @@ fn main() {
                 fig9_lag_cdf::run(baseline.as_ref().expect("baseline")),
             ),
             "fig10" => emit("fig10", fig10_churn::run(scale)),
+            "health" => emit("health", stream_health::run(scale)),
             "partialview" => {
                 emit("partialview", partial_view::run(scale));
                 emit("partialview-churn", partial_view::run_continuous(scale));
@@ -163,5 +179,21 @@ fn main() {
             _ => unreachable!("validated above"),
         }
         eprintln!("[{name}] took {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    if let Some(path) = metrics_out {
+        let generated_at = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let text = format!(
+            "# generated-at {generated_at}\n{}",
+            stream_health::baseline_exposition(baseline.as_ref().expect("baseline"))
+        );
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[metrics] exposition written to {path}");
     }
 }

@@ -1,0 +1,84 @@
+//! Host metadata for benchmark provenance (CPU model, core count).
+//!
+//! Every accessor degrades gracefully: an absent `/proc/cpuinfo`, a cpuinfo
+//! without the x86 `model name` field (common on ARM hosts) or an empty
+//! value all come back as `"unknown"` instead of panicking a benchmark run
+//! on the one host whose metadata we most want to record.
+
+/// The host's CPU model string, from `/proc/cpuinfo` (best effort;
+/// `"unknown"` when unavailable).
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|info| parse_cpu_model(&info))
+        .unwrap_or_else(|_| "unknown".to_string())
+}
+
+/// Extracts the CPU model from cpuinfo text, `"unknown"` when the field is
+/// absent or empty. The value is interpolated into hand-built JSON, so it is
+/// restricted to a JSON-safe character set.
+pub fn parse_cpu_model(cpuinfo: &str) -> String {
+    cpuinfo
+        .lines()
+        .find(|l| l.starts_with("model name"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|m| {
+            m.trim()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || " ()@._/+-".contains(*c))
+                .collect::<String>()
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The host's available core count (1 when undeterminable).
+pub fn core_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_x86_style_cpuinfo() {
+        let info = "processor\t: 0\n\
+                    vendor_id\t: GenuineIntel\n\
+                    model name\t: Intel(R) Xeon(R) CPU @ 2.20GHz\n\
+                    cache size\t: 39424 KB\n";
+        assert_eq!(parse_cpu_model(info), "Intel(R) Xeon(R) CPU @ 2.20GHz");
+    }
+
+    #[test]
+    fn arm_style_cpuinfo_without_model_name_is_unknown() {
+        // ARM cpuinfo exposes "CPU implementer"/"CPU part" lines instead of
+        // the x86 "model name" field.
+        let info = "processor\t: 0\n\
+                    BogoMIPS\t: 50.00\n\
+                    CPU implementer\t: 0x41\n\
+                    CPU part\t: 0xd0c\n";
+        assert_eq!(parse_cpu_model(info), "unknown");
+    }
+
+    #[test]
+    fn degenerate_cpuinfo_is_unknown_not_a_panic() {
+        assert_eq!(parse_cpu_model(""), "unknown");
+        assert_eq!(parse_cpu_model("model name"), "unknown");
+        assert_eq!(parse_cpu_model("model name\t:   \n"), "unknown");
+    }
+
+    #[test]
+    fn model_is_json_safe() {
+        let info = "model name : weird\"model\\with\ncontrol";
+        let parsed = parse_cpu_model(info);
+        assert_eq!(parsed, "weirdmodelwith");
+        assert!(!parsed.contains('"') && !parsed.contains('\\'));
+    }
+
+    #[test]
+    fn core_count_is_positive() {
+        assert!(core_count() >= 1);
+    }
+}

@@ -27,6 +27,7 @@
 
 use heap_workloads::Scale;
 
+pub mod hostmeta;
 pub mod simloop;
 
 /// Parses the `--scale` argument shared by the repro binary and the benches.

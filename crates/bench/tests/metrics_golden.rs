@@ -1,0 +1,43 @@
+//! Golden-file test of the Prometheus metrics exposition.
+//!
+//! Pins the exact bytes `repro --scale test --metrics-out` writes (minus its
+//! one `# generated-at` timestamp line) against
+//! `tests/golden/metrics_scale_test.prom`. Any change to the export format,
+//! the metric set, the health computations or the simulation itself shows up
+//! as a diff here; regenerate the golden with
+//!
+//! ```text
+//! cargo run --release -p heap-bench --bin repro -- --scale test table1 \
+//!     --metrics-out /tmp/metrics.prom
+//! grep -v '^# generated-at' /tmp/metrics.prom \
+//!     > crates/bench/tests/golden/metrics_scale_test.prom
+//! ```
+
+use heap_workloads::experiments::{stream_health, StandardRuns};
+use heap_workloads::Scale;
+
+const GOLDEN: &str = include_str!("golden/metrics_scale_test.prom");
+
+#[test]
+fn metrics_exposition_matches_golden_file() {
+    // `repro --scale test` keeps the default seed 42 (the `--seed` flag
+    // overrides it); mirror that here so this test and the CI step that
+    // diffs the binary's output pin the same bytes.
+    let runs = StandardRuns::compute(Scale::test().with_seed(42));
+    let rendered = stream_health::baseline_exposition(&runs);
+    if rendered != GOLDEN {
+        let mismatch = rendered
+            .lines()
+            .zip(GOLDEN.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        panic!(
+            "metrics exposition diverged from the golden file\n\
+             first differing line: {mismatch:?}\n\
+             (rendered {} lines, golden {} lines; regeneration command in the \
+             module docs)",
+            rendered.lines().count(),
+            GOLDEN.lines().count()
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! it directly unit- and property-testable.
 
 use heap_simnet::time::SimTime;
+use heap_streaming::health::{HealthConfig, ReceiverHealth};
 use heap_streaming::packet::{PacketId, StreamPacket};
 use heap_streaming::receiver::ReceiverLog;
 use heap_streaming::source::StreamSchedule;
@@ -55,6 +56,9 @@ pub struct DisseminationEngine {
     /// (cleared after every round — infect-and-die).
     to_propose: Vec<PacketId>,
     stats: EngineStats,
+    /// Live stream-health tracker, fed on every first delivery (O(1),
+    /// allocation-free — it never perturbs the hot path or determinism).
+    health: ReceiverHealth,
 }
 
 impl DisseminationEngine {
@@ -65,6 +69,7 @@ impl DisseminationEngine {
             log: ReceiverLog::for_schedule(&schedule),
             requested: vec![false; total],
             to_propose: Vec::new(),
+            health: ReceiverHealth::new(HealthConfig::for_schedule(&schedule)),
             schedule,
             stats: EngineStats::default(),
         }
@@ -83,6 +88,12 @@ impl DisseminationEngine {
     /// Engine counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// The live stream-health tracker (drift slope, cadence variance, freeze
+    /// detection, 0–100 score), updated on every first delivery.
+    pub fn health(&self) -> &ReceiverHealth {
+        &self.health
     }
 
     /// Whether the packet has been delivered to this node.
@@ -110,6 +121,7 @@ impl DisseminationEngine {
     pub fn publish(&mut self, packet: &StreamPacket, now: SimTime) -> PacketId {
         if self.log.record(packet.id, now) {
             self.stats.packets_delivered += 1;
+            self.health.on_packet(packet.published_at, now);
         }
         // Mark as requested so proposals from other nodes never pull it back.
         if let Some(slot) = self.requested.get_mut(packet.id.seq() as usize) {
@@ -174,6 +186,7 @@ impl DisseminationEngine {
             if self.log.record(packet.id, now) {
                 self.stats.packets_delivered += 1;
                 self.stats.ids_learned += 1;
+                self.health.on_packet(packet.published_at, now);
                 self.to_propose.push(packet.id);
                 fresh.push(packet.id);
             } else {
@@ -330,6 +343,25 @@ mod tests {
         );
         // Out-of-stream ids are never reported missing.
         assert!(e.still_missing(&[PacketId::new(1_000_000)]).is_empty());
+    }
+
+    #[test]
+    fn health_tracks_first_deliveries_only() {
+        let mut e = engine();
+        let interval = e.schedule().config().packet_interval();
+        let p0 = pkt(&e, 0);
+        let p1 = pkt(&e, 1);
+        e.handle_serve(&[p0], p0.published_at + interval);
+        e.handle_serve(&[p1], p1.published_at + interval);
+        // A duplicate serve must not feed the tracker again.
+        e.handle_serve(&[p1], p1.published_at + interval * 3);
+        assert_eq!(e.health().samples(), 2);
+        assert_eq!(e.health().clock_anomalies(), 0);
+        // Publishing counts as a (source-side) delivery too.
+        let mut src = engine();
+        let p = pkt(&src, 0);
+        src.publish(&p, p.published_at);
+        assert_eq!(src.health().samples(), 1);
     }
 
     #[test]

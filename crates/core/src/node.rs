@@ -335,6 +335,12 @@ impl GossipNode {
         &self.engine
     }
 
+    /// The live stream-health tracker (drift slope, cadence variance, freeze
+    /// detection, 0–100 score), fed on every first packet delivery.
+    pub fn health(&self) -> &heap_streaming::health::ReceiverHealth {
+        self.engine.health()
+    }
+
     /// The capability aggregator (exposes the average-capability estimate).
     pub fn aggregator(&self) -> &CapabilityAggregator {
         &self.aggregator

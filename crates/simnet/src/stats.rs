@@ -255,6 +255,18 @@ impl NetStats {
             self.total_messages_lost() as f64 / sent as f64
         }
     }
+
+    /// Mean upload queueing delay per departed message (delivered plus lost —
+    /// both left a queue), or `None` if nothing departed. The observability
+    /// export reports this next to the raw
+    /// [`total_queueing_delay`](NetStats::total_queueing_delay) sum.
+    pub fn mean_queueing_delay(&self) -> Option<SimDuration> {
+        let departed = self.total_messages_delivered() + self.total_messages_lost();
+        self.total_queueing_delay
+            .as_micros()
+            .checked_div(departed)
+            .map(SimDuration::from_micros)
+    }
 }
 
 /// Renders exactly like the pre-PR-4 Vec-of-structs derive
@@ -411,6 +423,21 @@ mod tests {
         assert_eq!(s.loss_rate(), 0.0);
         assert!(!s.is_empty());
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn mean_queueing_delay_averages_over_departures() {
+        let mut s = NetStats::new(2);
+        assert_eq!(s.mean_queueing_delay(), None, "no departures yet");
+        s.record_delivery(NodeId::new(1), 10);
+        s.record_delivery(NodeId::new(1), 10);
+        s.record_loss(NodeId::new(0));
+        s.total_queueing_delay += SimDuration::from_micros(300);
+        assert_eq!(
+            s.mean_queueing_delay(),
+            Some(SimDuration::from_micros(100)),
+            "delivered and lost messages both departed a queue"
+        );
     }
 
     #[test]

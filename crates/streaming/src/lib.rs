@@ -17,7 +17,11 @@
 //!   [`heap_fec::DecodeWorkspace`],
 //! * [`metrics`] — per-node stream-quality metrics (stream lag for 99 %
 //!   delivery, per-window decode lags, jitter percentage at a given lag,
-//!   delivery ratios inside jittered windows) computed from a receive log.
+//!   delivery ratios inside jittered windows) computed from a receive log,
+//! * [`health`] — the *live* counterpart of [`metrics`]: incremental
+//!   per-receiver drift/cadence/freeze tracking and a weighted 0–100 health
+//!   score, updated in O(1) per delivery with no per-event allocation
+//!   ([`health::ReceiverHealth`]).
 //!
 //! The gossip protocols in `heap-gossip` move packet *identifiers* and
 //! payload *sizes* around; actual FEC encode/decode lives in `heap-fec` and is
@@ -27,11 +31,13 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod health;
 pub mod metrics;
 pub mod packet;
 pub mod receiver;
 pub mod source;
 
+pub use health::{HealthConfig, HealthReport, HealthWeights, ReceiverHealth};
 pub use metrics::NodeStreamMetrics;
 pub use packet::{PacketId, StreamPacket, WindowId};
 pub use receiver::{DecodedWindow, ReceiverLog, StreamReassembler};

@@ -42,6 +42,14 @@ pub struct NodeStreamMetrics {
     /// Arrival lag of every packet relative to its own publication time
     /// (`None` = never received).
     packet_lags: Vec<Option<SimDuration>>,
+    /// Packets whose recorded arrival *preceded* their own publication — a
+    /// determinism/ordering bug upstream if it ever happens. The per-packet
+    /// lag is clamped to zero in that case, but the clamp is counted here
+    /// (and asserted zero in the simulator-driven tests) instead of silently
+    /// masking bad data. Window-relative lags (measured from the window's
+    /// publication *completion*) legitimately clamp: packets relayed before
+    /// the window completes count as lag 0 by design, and are not counted.
+    clock_anomalies: u64,
     data_packets_per_window: usize,
     decode_threshold: usize,
 }
@@ -86,13 +94,19 @@ impl NodeStreamMetrics {
             window_source_lags.push(source_lags);
         }
 
+        let mut clock_anomalies = 0u64;
         let packet_lags: Vec<Option<SimDuration>> = (0..schedule.total_packets())
             .map(|seq| {
                 let id = PacketId::new(seq);
                 let publish = schedule
                     .publish_time(id)
                     .expect("sequence bounded by total_packets");
-                log.arrival(id).map(|t| t.saturating_since(publish))
+                log.arrival(id).map(|t| {
+                    if t < publish {
+                        clock_anomalies += 1;
+                    }
+                    t.saturating_since(publish)
+                })
             })
             .collect();
 
@@ -100,9 +114,17 @@ impl NodeStreamMetrics {
             window_decode_lags,
             window_source_lags,
             packet_lags,
+            clock_anomalies,
             data_packets_per_window: params.data_packets,
             decode_threshold: params.decode_threshold(),
         }
+    }
+
+    /// Packets whose recorded arrival preceded their own publication (their
+    /// per-packet lag was clamped to zero). Always 0 in a consistent
+    /// simulation; exposed so tests and the health layer can assert it.
+    pub fn clock_anomalies(&self) -> u64 {
+        self.clock_anomalies
     }
 
     /// Number of windows in the stream.
@@ -460,6 +482,30 @@ mod tests {
             m.windows_decodable_at(SimDuration::from_secs(6)),
             vec![true, true, false]
         );
+    }
+
+    #[test]
+    fn arrival_before_own_publication_is_counted_not_masked() {
+        let s = schedule(1);
+        let mut log = ReceiverLog::for_schedule(&s);
+        for (i, p) in s.iter().enumerate() {
+            if i == 3 {
+                // Impossible arrival: 1 ms before the packet even exists.
+                log.record(p.id, p.published_at - SimDuration::from_millis(1));
+            } else {
+                log.record(p.id, p.published_at + SimDuration::from_millis(20));
+            }
+        }
+        let m = NodeStreamMetrics::compute(&s, &log);
+        assert_eq!(m.clock_anomalies(), 1);
+        // The anomalous lag is still clamped to zero (not negative/panicking).
+        assert_eq!(m.delivery_ratio(), 1.0);
+        // A clean log reports zero anomalies.
+        let mut clean = ReceiverLog::for_schedule(&s);
+        for p in s.iter() {
+            clean.record(p.id, p.published_at);
+        }
+        assert_eq!(NodeStreamMetrics::compute(&s, &clean).clock_anomalies(), 0);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Property tests pinning the incremental health tracker to a batch oracle,
+//! plus a scripted freeze-detection scenario.
+
+use heap_simnet::time::{SimDuration, SimTime};
+use heap_streaming::health::{HealthConfig, ReceiverHealth};
+use heap_streaming::source::{StreamConfig, StreamSchedule};
+use proptest::prelude::*;
+
+fn schedule() -> StreamSchedule {
+    StreamSchedule::new(StreamConfig::small(4), SimTime::from_secs(5))
+}
+
+/// Batch least-squares slope over `(x, y)` points — the oracle for the
+/// tracker's incremental accumulators. Mirrors the tracker's degenerate-case
+/// handling: `None` for fewer than two points or a non-positive determinant.
+fn batch_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let det = n * sxx - sx * sx;
+    if det <= 0.0 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / det)
+}
+
+/// Two-pass population standard deviation — the oracle for the tracker's
+/// Welford accumulator.
+fn batch_std(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let m2: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    Some((m2 / values.len() as f64).sqrt())
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    /// Feeding any arrival-ordered sample stream, the incremental tracker
+    /// matches a batch recomputation of drift slope, cadence deviation,
+    /// freeze accounting and sample counts.
+    #[test]
+    fn incremental_tracker_matches_batch_oracle(
+        raw in proptest::collection::vec((0u64..2_000_000, 0u64..500_000), 0..60)
+    ) {
+        let s = schedule();
+        let config = HealthConfig::for_schedule(&s).with_freeze_intervals(16);
+        let start = config.stream_start;
+
+        // Build (publish, arrival) pairs and feed them in arrival order, as
+        // a simulation naturally would.
+        let mut pairs: Vec<(SimTime, SimTime)> = raw
+            .iter()
+            .map(|&(publish_off, lag)| {
+                let publish = start + SimDuration::from_micros(publish_off);
+                (publish, publish + SimDuration::from_micros(lag))
+            })
+            .collect();
+        pairs.sort_by_key(|&(_, arrival)| arrival);
+
+        let mut h = ReceiverHealth::new(config);
+        for &(publish, arrival) in &pairs {
+            h.on_packet(publish, arrival);
+        }
+
+        // Drift oracle: x relative to the first *fed* publication.
+        let origin = pairs.first().map(|&(p, _)| p);
+        let points: Vec<(f64, f64)> = pairs
+            .iter()
+            .map(|&(publish, arrival)| {
+                let origin = origin.expect("non-empty");
+                let x = if publish >= origin {
+                    publish.saturating_since(origin).as_secs_f64()
+                } else {
+                    -origin.saturating_since(publish).as_secs_f64()
+                };
+                (x, arrival.saturating_since(publish).as_secs_f64())
+            })
+            .collect();
+        match (h.drift_slope(), batch_slope(&points)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!(close(a, b), "slope {a} vs oracle {b}"),
+            (a, b) => prop_assert!(false, "slope {a:?} vs oracle {b:?}"),
+        }
+
+        // Cadence oracle: population std over consecutive-arrival gaps.
+        let gaps: Vec<f64> = pairs
+            .windows(2)
+            .map(|w| w[1].1.saturating_since(w[0].1).as_secs_f64())
+            .collect();
+        match (h.cadence_std(), batch_std(&gaps)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!(close(a, b), "std {a} vs oracle {b}"),
+            (a, b) => prop_assert!(false, "std {a:?} vs oracle {b:?}"),
+        }
+
+        // Freeze oracle: every delivery gap (stream start before the first
+        // arrival) exceeding the threshold is one episode, its excess frozen.
+        let threshold = config.freeze_threshold();
+        let mut episodes = 0u64;
+        let mut frozen = SimDuration::ZERO;
+        let mut since = start;
+        for &(_, arrival) in &pairs {
+            let gap = arrival.saturating_since(since);
+            if gap > threshold {
+                episodes += 1;
+                frozen += gap - threshold;
+            }
+            since = arrival;
+        }
+        prop_assert_eq!(h.completed_freezes(), episodes);
+        let now = since; // exactly at the last arrival: no ongoing freeze
+        prop_assert_eq!(h.frozen_time(now), frozen);
+
+        let report = h.report(config.stream_end());
+        prop_assert_eq!(report.samples, pairs.len() as u64);
+        prop_assert_eq!(report.clock_anomalies, 0, "lag is never negative here");
+        prop_assert!((0.0..=100.0).contains(&report.score));
+    }
+}
+
+/// A scripted arrival log: steady cadence, then a long stall, then recovery.
+/// The stall must register as exactly one freeze episode whose excess time
+/// is accounted, and it must cost score against the steady baseline.
+#[test]
+fn scripted_stall_is_detected_as_one_freeze() {
+    let s = schedule();
+    let config = HealthConfig::for_schedule(&s).with_freeze_intervals(4);
+    let interval = config.packet_interval;
+    let threshold = config.freeze_threshold();
+    assert_eq!(threshold, interval * 4);
+
+    let mut steady = ReceiverHealth::new(config);
+    let mut stalled = ReceiverHealth::new(config);
+    let stall = interval * 10; // 2.5x the threshold
+    let mut skipped = 0u64;
+    for (i, p) in s.iter().enumerate() {
+        steady.on_packet(
+            p.published_at,
+            p.published_at + SimDuration::from_millis(20),
+        );
+        // The stalled receiver misses packets 10..20 entirely (a relay
+        // outage), then resumes with the same per-packet lag.
+        if (10..20).contains(&i) {
+            skipped += 1;
+        } else {
+            stalled.on_packet(
+                p.published_at,
+                p.published_at + SimDuration::from_millis(20),
+            );
+        }
+    }
+    assert!(stall > threshold);
+    assert_eq!(steady.completed_freezes(), 0);
+    assert_eq!(stalled.completed_freezes(), 1, "one stall, one episode");
+    assert_eq!(stalled.samples(), 48 - skipped);
+
+    let end = config.stream_end();
+    assert!(!stalled.is_frozen(end), "the stall ended before the stream");
+    let frozen = stalled.frozen_time(end);
+    assert!(
+        frozen > SimDuration::ZERO && frozen < stall,
+        "only the excess over the threshold is frozen time, got {frozen}"
+    );
+    let (good, bad) = (steady.score(end), stalled.score(end));
+    assert!(
+        bad < good,
+        "a stalled stream must score below a steady one ({bad} vs {good})"
+    );
+    assert!(steady.report(end).freezes == 0 && stalled.report(end).freezes == 1);
+}

@@ -1,0 +1,144 @@
+//! Stream-health observability — not a paper figure, but the paper's
+//! perceived-quality story (§3.4–3.5) viewed through the health layer.
+//!
+//! Runs ref-691 under standard gossip and under HEAP with periodic
+//! health-score sampling enabled, then reports (a) per-class health-score
+//! and freeze statistics, (b) the health-score distribution over nodes and
+//! (c) the mean health score over stream time. HEAP's capability-aware
+//! fanout should lift the weakest classes' scores without costing the
+//! strongest ones.
+
+use super::common::{Figure, StandardRuns};
+use crate::bandwidth_dist::BandwidthDistribution;
+use crate::runner::{run_scenarios_parallel, ExperimentResult};
+use crate::scale::Scale;
+use crate::scenario::{ProtocolChoice, Scenario};
+use heap_analytics::{Series, TextTable};
+use heap_simnet::time::SimDuration;
+
+/// The health-score sampling bucket width.
+const BUCKET: SimDuration = SimDuration::from_secs(5);
+
+/// "Percentage of surviving nodes with a health score ≤ x" series, sampled
+/// at every fifth point of the 0–100 score axis.
+pub fn score_cdf_series(result: &ExperimentResult, name: impl Into<String>) -> Series {
+    let scores: Vec<f64> = result.survivors().map(|n| n.health.score).collect();
+    let total = scores.len().max(1) as f64;
+    let points = (0..=20)
+        .map(|i| {
+            let x = 5.0 * i as f64;
+            let below = scores.iter().filter(|&&s| s <= x).count() as f64;
+            (x, 100.0 * below / total)
+        })
+        .collect();
+    Series::new(name).with_points(points)
+}
+
+/// Runs the health-observability comparison at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    let dist = BandwidthDistribution::ref_691();
+    let scenarios: Vec<Scenario> = [
+        ProtocolChoice::Standard { fanout: 7.0 },
+        ProtocolChoice::Heap { fanout: 7.0 },
+    ]
+    .into_iter()
+    .map(|protocol| {
+        Scenario::new(
+            format!("health/{}", protocol.label()),
+            scale,
+            dist.clone(),
+            protocol,
+        )
+        .with_health_series(BUCKET)
+    })
+    .collect();
+    let results = run_scenarios_parallel(&scenarios);
+
+    let mut fig = Figure::new(
+        "Stream health",
+        "Per-class health scores, score distribution and health over time (ref-691)",
+    );
+
+    let mut table = TextTable::new("stream health by capability class (ref-691)");
+    table.header(vec![
+        "class",
+        "standard score",
+        "HEAP score",
+        "standard freezes",
+        "HEAP freezes",
+    ]);
+    let (standard, heap) = (&results[0], &results[1]);
+    for class in standard.classes() {
+        let stats = |r: &ExperimentResult| {
+            let nodes: Vec<_> = r.class_survivors(class).collect();
+            let mean_score =
+                nodes.iter().map(|n| n.health.score).sum::<f64>() / nodes.len().max(1) as f64;
+            let freezes: u64 = nodes.iter().map(|n| n.health.freezes).sum();
+            (mean_score, freezes)
+        };
+        let (std_score, std_freezes) = stats(standard);
+        let (heap_score, heap_freezes) = stats(heap);
+        table.row(vec![
+            class.to_string(),
+            format!("{std_score:.1}"),
+            format!("{heap_score:.1}"),
+            std_freezes.to_string(),
+            heap_freezes.to_string(),
+        ]);
+    }
+    fig.tables.push(table);
+
+    for (label, result) in [("standard f=7", standard), ("HEAP f=7", heap)] {
+        fig.series
+            .push(score_cdf_series(result, format!("score CDF - {label}")));
+        let series = result
+            .health_series
+            .as_ref()
+            .expect("health sampling enabled above");
+        let mut over_time = series.mean_series();
+        over_time.name = format!("mean health over time - {label}");
+        fig.series.push(over_time);
+    }
+    fig
+}
+
+/// Renders the Prometheus exposition of the shared baseline runs — the
+/// `repro --metrics-out` payload ([`crate::health_export::exposition`]).
+pub fn baseline_exposition(runs: &StandardRuns) -> String {
+    let pairs: Vec<(&str, &ExperimentResult)> = runs.iter().collect();
+    crate::health_export::exposition(&pairs).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_figure_reports_all_views() {
+        let fig = run(Scale::test());
+        assert_eq!(fig.tables.len(), 1);
+        assert_eq!(fig.tables[0].n_rows(), 3, "one row per ref-691 class");
+        // Two runs × (score CDF + health-over-time).
+        assert_eq!(fig.series.len(), 4);
+        let cdf = fig
+            .series_named("score CDF - HEAP f=7")
+            .expect("heap score cdf");
+        assert_eq!(cdf.points.first().map(|p| p.0), Some(0.0));
+        assert_eq!(cdf.points.last(), Some(&(100.0, 100.0)));
+        let over_time = fig
+            .series_named("mean health over time - HEAP f=7")
+            .expect("heap health over time");
+        assert!(!over_time.is_empty());
+        for (_, y) in &over_time.points {
+            assert!((0.0..=100.0).contains(y));
+        }
+    }
+
+    #[test]
+    fn baseline_exposition_renders() {
+        let runs = StandardRuns::compute(Scale::test().with_nodes(16).with_windows(1));
+        let text = baseline_exposition(&runs);
+        assert!(text.contains("# TYPE heap_health_score gauge"));
+        assert!(text.contains("run=\"ref-691/heap\""));
+    }
+}

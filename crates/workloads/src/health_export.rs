@@ -1,0 +1,214 @@
+//! Prometheus-style export of experiment results.
+//!
+//! [`exposition`] flattens a batch of named [`ExperimentResult`]s into a
+//! deterministic [`Exposition`]: per-class stream-health gauges (score,
+//! drift, freezes), stream-delivery gauges and network-level counters, all
+//! labelled by run name and capability class. The output is a pure function
+//! of the results — runs render in input order, classes in capability order
+//! — so a golden-file test can pin the full export byte for byte.
+
+use crate::runner::{ExperimentResult, NodeResult};
+use heap_analytics::expo::{Exposition, MetricKind};
+
+/// Per-class statistic extractor: maps a class's surviving receivers to
+/// `(stat label, value)` samples (an empty label means no `stat` label).
+type ClassStats<'a> = &'a dyn Fn(&[&NodeResult]) -> Vec<(&'static str, f64)>;
+
+/// Builds the metrics exposition for a batch of `(run name, result)` pairs.
+///
+/// Per-class health statistics cover the *survivors* of each run (as the
+/// paper's per-class metrics do); run-level totals (anomalies, network
+/// counters) cover every receiver.
+pub fn exposition(runs: &[(&str, &ExperimentResult)]) -> Exposition {
+    let mut expo = Exposition::new();
+
+    let per_class =
+        |expo: &mut Exposition, name: &str, help: &str, kind: MetricKind, value: ClassStats| {
+            let family = expo.family(name, help, kind);
+            for (run, result) in runs {
+                for class in result.classes() {
+                    let nodes: Vec<&NodeResult> = result.class_survivors(class).collect();
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    for (stat, v) in value(&nodes) {
+                        if stat.is_empty() {
+                            family.sample(&[("run", run), ("class", class)], v);
+                        } else {
+                            family.sample(&[("run", run), ("class", class), ("stat", stat)], v);
+                        }
+                    }
+                }
+            }
+        };
+
+    per_class(
+        &mut expo,
+        "heap_health_score",
+        "Stream-health score (0-100) of surviving receivers, per capability class.",
+        MetricKind::Gauge,
+        &|nodes| {
+            let mean = nodes.iter().map(|n| n.health.score).sum::<f64>() / nodes.len() as f64;
+            let min = nodes
+                .iter()
+                .map(|n| n.health.score)
+                .fold(f64::INFINITY, f64::min);
+            vec![("mean", mean), ("min", min)]
+        },
+    );
+    per_class(
+        &mut expo,
+        "heap_health_drift_slope_secs_per_sec",
+        "Mean arrival-lag drift slope of surviving receivers (positive = falling behind).",
+        MetricKind::Gauge,
+        &|nodes| {
+            let slopes: Vec<f64> = nodes.iter().filter_map(|n| n.health.drift_slope).collect();
+            if slopes.is_empty() {
+                vec![]
+            } else {
+                vec![("mean", slopes.iter().sum::<f64>() / slopes.len() as f64)]
+            }
+        },
+    );
+    per_class(
+        &mut expo,
+        "heap_health_freeze_episodes_total",
+        "Freeze episodes (no useful delivery for the configured threshold) across survivors.",
+        MetricKind::Counter,
+        &|nodes| vec![("", nodes.iter().map(|n| n.health.freezes as f64).sum())],
+    );
+    per_class(
+        &mut expo,
+        "heap_stream_delivery_ratio",
+        "Mean fraction of stream packets delivered to surviving receivers.",
+        MetricKind::Gauge,
+        &|nodes| {
+            vec![(
+                "mean",
+                nodes
+                    .iter()
+                    .map(|n| n.metrics.delivery_ratio())
+                    .sum::<f64>()
+                    / nodes.len() as f64,
+            )]
+        },
+    );
+
+    let run_total = |expo: &mut Exposition,
+                     name: &str,
+                     help: &str,
+                     kind: MetricKind,
+                     value: &dyn Fn(&ExperimentResult) -> f64| {
+        let family = expo.family(name, help, kind);
+        for (run, result) in runs {
+            family.sample(&[("run", run)], value(result));
+        }
+    };
+
+    run_total(
+        &mut expo,
+        "heap_health_clock_anomalies_total",
+        "Packets that arrived before their own publication (must be 0 in simulation).",
+        MetricKind::Counter,
+        &|r| {
+            r.nodes
+                .iter()
+                .map(|n| n.health.clock_anomalies as f64)
+                .sum()
+        },
+    );
+    run_total(
+        &mut expo,
+        "heap_run_receivers",
+        "Receivers in the run (the source is excluded).",
+        MetricKind::Gauge,
+        &|r| r.nodes.len() as f64,
+    );
+    run_total(
+        &mut expo,
+        "heap_run_crashed_receivers",
+        "Receivers that crashed during the run.",
+        MetricKind::Gauge,
+        &|r| r.crashed_count as f64,
+    );
+    run_total(
+        &mut expo,
+        "heap_net_messages_sent_total",
+        "Messages handed to upload queues, network-wide.",
+        MetricKind::Counter,
+        &|r| r.net.messages_sent as f64,
+    );
+    run_total(
+        &mut expo,
+        "heap_net_messages_delivered_total",
+        "Messages delivered, network-wide.",
+        MetricKind::Counter,
+        &|r| r.net.messages_delivered as f64,
+    );
+    run_total(
+        &mut expo,
+        "heap_net_messages_lost_total",
+        "Messages dropped by the lossy network.",
+        MetricKind::Counter,
+        &|r| r.net.messages_lost as f64,
+    );
+    run_total(
+        &mut expo,
+        "heap_net_queue_drops_total",
+        "Messages dropped at the sender because its upload backlog was full.",
+        MetricKind::Counter,
+        &|r| r.net.queue_drops as f64,
+    );
+    run_total(
+        &mut expo,
+        "heap_net_queueing_delay_seconds_total",
+        "Sum of upload queueing delays over all departed messages, in seconds.",
+        MetricKind::Counter,
+        &|r| r.net.total_queueing_delay.as_secs_f64(),
+    );
+
+    expo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth_dist::BandwidthDistribution;
+    use crate::runner::run_scenario;
+    use crate::scale::Scale;
+    use crate::scenario::{ProtocolChoice, Scenario};
+    use heap_simnet::loss::LossModel;
+
+    #[test]
+    fn exposition_is_deterministic_and_covers_all_runs() {
+        let scenario = Scenario::new(
+            "expo-test",
+            Scale::test(),
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+        )
+        .with_loss(LossModel::none());
+        let result = run_scenario(&scenario);
+        let runs = [("a/heap", &result), ("b/heap", &result)];
+        let text = exposition(&runs).render();
+        assert_eq!(text, exposition(&runs).render(), "render is deterministic");
+        for family in [
+            "heap_health_score",
+            "heap_health_freeze_episodes_total",
+            "heap_stream_delivery_ratio",
+            "heap_health_clock_anomalies_total",
+            "heap_net_messages_sent_total",
+            "heap_net_queueing_delay_seconds_total",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "{family} missing"
+            );
+        }
+        assert!(text.contains("run=\"a/heap\""));
+        assert!(text.contains("run=\"b/heap\""));
+        assert!(text.contains("class=\"256kbps\""), "got: {text}");
+        // A consistent simulation exports zero clock anomalies.
+        assert!(text.contains("heap_health_clock_anomalies_total{run=\"a/heap\"} 0"));
+    }
+}

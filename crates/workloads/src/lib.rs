@@ -13,6 +13,8 @@
 //! * [`experiments`] — one module per paper figure/table turning runs into
 //!   printable [`Series`](heap_analytics::Series) and
 //!   [`TextTable`](heap_analytics::TextTable)s,
+//! * [`health_export`] — Prometheus-style text export of run results (the
+//!   stream-health observability layer),
 //! * [`scale`] — experiment sizing (full paper scale vs. scaled-down runs for
 //!   quick iteration and CI).
 
@@ -21,6 +23,7 @@
 
 pub mod bandwidth_dist;
 pub mod experiments;
+pub mod health_export;
 pub mod runner;
 pub mod scale;
 pub mod scenario;

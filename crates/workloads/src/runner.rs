@@ -1,6 +1,7 @@
 //! Executes a [`Scenario`] on the simulator and collects per-node results.
 
 use crate::scenario::{ChurnSpec, Scenario, ShardingChoice};
+use heap_analytics::BucketSeries;
 use heap_gossip::fanout::FanoutPolicy;
 use heap_gossip::node::{GossipNode, ProtocolStats, Role};
 use heap_membership::churn::ChurnSchedule;
@@ -9,6 +10,7 @@ use heap_simnet::node::NodeId;
 use heap_simnet::rng::stream_rng;
 use heap_simnet::sim::{Simulator, SimulatorBuilder};
 use heap_simnet::time::{SimDuration, SimTime};
+use heap_streaming::health::HealthReport;
 use heap_streaming::metrics::NodeStreamMetrics;
 use heap_streaming::source::{StreamConfig, StreamSchedule};
 use rand::Rng;
@@ -35,6 +37,10 @@ pub struct NodeResult {
     pub joined_at: Option<SimTime>,
     /// Stream-quality metrics derived from the node's receive log.
     pub metrics: NodeStreamMetrics,
+    /// Stream-health report (drift, cadence, freezes, 0–100 score) snapshotted
+    /// at the end of the run from the node's incremental
+    /// [`ReceiverHealth`](heap_streaming::health::ReceiverHealth) tracker.
+    pub health: HealthReport,
     /// Fraction of the node's upload capacity actually used during the
     /// streaming phase (capped at 1; `None` for unconstrained nodes).
     pub upload_utilization: Option<f64>,
@@ -78,6 +84,9 @@ pub struct ExperimentResult {
     pub crashed_count: usize,
     /// Network-level traffic totals over the whole run.
     pub net: NetTotals,
+    /// Bucketed mean-health-over-time samples, present when the scenario set
+    /// [`Scenario::health_series`] (x = seconds since stream start).
+    pub health_series: Option<BucketSeries>,
 }
 
 impl ExperimentResult {
@@ -295,12 +304,41 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         scenario.sharding,
         ShardingChoice::Sharded { threaded: true, .. }
     );
-    let advance = |sim: &mut Simulator<GossipNode>, to: SimTime| {
+    let run_to = |sim: &mut Simulator<GossipNode>, to: SimTime| {
         if threaded {
             sim.run_until_threaded(to)
         } else {
             sim.run_until(to)
         }
+    };
+    // Health sampling rides on the advance path: before crossing a bucket
+    // boundary the simulator is stepped exactly to it and every live
+    // receiver's score is folded into the bucket ending there, so the series
+    // is identical however the run is chopped up by churn notifications.
+    let mut sampler = scenario.health_series.map(|bucket| {
+        (
+            BucketSeries::new("mean health score", bucket.as_secs_f64()),
+            schedule.start() + bucket,
+            bucket,
+        )
+    });
+    let mut advance = |sim: &mut Simulator<GossipNode>, to: SimTime| {
+        if let Some((series, next_sample, bucket)) = sampler.as_mut() {
+            while *next_sample <= to {
+                let at = *next_sample;
+                run_to(sim, at);
+                // Place the sample at the midpoint of the bucket it closes.
+                let x = (at - schedule.start()).as_secs_f64() - bucket.as_secs_f64() / 2.0;
+                for i in 1..n {
+                    let id = NodeId::new(i as u32);
+                    if sim.is_alive(id) {
+                        series.record(x, sim.node(id).health().score(at));
+                    }
+                }
+                *next_sample = at + *bucket;
+            }
+        }
+        run_to(sim, to);
     };
     let end = schedule.start() + scenario.run_duration();
     for (at, crashed) in notifications {
@@ -327,6 +365,18 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         let id = NodeId::new(i as u32);
         let node = sim.node(id);
         let metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
+        let health = node.health().report(end);
+        // Simulated clocks cannot run backwards: any anomaly in a
+        // simnet-driven run is a harness bug, not a measurement artefact.
+        debug_assert_eq!(
+            health.clock_anomalies, 0,
+            "node {id} observed arrival-before-publish in simulation"
+        );
+        debug_assert_eq!(
+            metrics.clock_anomalies(),
+            0,
+            "node {id} log contains arrival-before-publish in simulation"
+        );
         let queue = sim.upload_queue(id);
         let upload_utilization = match queue.capacity() {
             UploadCapacity::Unlimited => None,
@@ -342,6 +392,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             crashed: crashed_nodes.contains(&id),
             joined_at: join_at[i],
             metrics,
+            health,
             upload_utilization,
             upload_rate_kbps,
             protocol_stats: node.stats(),
@@ -363,6 +414,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         nodes,
         crashed_count: crashed_nodes.len(),
         net,
+        health_series: sampler.map(|(series, _, _)| series),
     }
 }
 
@@ -511,6 +563,43 @@ mod tests {
             .sum::<f64>()
             / result.nodes.len() as f64;
         assert!(mean_delivery > 0.8, "mean delivery {mean_delivery}");
+    }
+
+    #[test]
+    fn health_reports_and_series_are_collected() {
+        let base = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::None,
+        );
+        let plain = run_scenario(&base);
+        assert!(plain.health_series.is_none(), "sampling is opt-in");
+        let sampled = run_scenario(&base.clone().with_health_series(SimDuration::from_secs(5)));
+        let series = sampled.health_series.as_ref().expect("sampling enabled");
+        assert!(!series.is_empty());
+        for (_, bucket) in series.buckets() {
+            if bucket.count > 0 {
+                assert!(bucket.min >= 0.0 && bucket.max <= 100.0);
+            }
+        }
+        for node in &sampled.nodes {
+            assert_eq!(node.health.clock_anomalies, 0);
+            assert!((0.0..=100.0).contains(&node.health.score));
+            assert!(node.health.samples > 0, "every receiver got packets");
+        }
+        // A well-provisioned lossless run is healthy on average.
+        let mean: f64 =
+            sampled.nodes.iter().map(|n| n.health.score).sum::<f64>() / sampled.nodes.len() as f64;
+        assert!(mean > 60.0, "mean health {mean}");
+        // Stopping the simulator at sample boundaries must not perturb the
+        // simulation itself: per-node results match the unsampled run.
+        let ratios = |r: &ExperimentResult| -> Vec<f64> {
+            r.nodes.iter().map(|n| n.metrics.delivery_ratio()).collect()
+        };
+        assert_eq!(ratios(&plain), ratios(&sampled));
+        let scores =
+            |r: &ExperimentResult| -> Vec<f64> { r.nodes.iter().map(|n| n.health.score).collect() };
+        assert_eq!(scores(&plain), scores(&sampled));
     }
 
     #[test]

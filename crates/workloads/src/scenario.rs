@@ -302,6 +302,11 @@ pub struct Scenario {
     /// flat simulator). Bit-identical results either way; sharding is an
     /// execution-speed knob for large populations.
     pub sharding: ShardingChoice,
+    /// When set, the runner samples every live receiver's health score at
+    /// this interval and folds the samples into a bounded-memory
+    /// [`BucketSeries`](heap_analytics::BucketSeries) on the result
+    /// (`None`, the default, skips sampling entirely).
+    pub health_series: Option<SimDuration>,
 }
 
 impl Scenario {
@@ -328,6 +333,7 @@ impl Scenario {
             straggler_fraction: 0.06,
             upload_queue_limit: Some(SimDuration::from_secs(4)),
             sharding: ShardingChoice::Single,
+            health_series: None,
         }
     }
 
@@ -376,6 +382,12 @@ impl Scenario {
     /// Sets the simulator engine (sharding) configuration.
     pub fn with_sharding(mut self, sharding: ShardingChoice) -> Self {
         self.sharding = sharding;
+        self
+    }
+
+    /// Enables periodic health-score sampling with the given bucket width.
+    pub fn with_health_series(mut self, bucket: SimDuration) -> Self {
+        self.health_series = Some(bucket);
         self
     }
 

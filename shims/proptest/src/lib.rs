@@ -48,6 +48,23 @@ pub mod strategy {
             rng.gen_range(self.clone())
         }
     }
+
+    // Tuples of strategies generate tuples of values, as in real proptest
+    // (enough arities for the workspace's composite draws).
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 }
 
 pub mod arbitrary {
