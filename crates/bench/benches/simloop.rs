@@ -21,7 +21,7 @@ fn bench_simloop(c: &mut Criterion) {
         // The event count is identical across cores (asserted in the lib
         // tests); measure it once for the throughput denominator.
         let mut probe = simloop::build_sim(n, 7, ttl, Core::Flat);
-        let events = probe.run_to_completion();
+        let events = probe.run_to_completion().expect("contract holds");
         group.throughput(Throughput::Elements(events));
         // Construction is untimed (batched setup), matching bench-json's
         // `simloop::measure`, so both report the same events/s quantity.
@@ -29,7 +29,7 @@ fn bench_simloop(c: &mut Criterion) {
             group.bench_function(&format!("{}_{n}_nodes", core.label()), |b| {
                 b.iter_batched_ref(
                     || simloop::build_sim(n, 7, ttl, core),
-                    |sim| sim.run_to_completion(),
+                    |sim| sim.run_to_completion().expect("contract holds"),
                     BatchSize::LargeInput,
                 );
             });
@@ -64,19 +64,19 @@ fn bench_simloop_sharded(c: &mut Criterion) {
     for &n in &[1000usize, 5000] {
         let ttl = simloop::ttl_for(n, TARGET_EVENTS);
         let mut probe = simloop::build_sim(n, 7, ttl, Core::Flat);
-        let events = probe.run_to_completion();
+        let events = probe.run_to_completion().expect("contract holds");
         group.throughput(Throughput::Elements(events));
         for &shards in &shard_counts() {
             let mut probe = simloop::build_sim_sharded(n, 7, ttl, shards);
             assert_eq!(
-                probe.run_to_completion(),
+                probe.run_to_completion().expect("contract holds"),
                 events,
                 "sharded core must process the identical event stream"
             );
             group.bench_function(&format!("sharded_{shards}_seq_{n}_nodes"), |b| {
                 b.iter_batched_ref(
                     || simloop::build_sim_sharded(n, 7, ttl, shards),
-                    |sim| sim.run_to_completion(),
+                    |sim| sim.run_to_completion().expect("contract holds"),
                     BatchSize::LargeInput,
                 );
             });
@@ -89,7 +89,7 @@ fn bench_simloop_sharded(c: &mut Criterion) {
                 group.bench_function(&format!("sharded_{shards}_threaded_{n}_nodes"), |b| {
                     b.iter_batched_ref(
                         || simloop::build_sim_sharded(n, 7, ttl, shards),
-                        |sim| sim.run_to_completion_threaded(),
+                        |sim| sim.run_to_completion_threaded().expect("contract holds"),
                         BatchSize::LargeInput,
                     );
                 });

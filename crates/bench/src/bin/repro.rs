@@ -1,13 +1,14 @@
 //! `repro` — regenerates every figure and table of the HEAP paper.
 //!
 //! ```text
-//! Usage: repro [--scale test|default|paper] [--seed N] [--metrics-out PATH]
-//!              [EXPERIMENT ...]
+//! Usage: repro [--scale test|default|paper] [--seed N] [--smoke]
+//!              [--metrics-out PATH] [EXPERIMENT ...]
 //!
 //! EXPERIMENT is one or more of:
 //!   table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3
-//!   partialview health
-//! or `all` (the default).
+//!   partialview health adversarial
+//! or `all` (the default). `--smoke` shrinks whatever scale is selected to a
+//! fast CI smoke configuration (24 nodes, 2 windows).
 //! ```
 //!
 //! Output is plain text: one block per figure with its tables and/or
@@ -21,10 +22,10 @@
 
 use heap_bench::parse_scale;
 use heap_workloads::experiments::{
-    fig10_churn, fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1, fig4_bandwidth_usage,
-    fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf, partial_view,
-    stream_health, table1_distributions, table2_jittered_delivery, table3_jitter_free_nodes,
-    Figure, StandardRuns,
+    adversarial, fig10_churn, fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1,
+    fig4_bandwidth_usage, fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf,
+    partial_view, stream_health, table1_distributions, table2_jittered_delivery,
+    table3_jitter_free_nodes, Figure, StandardRuns,
 };
 use heap_workloads::Scale;
 use std::collections::BTreeSet;
@@ -46,15 +47,23 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "table3",
     "partialview",
     "health",
+    "adversarial",
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale test|default|paper] [--seed N] [--metrics-out PATH] \
-         [EXPERIMENT ...]\n\
+        "usage: repro [--scale test|default|paper] [--seed N] [--smoke] \
+         [--metrics-out PATH] [EXPERIMENT ...]\n\
          experiments: {} or 'all'",
         ALL_EXPERIMENTS.join(" ")
     );
+    std::process::exit(2);
+}
+
+/// Reports a command-line error on stderr and exits with status 2.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("run 'repro --help' for usage");
     std::process::exit(2);
 }
 
@@ -62,22 +71,39 @@ fn main() {
     let mut scale = Scale::default_scale();
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut metrics_out: Option<String> = None;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                let value = args.next().unwrap_or_else(|| usage());
-                let parsed = parse_scale(&value).unwrap_or_else(|| usage());
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| fail("--scale requires a value (test|default|paper)"));
+                let parsed = parse_scale(&value).unwrap_or_else(|| {
+                    fail(format!(
+                        "invalid --scale '{value}': expected test, default or paper"
+                    ))
+                });
                 scale = parsed.with_seed(scale.seed);
             }
             "--seed" => {
-                let value = args.next().unwrap_or_else(|| usage());
-                let seed: u64 = value.parse().unwrap_or_else(|_| usage());
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| fail("--seed requires a value"));
+                let seed: u64 = value.parse().unwrap_or_else(|_| {
+                    fail(format!(
+                        "invalid --seed '{value}': expected an unsigned integer"
+                    ))
+                });
                 scale = scale.with_seed(seed);
             }
             "--metrics-out" => {
-                metrics_out = Some(args.next().unwrap_or_else(|| usage()));
+                metrics_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--metrics-out requires a path")),
+                );
             }
+            "--smoke" => smoke = true,
             "--help" | "-h" => usage(),
             "all" => {
                 wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
@@ -86,11 +112,18 @@ fn main() {
                 if ALL_EXPERIMENTS.contains(&other) {
                     wanted.insert(other.to_string());
                 } else {
-                    eprintln!("unknown experiment '{other}'");
-                    usage();
+                    fail(format!(
+                        "unknown experiment '{other}' (expected one of: {} or 'all')",
+                        ALL_EXPERIMENTS.join(" ")
+                    ));
                 }
             }
         }
+    }
+    if smoke {
+        // A fast CI configuration: whatever scale was selected, shrink the
+        // population and the stream while keeping the chosen seed.
+        scale = scale.with_nodes(24).with_windows(2);
     }
     if wanted.is_empty() {
         wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
@@ -164,6 +197,7 @@ fn main() {
             ),
             "fig10" => emit("fig10", fig10_churn::run(scale)),
             "health" => emit("health", stream_health::run(scale)),
+            "adversarial" => emit("adversarial", adversarial::run(scale)),
             "partialview" => {
                 emit("partialview", partial_view::run(scale));
                 emit("partialview-churn", partial_view::run_continuous(scale));

@@ -225,7 +225,7 @@ pub fn measure(n: usize, seed: u64, target_events: u64, core: Core) -> (u64, f64
     let ttl = ttl_for(n, target_events);
     let mut sim = build_sim(n, seed, ttl, core);
     let start = Instant::now();
-    let processed = sim.run_to_completion();
+    let processed = sim.run_to_completion().expect("contract holds");
     (processed, start.elapsed().as_secs_f64())
 }
 
@@ -256,9 +256,9 @@ pub fn measure_sharded(
     let mut sim = build_sim_sharded(n, seed, ttl, shards);
     let start = Instant::now();
     let processed = if threaded {
-        sim.run_to_completion_threaded()
+        sim.run_to_completion_threaded().expect("contract holds")
     } else {
-        sim.run_to_completion()
+        sim.run_to_completion().expect("contract holds")
     };
     (processed, start.elapsed().as_secs_f64())
 }

@@ -81,7 +81,7 @@ pub mod node;
 pub mod retransmit;
 
 pub use aggregation::{CapabilityAggregator, CapabilitySample};
-pub use config::{GossipConfig, PartialMembershipConfig};
+pub use config::{GossipConfig, PartialMembershipConfig, SourceAdaptation};
 pub use engine::DisseminationEngine;
 pub use fanout::FanoutPolicy;
 pub use message::GossipMessage;

@@ -113,6 +113,11 @@ pub struct ProtocolStats {
     ///
     /// [Shuffle]: GossipMessage::Shuffle
     pub shuffles_received: u64,
+    /// Publication ticks on which the source widened its proposal fanout
+    /// because retransmit pressure crossed the adaptation threshold
+    /// ([`GossipConfig::source_adaptation`]); always 0 for receivers and for
+    /// sources without the knob.
+    pub adaptation_boosts: u64,
 }
 
 impl ProtocolStats {
@@ -138,6 +143,7 @@ pub struct GossipNodeBuilder {
     role: Role,
     partial: Option<PartialMembershipConfig>,
     join_at: Option<SimTime>,
+    serve_fraction: f64,
 }
 
 impl GossipNodeBuilder {
@@ -164,6 +170,24 @@ impl GossipNodeBuilder {
     /// Sets the node's role (default: [`Role::Receiver`]).
     pub fn role(mut self, role: Role) -> Self {
         self.role = role;
+        self
+    }
+
+    /// Makes the node a *free-rider*: it answers only the given fraction of
+    /// the packet ids requested from it, silently ignoring the rest — while
+    /// still advertising whatever [`capability`](Self::capability) says. The
+    /// combination of an inflated advertised capability and a small serve
+    /// fraction is the adversary HEAP's capability-proportional fanout is
+    /// most exposed to: honest nodes route extra first-hand proposals to a
+    /// peer that then under-serves the follow-up requests. The default of
+    /// `1.0` serves everything and changes no behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`build`](Self::build)) if the fraction is not within
+    /// `[0, 1]`.
+    pub fn serve_fraction(mut self, fraction: f64) -> Self {
+        self.serve_fraction = fraction;
         self
     }
 
@@ -196,6 +220,11 @@ impl GossipNodeBuilder {
         if let Err(e) = self.config.validate() {
             panic!("invalid gossip configuration: {e}");
         }
+        assert!(
+            (0.0..=1.0).contains(&self.serve_fraction),
+            "serve fraction must be in [0,1], got {}",
+            self.serve_fraction
+        );
         let partial = self.partial.map(|config| {
             if let Err(e) = config.validate() {
                 panic!("invalid partial membership configuration: {e}");
@@ -222,6 +251,8 @@ impl GossipNodeBuilder {
             stats: ProtocolStats::default(),
             config: self.config,
             next_source_seq: 0,
+            serve_fraction: self.serve_fraction,
+            adaptation_requests_seen: 0,
             join_at: self.join_at,
             joined: self.join_at.is_none(),
             served_recent: std::collections::HashSet::new(),
@@ -257,6 +288,12 @@ pub struct GossipNode {
     retransmit: RetransmitTracker,
     stats: ProtocolStats,
     next_source_seq: u64,
+    /// Fraction of requested packet ids the node actually serves (1.0 =
+    /// honest; below = free-rider, see [`GossipNodeBuilder::serve_fraction`]).
+    serve_fraction: f64,
+    /// Requests-received watermark at the previous publication tick, used by
+    /// the source-adaptation knob to measure per-tick retransmit pressure.
+    adaptation_requests_seen: u64,
     /// The deferred join instant of a standby node (`None` = present from
     /// the start).
     join_at: Option<SimTime>,
@@ -285,6 +322,7 @@ impl GossipNode {
             capability: Bandwidth::from_mbps(100),
             role: Role::Receiver,
             partial: None,
+            serve_fraction: 1.0,
         }
     }
 
@@ -519,6 +557,25 @@ impl GossipNode {
             let published = self.engine.publish(&packet, ctx.now());
             // Algorithm 1 line 5: fresh ids are gossiped immediately.
             self.gossip_ids(ctx, vec![published]);
+            // Graceful degradation: when retransmit pressure reached the
+            // source since the previous tick, widen this packet's first
+            // dissemination wave with extra proposal targets. Gated on the
+            // knob so the default configuration draws nothing extra.
+            if let Some(adaptation) = self.config.source_adaptation {
+                let pressure = self.stats.requests_received - self.adaptation_requests_seen;
+                self.adaptation_requests_seen = self.stats.requests_received;
+                if pressure >= adaptation.request_threshold {
+                    self.stats.adaptation_boosts += 1;
+                    let targets = self.select_targets(adaptation.fanout_boost, ctx.rng());
+                    for target in targets {
+                        ctx.send(
+                            target,
+                            GossipMessage::propose(vec![published], &self.config),
+                        );
+                        self.stats.proposals_sent += 1;
+                    }
+                }
+            }
             self.next_source_seq += 1;
             if let Some(next_time) = schedule.publish_time(PacketId::new(self.next_source_seq)) {
                 self.arm_source_timer(ctx, next_time);
@@ -671,10 +728,17 @@ impl GossipNode {
                 // Drop ids we already served to this requester very recently: a
                 // re-request whose answer is still queued must not double the
                 // payload traffic (see `GossipConfig::serve_dedup_window`).
-                let fresh_ids: Vec<_> = ids
+                let mut fresh_ids: Vec<_> = ids
                     .into_iter()
                     .filter(|id| !self.recently_served(from, *id, ctx.now()))
                     .collect();
+                // A free-rider quietly drops part of the request before it
+                // reaches the engine, so its serve counters reflect what it
+                // actually shipped (see `GossipNodeBuilder::serve_fraction`).
+                if self.serve_fraction < 1.0 {
+                    let keep = (fresh_ids.len() as f64 * self.serve_fraction).floor() as usize;
+                    fresh_ids.truncate(keep);
+                }
                 let served = self.engine.handle_request(&fresh_ids);
                 if !served.is_empty() {
                     for packet in &served {
@@ -1032,6 +1096,154 @@ mod tests {
                 assert!((node.stats().average_fanout() - 5.0).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn free_riders_underserve_requests() {
+        // Nodes 1..=5 are free-riders that advertise a rich capability but
+        // serve only 30% of the ids requested from them; everyone else is
+        // honest. The free-riders must end up serving disproportionately few
+        // packets relative to their requests, and the honest majority still
+        // carries the stream.
+        let n = 25;
+        let sched = schedule(2);
+        let mut sim = SimulatorBuilder::new(n, 6)
+            .latency(LatencyModel::uniform(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(60),
+            ))
+            .build(|id| {
+                let mut b = GossipNode::builder(id, n, sched)
+                    .config(GossipConfig::paper().with_fanout(5.0))
+                    .fanout(FanoutPolicy::fixed(5.0))
+                    .role(if id.index() == 0 {
+                        Role::Source
+                    } else {
+                        Role::Receiver
+                    });
+                if (1..=5).contains(&id.index()) {
+                    b = b.serve_fraction(0.3);
+                }
+                b.build()
+            });
+        sim.run_until(SimTime::from_secs(20));
+        let mut rider_ratio = 0.0;
+        let mut honest_ratio = 0.0;
+        let mut honest_count = 0.0;
+        for (id, node) in sim.iter_nodes() {
+            let s = node.stats();
+            if s.requests_received == 0 {
+                continue;
+            }
+            let served_per_request = s.packets_served as f64 / s.requests_received as f64;
+            if (1..=5).contains(&id.index()) {
+                rider_ratio += served_per_request / 5.0;
+            } else {
+                honest_ratio += served_per_request;
+                honest_count += 1.0;
+            }
+        }
+        honest_ratio /= honest_count;
+        assert!(
+            rider_ratio < 0.6 * honest_ratio,
+            "free-riders served {rider_ratio:.2} per request vs honest {honest_ratio:.2}"
+        );
+        // Retransmission re-routes around the riders: the honest majority
+        // still receives most of the stream (degraded — that is the attack —
+        // but nowhere near collapsed).
+        let honest_delivery: f64 = sim
+            .iter_nodes()
+            .filter(|(id, _)| id.index() > 5)
+            .map(|(_, node)| node.receiver_log().delivery_ratio())
+            .sum::<f64>()
+            / (n - 6) as f64;
+        assert!(
+            honest_delivery > 0.8,
+            "honest delivery under free-riding was {honest_delivery}"
+        );
+    }
+
+    #[test]
+    fn serve_fraction_of_one_is_byte_identical_to_default() {
+        let fingerprint = |explicit: bool| {
+            let n = 15;
+            let sched = schedule(1);
+            let mut sim = SimulatorBuilder::new(n, 3)
+                .latency(LatencyModel::constant(SimDuration::from_millis(20)))
+                .loss(LossModel::bernoulli(0.05))
+                .build(|id| {
+                    let mut b = GossipNode::builder(id, n, sched)
+                        .config(GossipConfig::paper().with_fanout(5.0))
+                        .role(if id.index() == 0 {
+                            Role::Source
+                        } else {
+                            Role::Receiver
+                        });
+                    if explicit {
+                        b = b.serve_fraction(1.0);
+                    }
+                    b.build()
+                });
+            sim.run_until(SimTime::from_secs(15));
+            sim.iter_nodes()
+                .map(|(_, node)| (node.stats(), node.receiver_log().received_count()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(false), fingerprint(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "serve fraction")]
+    fn builder_rejects_out_of_range_serve_fraction() {
+        let _ = GossipNode::builder(NodeId::new(0), 5, schedule(1))
+            .serve_fraction(1.5)
+            .build();
+    }
+
+    #[test]
+    fn source_adaptation_boosts_fanout_under_retransmit_pressure() {
+        use crate::config::SourceAdaptation;
+        // Heavy loss generates retransmitted requests back to the source
+        // (fanout covers the whole tiny population, so the source fields
+        // requests directly). With a threshold of 1 request per tick the
+        // source must engage its boost; without the knob it must not.
+        let run = |adapt: Option<SourceAdaptation>| {
+            let n = 8;
+            let sched = schedule(2);
+            let mut sim = SimulatorBuilder::new(n, 9)
+                .latency(LatencyModel::constant(SimDuration::from_millis(15)))
+                .loss(LossModel::bernoulli(0.25))
+                .build(|id| {
+                    let mut cfg = GossipConfig::paper().with_fanout(7.0);
+                    cfg.source_adaptation = adapt;
+                    GossipNode::builder(id, n, sched)
+                        .config(cfg)
+                        .role(if id.index() == 0 {
+                            Role::Source
+                        } else {
+                            Role::Receiver
+                        })
+                        .build()
+                });
+            sim.run_until(SimTime::from_secs(25));
+            sim.node(NodeId::new(0)).stats()
+        };
+        let plain = run(None);
+        assert_eq!(plain.adaptation_boosts, 0);
+        let adapted = run(Some(SourceAdaptation {
+            request_threshold: 1,
+            fanout_boost: 3,
+        }));
+        assert!(
+            adapted.adaptation_boosts > 0,
+            "25% loss must trip a 1-request threshold at least once"
+        );
+        assert!(
+            adapted.proposals_sent > plain.proposals_sent,
+            "boost ticks must widen the proposal wave ({} vs {})",
+            adapted.proposals_sent,
+            plain.proposals_sent
+        );
     }
 
     #[test]

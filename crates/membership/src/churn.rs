@@ -5,11 +5,31 @@
 //! chosen uniformly at random (so the capability-supply ratio is preserved),
 //! and surviving nodes learn about each failure ~10 s later on average.
 
+use heap_simnet::event::BUCKET_WIDTH_MICROS;
 use heap_simnet::node::NodeId;
 use heap_simnet::time::{SimDuration, SimTime};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Moves a join instant off an exact calendar-bucket boundary.
+///
+/// A standby joiner fires its `TAG_JOIN` timer at its scheduled instant and
+/// only then draws its periodic-timer phases, flooring them to one calendar
+/// bucket so the sharded engine's determinism contract holds. A join that
+/// lands *exactly* on a bucket boundary leaves no slack for that floor: the
+/// floored phase lands exactly on the next boundary, where any later
+/// rounding (or an engine with a different cutoff convention) degenerates it
+/// into a zero-delay phase inside a completed bucket. Nudging the join one
+/// microsecond into the bucket costs nothing at simulation resolution and
+/// keeps every join strictly interior, under every engine identically.
+fn nudge_off_bucket_boundary(at: SimTime) -> SimTime {
+    if at.as_micros().is_multiple_of(BUCKET_WIDTH_MICROS) {
+        at + SimDuration::from_micros(1)
+    } else {
+        at
+    }
+}
 
 /// A single scheduled crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -208,7 +228,10 @@ impl ChurnSchedule {
                 if !standby.is_empty() {
                     let idx = rng.gen_range(0..standby.len());
                     let node = standby.swap_remove(idx);
-                    joins.push(JoinEvent { at, node });
+                    joins.push(JoinEvent {
+                        at: nudge_off_bucket_boundary(at),
+                        node,
+                    });
                     active.push(node);
                 }
                 next_join = exp(rng, joins_per_min).map(|d| at + d);
@@ -229,6 +252,57 @@ impl ChurnSchedule {
             standby: all_standby,
             joins,
             schedule: ChurnSchedule::from_events(leaves),
+        }
+    }
+
+    /// Builds a *flash crowd*: `fraction` of the `n` nodes (never those in
+    /// `exclude`) start on standby and all join in one burst, each at a
+    /// uniformly drawn instant within `[at, at + spread]` — the adversarial
+    /// counterpart of [`ChurnSchedule::continuous`]'s gentle Poisson arrivals,
+    /// modelling an audience stampeding into a stream at a popular moment.
+    /// Nobody leaves; join instants are nudged off exact calendar-bucket
+    /// boundaries like every other join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1)`.
+    pub fn flash_crowd<R: Rng + ?Sized>(
+        n: usize,
+        fraction: f64,
+        at: SimTime,
+        spread: SimDuration,
+        exclude: &[u32],
+        rng: &mut R,
+    ) -> ContinuousChurn {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "flash-crowd fraction must be in [0,1), got {fraction}"
+        );
+        let mut candidates: Vec<NodeId> = (0..n as u32)
+            .filter(|i| !exclude.contains(i))
+            .map(NodeId::new)
+            .collect();
+        candidates.shuffle(rng);
+        let count = ((n as f64) * fraction).round() as usize;
+        let count = count.min(candidates.len());
+        let mut joins: Vec<JoinEvent> = candidates
+            .into_iter()
+            .take(count)
+            .map(|node| {
+                let offset = SimDuration::from_micros(rng.gen_range(0..=spread.as_micros()));
+                JoinEvent {
+                    at: nudge_off_bucket_boundary(at + offset),
+                    node,
+                }
+            })
+            .collect();
+        joins.sort_by_key(|j| (j.at, j.node));
+        let mut standby: Vec<NodeId> = joins.iter().map(|j| j.node).collect();
+        standby.sort();
+        ContinuousChurn {
+            standby,
+            joins,
+            schedule: ChurnSchedule::none(),
         }
     }
 
@@ -421,6 +495,75 @@ mod tests {
             &[],
             &mut rng(),
         );
+    }
+
+    #[test]
+    fn joins_are_nudged_off_exact_bucket_boundaries() {
+        // The helper itself: boundary instants move one microsecond in,
+        // interior instants are untouched.
+        let boundary = SimTime::from_micros(7 * BUCKET_WIDTH_MICROS);
+        assert_eq!(
+            nudge_off_bucket_boundary(boundary),
+            boundary + SimDuration::from_micros(1)
+        );
+        assert_eq!(
+            nudge_off_bucket_boundary(SimTime::ZERO),
+            SimTime::from_micros(1)
+        );
+        let interior = SimTime::from_micros(7 * BUCKET_WIDTH_MICROS + 500);
+        assert_eq!(nudge_off_bucket_boundary(interior), interior);
+        // And the generators honour it: no produced join sits on a boundary.
+        let window = (SimTime::from_secs(10), SimTime::from_secs(190));
+        let plan = ChurnSchedule::continuous(200, 0.3, 60.0, 10.0, window, &[0], &mut rng());
+        let crowd = ChurnSchedule::flash_crowd(
+            200,
+            0.3,
+            // A burst start aligned to a bucket boundary with zero spread
+            // would put every join exactly on the boundary without the nudge.
+            SimTime::from_micros(64 * BUCKET_WIDTH_MICROS),
+            SimDuration::ZERO,
+            &[0],
+            &mut rng(),
+        );
+        for j in plan.joins.iter().chain(&crowd.joins) {
+            assert_ne!(
+                j.at.as_micros() % BUCKET_WIDTH_MICROS,
+                0,
+                "join of {} lands exactly on a bucket boundary",
+                j.node
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_joins_everyone_in_the_burst_window() {
+        let at = SimTime::from_secs(60);
+        let spread = SimDuration::from_secs(5);
+        let crowd = ChurnSchedule::flash_crowd(100, 0.4, at, spread, &[0], &mut rng());
+        assert_eq!(crowd.standby.len(), 40);
+        assert_eq!(crowd.joins.len(), 40, "every standby node joins");
+        assert!(crowd.schedule.is_empty(), "a flash crowd never leaves");
+        assert!(crowd.standby.iter().all(|n| n.index() != 0));
+        for j in &crowd.joins {
+            assert!(j.at >= at && j.at <= at + spread + SimDuration::from_micros(1));
+            assert_eq!(crowd.join_time(j.node), Some(j.at));
+        }
+        // Joins are sorted and unique.
+        let mut nodes: Vec<NodeId> = crowd.joins.iter().map(|j| j.node).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 40);
+        assert!(crowd.joins.windows(2).all(|w| w[0].at <= w[1].at));
+        // Determinism: same seed, same plan.
+        let again = ChurnSchedule::flash_crowd(100, 0.4, at, spread, &[0], &mut rng());
+        assert_eq!(crowd.joins, again.joins);
+    }
+
+    #[test]
+    #[should_panic(expected = "flash-crowd fraction")]
+    fn flash_crowd_rejects_full_fraction() {
+        let _ =
+            ChurnSchedule::flash_crowd(10, 1.0, SimTime::ZERO, SimDuration::ZERO, &[], &mut rng());
     }
 
     #[test]

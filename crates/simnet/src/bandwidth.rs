@@ -229,13 +229,49 @@ impl UploadQueue {
         Some(self.enqueue(now, bytes))
     }
 
+    /// [`UploadQueue::enqueue_if_accepted`] with the capacity scaled by
+    /// `scale` for this one message — the hook the simulator's diurnal
+    /// bandwidth cycling ([`crate::fault::FaultPlan::diurnal`]) uses. The
+    /// backlog-limit check and all counters behave exactly as for the
+    /// unscaled path, only the effective transmission rate changes (clamped
+    /// to at least 1 bps so a tiny factor never divides by zero). Unlimited
+    /// queues are unaffected by scaling.
+    #[inline]
+    pub fn enqueue_if_accepted_scaled(
+        &mut self,
+        now: SimTime,
+        bytes: usize,
+        scale: f64,
+    ) -> Option<SimTime> {
+        let capacity = match self.capacity {
+            UploadCapacity::Unlimited => UploadCapacity::Unlimited,
+            UploadCapacity::Limited(bw) => UploadCapacity::Limited(Bandwidth::from_bps(
+                ((bw.as_bps() as f64) * scale).max(1.0) as u64,
+            )),
+        };
+        if let (UploadCapacity::Limited(_), Some(limit)) = (capacity, self.max_backlog) {
+            if self.queueing_delay(now) > limit {
+                return None;
+            }
+        }
+        Some(self.enqueue_at(now, bytes, capacity))
+    }
+
     /// Enqueues a message of `bytes` bytes at `now` and returns the instant
     /// its last byte leaves the node.
     #[inline]
     pub fn enqueue(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let capacity = self.capacity;
+        self.enqueue_at(now, bytes, capacity)
+    }
+
+    /// The enqueue body with the effective capacity as a parameter, shared by
+    /// the nominal and diurnal-scaled paths.
+    #[inline]
+    fn enqueue_at(&mut self, now: SimTime, bytes: usize, capacity: UploadCapacity) -> SimTime {
         self.bytes_enqueued += bytes as u64;
         self.messages_enqueued += 1;
-        match self.capacity {
+        match capacity {
             UploadCapacity::Unlimited => {
                 // No serialisation delay and no queueing.
                 now
@@ -400,6 +436,40 @@ mod tests {
         assert_eq!(q.mean_delay(), SimDuration::from_millis(1500));
         let empty = UploadQueue::unlimited();
         assert_eq!(empty.mean_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaled_enqueue_changes_only_the_effective_rate() {
+        // 8 kbps nominal; a 0.5 factor behaves exactly like a 4 kbps link
+        // for this one message, then the nominal rate applies again.
+        let mut q = UploadQueue::limited(Bandwidth::from_kbps(8));
+        let d1 = q
+            .enqueue_if_accepted_scaled(SimTime::ZERO, 500, 0.5)
+            .unwrap();
+        assert_eq!(d1, SimTime::from_millis(1000)); // 500 B at 4 kbps
+        let d2 = q.enqueue_if_accepted(SimTime::ZERO, 500).unwrap();
+        assert_eq!(d2, SimTime::from_millis(1500)); // queued, then 8 kbps
+        assert_eq!(q.messages_enqueued(), 2);
+        // A scale of 1.0 is the identity.
+        let mut nominal = UploadQueue::limited(Bandwidth::from_kbps(8));
+        assert_eq!(
+            nominal.enqueue_if_accepted_scaled(SimTime::ZERO, 500, 1.0),
+            Some(SimTime::from_millis(500))
+        );
+        // Unlimited queues ignore scaling entirely.
+        let mut unlimited = UploadQueue::unlimited();
+        assert_eq!(
+            unlimited.enqueue_if_accepted_scaled(SimTime::from_secs(2), 1000, 0.01),
+            Some(SimTime::from_secs(2))
+        );
+        // The backlog limit applies to the scaled capacity path too.
+        let mut bounded = UploadQueue::limited(Bandwidth::from_kbps(8));
+        bounded.set_max_backlog(Some(SimDuration::from_millis(500)));
+        bounded.enqueue(SimTime::ZERO, 1000); // 1 s of work pending
+        assert_eq!(
+            bounded.enqueue_if_accepted_scaled(SimTime::ZERO, 100, 0.5),
+            None
+        );
     }
 
     #[test]

@@ -100,6 +100,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod fault;
 pub mod latency;
 pub mod loss;
 pub mod node;
@@ -111,10 +112,11 @@ pub mod time;
 
 pub use bandwidth::{Bandwidth, UploadQueue};
 pub use event::{BinaryHeapQueue, EventQueue, Pr3CalendarQueue, ScheduledEvent};
+pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use node::NodeId;
-pub use shard::ShardPolicy;
+pub use shard::{ContractViolation, ShardPolicy};
 pub use sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
 pub use stats::{NetStats, NodeStats, ReferenceNetStats};
 pub use time::{SimDuration, SimTime};
@@ -122,10 +124,11 @@ pub use time::{SimDuration, SimTime};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::bandwidth::Bandwidth;
+    pub use crate::fault::FaultPlan;
     pub use crate::latency::LatencyModel;
     pub use crate::loss::LossModel;
     pub use crate::node::NodeId;
-    pub use crate::shard::ShardPolicy;
+    pub use crate::shard::{ContractViolation, ShardPolicy};
     pub use crate::sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -42,9 +42,13 @@
 //! * **link latency** — asserted at build time: the latency model's minimum
 //!   delay must span at least one calendar bucket;
 //! * **timer delays** — checked at every exchange: a timer armed with a
-//!   sub-bucket delay is counted as a violation and the run panics at its
-//!   end (the flat core would have fired it inside the already-completed
-//!   bucket region).
+//!   sub-bucket delay is counted as a violation (the flat core would have
+//!   fired it inside the already-completed bucket region), the run stops
+//!   stepping at that exchange, and the breach is surfaced as a structured
+//!   [`ContractViolation`] through
+//!   [`Simulator::run_to_completion`](crate::sim::Simulator::run_to_completion)
+//!   and
+//!   [`Simulator::contract_violation`](crate::sim::Simulator::contract_violation).
 //!
 //! `on_start` callbacks are exempt: they run before any event exists, so
 //! their commands (including sub-bucket random timer phases) are exchanged
@@ -68,8 +72,9 @@
 
 use crate::bandwidth::{UploadCapacity, UploadQueue};
 use crate::event::{EventQueue, BUCKET_WIDTH_MICROS};
+use crate::fault::FaultPlan;
 use crate::latency::LatencySampler;
-use crate::loss::{LossModel, LossState};
+use crate::loss::LossSampler;
 use crate::node::NodeId;
 use crate::rng::stream_rng;
 use crate::sim::{Context, EventKind, Protocol, SimulatorBuilder, TimerId, TimerTable, WireSize};
@@ -78,8 +83,40 @@ use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use std::fmt;
 use std::ops::DerefMut;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
+
+/// A breach of the sharded determinism contract observed during a run: one
+/// or more commands scheduled events inside an already-completed calendar
+/// bucket (a timer delay shorter than one bucket of
+/// [`BUCKET_WIDTH_MICROS`] µs), which the flat core would have interleaved
+/// into the region the shards had already processed.
+///
+/// A sharded run that breaches the contract stops stepping at the breaching
+/// exchange and latches the violation
+/// ([`Simulator::contract_violation`](crate::sim::Simulator::contract_violation));
+/// [`Simulator::run_to_completion`](crate::sim::Simulator::run_to_completion)
+/// surfaces it as this error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContractViolation {
+    /// Number of offending commands observed before the run stopped.
+    pub violations: u64,
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sharded determinism contract violated: {} command(s) scheduled events inside an \
+             already-completed calendar bucket (every link latency and timer delay must span at \
+             least one bucket of {BUCKET_WIDTH_MICROS} us so the bucket-boundary exchange stays \
+             conservative)",
+            self.violations
+        )
+    }
+}
+
+impl std::error::Error for ContractViolation {}
 
 /// How the node population is partitioned across shards.
 ///
@@ -120,13 +157,16 @@ impl fmt::Debug for ShardPolicy {
 }
 
 impl ShardPolicy {
-    /// Resolves the policy into one shard id per node.
-    pub(crate) fn assign(
-        &self,
-        n: usize,
-        shards: usize,
-        capacities: &[UploadCapacity],
-    ) -> Vec<u32> {
+    /// Resolves the policy into one group id per node (`n` entries, each
+    /// `< shards`).
+    ///
+    /// Public because the grouping is useful beyond sharding itself: the
+    /// fault-injection layer derives *region* groups for
+    /// [`FaultPlan`] partitions and correlated
+    /// crashes from the same policies, independently of how many shards the
+    /// simulation actually runs on (so a faulted run stays bit-identical
+    /// across engine configurations).
+    pub fn assign(&self, n: usize, shards: usize, capacities: &[UploadCapacity]) -> Vec<u32> {
         assert!(shards >= 1, "need at least one shard");
         match self {
             ShardPolicy::RoundRobin => (0..n).map(|i| (i % shards) as u32).collect(),
@@ -343,6 +383,11 @@ pub(crate) struct ShardState<M> {
     pub(crate) outbox: Mailbox<M>,
     /// Global id → shard-local index (shared, read-only).
     pub(crate) local_of: Arc<Vec<u32>>,
+    /// The fault-injection schedule (read-only; each shard holds a clone so
+    /// the threaded mode needs no sharing protocol). Only the diurnal cycle
+    /// is consulted shard-side — at the enqueue instant, which both engines
+    /// evaluate at the same trigger time.
+    pub(crate) fault: FaultPlan,
 }
 
 impl<M: WireSize> ShardState<M> {
@@ -364,7 +409,11 @@ impl<M: WireSize> ShardState<M> {
         let now = self.now;
         let lid = NodeId::new(local);
         let upload = &mut self.uploads[local as usize];
-        let Some(departure) = upload.enqueue_if_accepted(now, bytes) else {
+        let departure = match self.fault.bandwidth_scale(now) {
+            None => upload.enqueue_if_accepted(now, bytes),
+            Some(scale) => upload.enqueue_if_accepted_scaled(now, bytes, scale),
+        };
+        let Some(departure) = departure else {
             // Finite send buffer: the message is dropped at the sender.
             self.stats.record_queue_drop(lid);
             return;
@@ -533,9 +582,11 @@ struct ExchangeState {
     /// The shared network RNG (loss and latency draws) — the same stream,
     /// consumed in the same order, as the flat core's `net_rng`.
     net_rng: SmallRng,
-    loss: LossModel,
-    loss_state: LossState,
+    loss: LossSampler,
     latency: LatencySampler,
+    /// The fault-injection schedule; the exchange performs the partition
+    /// check (a pure, draw-free predicate of the trigger time).
+    fault: FaultPlan,
     /// The global sequence stream: the flat core's queue counter, assigned
     /// at exchange points instead of push sites.
     next_seq: u64,
@@ -552,9 +603,10 @@ struct ExchangeState {
 /// A command scheduling an event at or before `cutoff` — inside the bucket
 /// region the shards just completed — is a determinism-contract violation:
 /// the flat core would have interleaved that event into the completed
-/// region. It is counted (and still applied) rather than panicking here, so
+/// region. It is counted (and still applied) rather than raised here, so
 /// the threaded mode's barrier protocol cannot deadlock on an unwinding
-/// coordinator; the run panics once the threads have joined.
+/// coordinator; the drivers stop stepping at the breaching exchange and the
+/// latched count becomes a [`ContractViolation`].
 fn run_exchange<M, I>(
     exch: &mut ExchangeState,
     plan: &ShardPlan,
@@ -568,16 +620,26 @@ fn run_exchange<M, I>(
     for entry in merged.drain(..) {
         match entry {
             OutEntry::Deliver {
+                key,
                 departure,
                 from,
                 to,
                 msg,
-                ..
             } => {
                 if exch
-                    .loss_state
-                    .is_lost(&exch.loss, &mut exch.net_rng, from, to)
+                    .fault
+                    .blocks(SimTime::from_micros(key.time_micros), from, to)
                 {
+                    // Severed by an active partition epoch at the instant
+                    // the flat core would have run this send: dropped like
+                    // a loss, consuming no randomness and no sequence
+                    // number.
+                    inboxes[plan.shard_of[from.index()] as usize]
+                        .losses
+                        .push(plan.local_of[from.index()]);
+                    continue;
+                }
+                if exch.loss.is_lost(&mut exch.net_rng, from, to) {
                     // Lost messages consume no sequence number (the flat
                     // core never pushes them).
                     inboxes[plan.shard_of[from.index()] as usize]
@@ -696,6 +758,7 @@ impl<P: Protocol> ShardedSim<P> {
                     alive: vec![true; local_n],
                     outbox: Mailbox::with_capacity(mailbox_capacity),
                     local_of: Arc::clone(&plan.local_of),
+                    fault: builder.fault.clone(),
                 },
             });
         }
@@ -709,9 +772,9 @@ impl<P: Protocol> ShardedSim<P> {
             plan,
             exchange: ExchangeState {
                 net_rng: stream_rng(builder.seed, 0),
-                loss: builder.loss,
-                loss_state: LossState::new(n),
+                loss: LossSampler::new(&builder.loss, n),
                 latency,
+                fault: builder.fault,
                 next_seq: 0,
                 violations: 0,
             },
@@ -722,6 +785,14 @@ impl<P: Protocol> ShardedSim<P> {
             n,
         };
         sim.start_all();
+        // Correlated crashes from the fault plan, scheduled at the same
+        // logical instant as the flat engine's (right after the start round)
+        // so both engines assign them identical global sequence numbers.
+        for epoch in sim.exchange.fault.crashes().to_vec() {
+            for node in epoch.nodes {
+                sim.schedule_crash(node, epoch.at);
+            }
+        }
         sim
     }
 
@@ -788,6 +859,12 @@ impl<P: Protocol> ShardedSim<P> {
                 processed += shard.run_bucket(cutoff);
             }
             self.collect_and_exchange(Some(cutoff));
+            if self.exchange.violations > 0 {
+                // Determinism contract breached: results can no longer match
+                // the flat core, so stop stepping and let the caller see the
+                // latched violation instead of compounding the divergence.
+                break;
+            }
         }
         processed
     }
@@ -818,6 +895,10 @@ impl<P: Protocol> ShardedSim<P> {
             .map(Mutex::new)
             .collect();
         let total = AtomicU64::new(0);
+        // Set by the coordinator when an exchange observes a contract
+        // violation; every thread reads it after the post-exchange barrier,
+        // so all threads break identically and no barrier deadlocks.
+        let violated = AtomicBool::new(false);
         let plan = &self.plan;
         let mut coordinator = Some((&mut self.exchange, &mut self.merged));
         std::thread::scope(|scope| {
@@ -828,6 +909,7 @@ impl<P: Protocol> ShardedSim<P> {
                 let outbox_slots = &outbox_slots[..];
                 let inbox_slots = &inbox_slots[..];
                 let total = &total;
+                let violated = &violated;
                 scope.spawn(move || {
                     let mut processed = 0u64;
                     loop {
@@ -862,6 +944,9 @@ impl<P: Protocol> ShardedSim<P> {
                                 .map(|m| m.lock().expect("inbox slot"))
                                 .collect();
                             run_exchange(exch, plan, merged, &mut guards, Some(cutoff));
+                            if exch.violations > 0 {
+                                violated.store(true, Ordering::SeqCst);
+                            }
                         }
                         barrier.wait();
                         // Reclaim the (empty, capacity-preserving) outbox
@@ -869,6 +954,11 @@ impl<P: Protocol> ShardedSim<P> {
                         shard.state.outbox.entries =
                             std::mem::take(&mut *outbox_slots[i].lock().expect("outbox slot"));
                         shard.apply_inbox(&mut inbox_slots[i].lock().expect("inbox slot"));
+                        if violated.load(Ordering::SeqCst) {
+                            // Contract breached: every thread sees the flag
+                            // after the same barrier and stops stepping.
+                            break;
+                        }
                     }
                     total.fetch_add(processed, Ordering::SeqCst);
                 });
@@ -881,34 +971,32 @@ impl<P: Protocol> ShardedSim<P> {
         total.into_inner()
     }
 
-    /// Post-run bookkeeping shared by both drivers: advance the clocks,
-    /// refresh the merged statistics, enforce the determinism contract.
+    /// Post-run bookkeeping shared by both drivers: advance the clocks and
+    /// refresh the merged statistics. Contract violations observed by the
+    /// exchanges stay latched in [`ExchangeState::violations`]; the run has
+    /// already stopped stepping at the breaching exchange, and the caller
+    /// surfaces the breach via [`ShardedSim::contract_violation`] (or the
+    /// `Err` of `run_to_completion`) instead of a panic.
     fn finish_run(&mut self, deadline: Option<SimTime>) {
         if let Some(last) = self.shards.iter().map(|s| s.state.now).max() {
             self.now = self.now.max(last);
         }
-        if let Some(d) = deadline {
-            // Advance the clocks to the deadline even if the queues drained
-            // early, so that subsequent scheduling is relative to the
-            // requested time (the flat core does the same).
-            if self.now < d {
-                self.now = d;
-            }
-            for shard in &mut self.shards {
-                if shard.state.now < d {
-                    shard.state.now = d;
+        if self.exchange.violations == 0 {
+            if let Some(d) = deadline {
+                // Advance the clocks to the deadline even if the queues
+                // drained early, so that subsequent scheduling is relative to
+                // the requested time (the flat core does the same).
+                if self.now < d {
+                    self.now = d;
+                }
+                for shard in &mut self.shards {
+                    if shard.state.now < d {
+                        shard.state.now = d;
+                    }
                 }
             }
         }
         self.refresh_stats();
-        assert!(
-            self.exchange.violations == 0,
-            "sharded determinism contract violated: {} command(s) scheduled events inside an \
-             already-completed calendar bucket (every link latency and timer delay must span at \
-             least one bucket of {BUCKET_WIDTH_MICROS} us so the bucket-boundary exchange stays \
-             conservative)",
-            self.exchange.violations
-        );
     }
 
     /// Rebuilds the merged network-wide statistics from the per-shard
@@ -935,10 +1023,13 @@ impl<P: Protocol> ShardedSim<P> {
         processed
     }
 
-    pub(crate) fn run_to_completion(&mut self) -> u64 {
+    pub(crate) fn run_to_completion(&mut self) -> Result<u64, ContractViolation> {
         let processed = self.run_sequential(None);
         self.finish_run(None);
-        processed
+        match self.contract_violation() {
+            Some(v) => Err(v),
+            None => Ok(processed),
+        }
     }
 
     pub(crate) fn run_until_threaded(&mut self, deadline: SimTime) -> u64
@@ -951,14 +1042,23 @@ impl<P: Protocol> ShardedSim<P> {
         processed
     }
 
-    pub(crate) fn run_to_completion_threaded(&mut self) -> u64
+    pub(crate) fn run_to_completion_threaded(&mut self) -> Result<u64, ContractViolation>
     where
         P: Send,
         P::Message: Send,
     {
         let processed = self.run_threaded(None);
         self.finish_run(None);
-        processed
+        match self.contract_violation() {
+            Some(v) => Err(v),
+            None => Ok(processed),
+        }
+    }
+
+    pub(crate) fn contract_violation(&self) -> Option<ContractViolation> {
+        (self.exchange.violations > 0).then_some(ContractViolation {
+            violations: self.exchange.violations,
+        })
     }
 
     pub(crate) fn now(&self) -> SimTime {

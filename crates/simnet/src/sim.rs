@@ -27,11 +27,12 @@
 
 use crate::bandwidth::{UploadCapacity, UploadQueue};
 use crate::event::{BinaryHeapQueue, EventQueue, Pr3CalendarQueue, ScheduledEvent};
+use crate::fault::FaultPlan;
 use crate::latency::{LatencyModel, LatencySampler};
-use crate::loss::{LossModel, LossState};
+use crate::loss::{LossModel, LossSampler, LossState};
 use crate::node::NodeId;
 use crate::rng::stream_rng;
-use crate::shard::ShardPolicy;
+use crate::shard::{ContractViolation, ShardPolicy};
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -449,6 +450,10 @@ struct Core<M> {
     latency_fast: LatencySampler,
     loss: LossModel,
     loss_state: LossState,
+    /// [`Core::loss`] compiled into its per-draw fast path (flat core).
+    loss_fast: LossSampler,
+    /// The fault-injection schedule (inert by default).
+    fault: FaultPlan,
     net_rng: SmallRng,
     now: SimTime,
     timers: TimerTable,
@@ -473,17 +478,31 @@ impl<M: WireSize> Core<M> {
         let bytes = msg.wire_size();
         let now = self.now;
         let upload = &mut self.uploads[from.index()];
-        let Some(departure) = upload.enqueue_if_accepted(now, bytes) else {
+        let departure = match self.fault.bandwidth_scale(now) {
+            None => upload.enqueue_if_accepted(now, bytes),
+            Some(scale) => upload.enqueue_if_accepted_scaled(now, bytes, scale),
+        };
+        let Some(departure) = departure else {
             // Finite send buffer: the message is dropped at the sender.
             self.stats.record_queue_drop(from);
             return;
         };
         self.stats.record_send(from, bytes);
         self.stats.total_queueing_delay += departure - now;
-        if self
-            .loss_state
-            .is_lost(&self.loss, &mut self.net_rng, from, to)
-        {
+        if self.fault.blocks(now, from, to) {
+            // Severed by an active partition epoch: dropped exactly like a
+            // network loss, consuming no randomness (the sharded exchange
+            // performs the identical check at the identical instant).
+            self.stats.record_loss(from);
+            return;
+        }
+        let lost = match self.mode {
+            CoreMode::Flat => self.loss_fast.is_lost(&mut self.net_rng, from, to),
+            _ => self
+                .loss_state
+                .is_lost(&self.loss, &mut self.net_rng, from, to),
+        };
+        if lost {
             self.stats.record_loss(from);
             return;
         }
@@ -727,6 +746,7 @@ pub struct SimulatorBuilder {
     pub(crate) seed: u64,
     pub(crate) latency: LatencyModel,
     pub(crate) loss: LossModel,
+    pub(crate) fault: FaultPlan,
     pub(crate) capacities: Vec<UploadCapacity>,
     pub(crate) queue_limit: Option<SimDuration>,
     mode: CoreMode,
@@ -747,6 +767,7 @@ impl SimulatorBuilder {
             seed,
             latency: LatencyModel::default(),
             loss: LossModel::default(),
+            fault: FaultPlan::default(),
             capacities: vec![UploadCapacity::Unlimited; n],
             queue_limit: None,
             mode: CoreMode::Flat,
@@ -768,8 +789,10 @@ impl SimulatorBuilder {
     /// (link latency and timer delay) must span at least one calendar bucket
     /// ([`BUCKET_WIDTH_MICROS`](crate::event::BUCKET_WIDTH_MICROS)), which
     /// bounds the conservative lookahead. The latency bound is asserted at
-    /// build time; timer-delay violations are detected at the next exchange
-    /// and panic at the end of the run.
+    /// build time; timer-delay violations are detected at the next exchange,
+    /// stop the run and surface as a structured [`ContractViolation`]
+    /// ([`Simulator::run_to_completion`],
+    /// [`Simulator::contract_violation`]).
     ///
     /// Shards step sequentially by default ([`Simulator::run_until`]) — the
     /// cache-locality configuration for single-core hosts — or one shard per
@@ -849,6 +872,22 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Installs a fault-injection schedule (default: inert). See
+    /// [`FaultPlan`] for the fault classes applied inside the event loop:
+    /// partition/heal epochs between node groups, correlated crashes and
+    /// diurnal upload-capacity cycling. Identically interpreted by the
+    /// single-core and sharded engines, so faulted runs stay bit-identical
+    /// across every engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the plan has partition epochs but its group
+    /// assignment does not cover every node.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
     /// Sets every node's upload capacity to the same value.
     pub fn uniform_capacity(mut self, capacity: UploadCapacity) -> Self {
         self.capacities = vec![capacity; self.n];
@@ -878,6 +917,13 @@ impl SimulatorBuilder {
         P: Protocol,
         F: FnMut(NodeId) -> P,
     {
+        if self.fault.has_partitions() {
+            assert_eq!(
+                self.fault.groups().len(),
+                self.n,
+                "a fault plan with partition epochs needs one group per node"
+            );
+        }
         if self.shards > 0 {
             assert!(
                 self.mode == CoreMode::Flat,
@@ -919,6 +965,7 @@ impl SimulatorBuilder {
             CoreMode::Seed => SimQueue::BaselineFat(BinaryHeapQueue::new()),
         };
         let latency_fast = LatencySampler::new(&self.latency);
+        let loss_fast = LossSampler::new(&self.loss, self.n);
         let mut sim = SingleSim {
             protocols,
             core: Core {
@@ -927,6 +974,8 @@ impl SimulatorBuilder {
                 latency_fast,
                 loss: self.loss,
                 loss_state: LossState::new(self.n),
+                loss_fast,
+                fault: self.fault,
                 net_rng: stream_rng(self.seed, 0),
                 now: SimTime::ZERO,
                 timers: TimerTable::default(),
@@ -939,6 +988,15 @@ impl SimulatorBuilder {
             },
         };
         sim.start_all();
+        // Correlated crashes from the fault plan are scheduled right after
+        // the start round — the same logical instant the sharded engine
+        // schedules them, so both engines assign them identical positions in
+        // the global event order.
+        for epoch in sim.core.fault.crashes().to_vec() {
+            for node in epoch.nodes {
+                sim.core.queue.push_crash(epoch.at, node);
+            }
+        }
         sim
     }
 }
@@ -957,6 +1015,10 @@ pub struct Simulator<P: Protocol> {
 }
 
 /// The engine behind a [`Simulator`].
+// One instance per simulation, held by value in `Simulator` — the variant
+// size gap costs a few hundred bytes once, while boxing would put an extra
+// indirection on every event-loop dispatch.
+#[allow(clippy::large_enum_variant)]
 enum SimInner<P: Protocol> {
     /// One event loop over the whole population (flat or compat cores).
     Single(SingleSim<P>),
@@ -1123,12 +1185,28 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Runs until the event queue is completely exhausted. Returns the number
-    /// of events processed. Use with care: protocols with periodic timers
-    /// never drain their queue — prefer [`Simulator::run_until`].
-    pub fn run_to_completion(&mut self) -> u64 {
+    /// of events processed, or — on a sharded simulator whose run broke the
+    /// determinism contract (a timer delay shorter than one calendar bucket)
+    /// — a [`ContractViolation`] describing the breach. The single-core
+    /// engine has no such contract and always succeeds. Use with care:
+    /// protocols with periodic timers never drain their queue — prefer
+    /// [`Simulator::run_until`].
+    pub fn run_to_completion(&mut self) -> Result<u64, ContractViolation> {
         match &mut self.inner {
-            SimInner::Single(s) => s.run_to_completion(),
+            SimInner::Single(s) => Ok(s.run_to_completion()),
             SimInner::Sharded(s) => s.run_to_completion(),
+        }
+    }
+
+    /// The determinism-contract breach observed so far, if any. Always `None`
+    /// on the single-core engine. A sharded run that breached the contract
+    /// stops early ([`Simulator::run_until`] returns without reaching its
+    /// deadline) and latches the violation here;
+    /// [`Simulator::run_to_completion`] additionally surfaces it as an `Err`.
+    pub fn contract_violation(&self) -> Option<ContractViolation> {
+        match &self.inner {
+            SimInner::Single(_) => None,
+            SimInner::Sharded(s) => s.contract_violation(),
         }
     }
 }
@@ -1153,9 +1231,9 @@ where
 
     /// [`Simulator::run_to_completion`] on scoped threads; see
     /// [`Simulator::run_until_threaded`].
-    pub fn run_to_completion_threaded(&mut self) -> u64 {
+    pub fn run_to_completion_threaded(&mut self) -> Result<u64, ContractViolation> {
         match &mut self.inner {
-            SimInner::Single(s) => s.run_to_completion(),
+            SimInner::Single(s) => Ok(s.run_to_completion()),
             SimInner::Sharded(s) => s.run_to_completion_threaded(),
         }
     }
@@ -1558,9 +1636,112 @@ mod tests {
     #[test]
     fn run_to_completion_drains_queue() {
         let mut sim = build(4);
-        let processed = sim.run_to_completion();
+        let processed = sim.run_to_completion().expect("single core cannot breach");
         assert!(processed > 0);
         assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.contract_violation(), None);
+    }
+
+    #[test]
+    fn partition_epoch_drops_cross_group_messages_as_losses() {
+        // Two groups {0} and {1..4}; the partition covers the whole run, so
+        // node 0's flood is dropped at the sender and counted as losses.
+        let plan = FaultPlan::new()
+            .with_groups(vec![0, 1, 1, 1, 1])
+            .partition(SimTime::ZERO, SimTime::from_secs(10));
+        let mut sim = SimulatorBuilder::new(5, 1)
+            .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+            .fault_plan(plan)
+            .build(|_| Echo::new(5));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().total_messages_delivered(), 0);
+        assert_eq!(sim.stats().total_messages_lost(), 4);
+        // Sends still happen (and are charged) — the drop is in the network.
+        assert_eq!(sim.stats().total_messages_sent(), 4);
+    }
+
+    #[test]
+    fn healed_partition_lets_messages_through_again() {
+        // Partition already healed before the flood is sent at t=0... the
+        // flood goes out at time zero, so use a window that ends before any
+        // send happens only for the second run. First: active window blocks.
+        let blocked = {
+            let plan = FaultPlan::new()
+                .with_groups(vec![0, 1])
+                .partition(SimTime::ZERO, SimTime::from_millis(1));
+            let mut sim = build_with_plan(plan);
+            sim.run_until(SimTime::from_secs(1));
+            sim.stats().total_messages_delivered()
+        };
+        let healed = {
+            let plan = FaultPlan::new()
+                .with_groups(vec![0, 1])
+                .partition(SimTime::from_secs(5), SimTime::from_secs(6));
+            let mut sim = build_with_plan(plan);
+            sim.run_until(SimTime::from_secs(1));
+            sim.stats().total_messages_delivered()
+        };
+        assert_eq!(blocked, 0);
+        // Flood + echo both delivered once no epoch is active at send time.
+        assert_eq!(healed, 2);
+    }
+
+    fn build_with_plan(plan: FaultPlan) -> Simulator<Echo> {
+        SimulatorBuilder::new(2, 1)
+            .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+            .fault_plan(plan)
+            .build(|_| Echo::new(2))
+    }
+
+    #[test]
+    fn fault_plan_crashes_kill_their_nodes() {
+        let plan = FaultPlan::new().regional_crash(
+            SimTime::from_millis(1),
+            vec![NodeId::new(1), NodeId::new(2)],
+        );
+        let mut sim = SimulatorBuilder::new(4, 1)
+            .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+            .fault_plan(plan)
+            .build(|_| Echo::new(4));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(!sim.is_alive(NodeId::new(1)));
+        assert!(!sim.is_alive(NodeId::new(2)));
+        assert!(sim.is_alive(NodeId::new(3)));
+        assert_eq!(sim.node(NodeId::new(3)).received, 1);
+        assert_eq!(sim.node(NodeId::new(1)).received, 0);
+    }
+
+    #[test]
+    fn diurnal_cycling_slows_the_uplink_in_the_low_phase() {
+        // 800 bps cap halved in the second phase of a 2 s cycle. The flood
+        // leaves node 0 at t=0 (phase 0, factor 1.0): 100 B serialise in 1 s.
+        let run = |factors: Vec<f64>| {
+            let plan = FaultPlan::new().diurnal(SimDuration::from_secs(2), factors);
+            let mut sim = SimulatorBuilder::new(2, 3)
+                .latency(LatencyModel::constant(SimDuration::from_millis(0)))
+                .capacities(vec![
+                    UploadCapacity::Limited(Bandwidth::from_bps(800)),
+                    UploadCapacity::Unlimited,
+                ])
+                .fault_plan(plan)
+                .build(|_| Echo::new(2));
+            sim.run_until(SimTime::from_secs(10));
+            sim.upload_queue(NodeId::new(0)).busy_time()
+        };
+        assert_eq!(run(vec![1.0, 1.0]), SimDuration::from_secs(1));
+        // Halved capacity in phase 0 doubles the serialisation time.
+        assert_eq!(run(vec![0.5, 1.0]), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one group per node")]
+    fn partition_plan_without_full_group_cover_is_rejected() {
+        let plan = FaultPlan::new()
+            .with_groups(vec![0, 1])
+            .partition(SimTime::ZERO, SimTime::from_secs(1));
+        let _ = SimulatorBuilder::new(5, 1)
+            .fault_plan(plan)
+            .build(|_| Echo::new(5));
     }
 
     /// Same-tick deliveries to one node are batched into one context

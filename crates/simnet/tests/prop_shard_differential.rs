@@ -271,9 +271,12 @@ fn sub_bucket_latency_is_rejected_when_sharded() {
 }
 
 /// A sub-bucket *timer* delay armed during a bucket violates the
-/// determinism contract and must abort the run.
+/// determinism contract. The run must stop gracefully — no panic — with the
+/// breach latched and surfaced as a structured [`ContractViolation`]:
+/// `run_until` returns early with the violation queryable, and
+/// `run_to_completion` reports it as an `Err` (even though the offending
+/// protocol re-arms its timer forever and would otherwise never drain).
 #[test]
-#[should_panic(expected = "determinism contract")]
 fn sub_bucket_timer_delay_is_detected_when_sharded() {
     struct TightTimer;
     #[derive(Clone, Debug)]
@@ -294,9 +297,37 @@ fn sub_bucket_timer_delay_is_detected_when_sharded() {
             ctx.set_timer(SimDuration::from_micros(100), 1);
         }
     }
+    let build = || {
+        SimulatorBuilder::new(2, 1)
+            .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+            .sharded(2)
+            .build(|_| TightTimer)
+    };
+    // `run_until` stops at the breaching exchange and latches the breach.
+    let mut sim = build();
+    sim.run_until(SimTime::from_secs(1));
+    let violation = sim
+        .contract_violation()
+        .expect("sub-bucket timer delay must latch a violation");
+    assert!(violation.violations > 0);
+    assert!(
+        sim.now() < SimTime::from_secs(1),
+        "the run must stop at the breach, not reach the deadline"
+    );
+    assert!(violation.to_string().contains("determinism contract"));
+    // `run_to_completion` surfaces the same breach as an error — and
+    // terminates even though the protocol re-arms its timer forever.
+    let mut sim = build();
+    let err = sim
+        .run_to_completion()
+        .expect_err("sub-bucket timer delay must fail the run");
+    assert!(err.violations > 0);
+    assert_eq!(sim.contract_violation(), Some(err));
+    // The single-core engine has no such contract: the identical protocol
+    // runs clean there.
     let mut sim = SimulatorBuilder::new(2, 1)
         .latency(LatencyModel::constant(SimDuration::from_millis(10)))
-        .sharded(2)
         .build(|_| TightTimer);
     sim.run_until(SimTime::from_secs(1));
+    assert_eq!(sim.contract_violation(), None);
 }

@@ -85,7 +85,7 @@ fn flood_sim(n: usize, seed: u64, ttl: u32, rounds: u32, core: u8) -> Simulator<
 }
 
 fn run_fingerprint(sim: &mut Simulator<Flood>) -> (u64, u64) {
-    let processed = sim.run_to_completion();
+    let processed = sim.run_to_completion().expect("contract holds");
     let mut hasher = DefaultHasher::new();
     format!("{:?}", sim.stats()).hash(&mut hasher);
     sim.now().as_micros().hash(&mut hasher);
@@ -147,9 +147,9 @@ fn sharded_runs_are_bit_identical_across_counts_policies_and_modes() {
         let mut processed = sim.run_until(SimTime::from_micros(777_777));
         sim.schedule_crash(NodeId::new(9), SimTime::from_secs(2));
         processed += if threaded {
-            sim.run_to_completion_threaded()
+            sim.run_to_completion_threaded().expect("contract holds")
         } else {
-            sim.run_to_completion()
+            sim.run_to_completion().expect("contract holds")
         };
         let (drained, fingerprint) = run_fingerprint(&mut sim);
         (processed + drained, fingerprint, sim.now())
@@ -246,7 +246,7 @@ fn cancelling_fired_timers_does_not_grow_simulator_memory() {
         limit: per_node,
         last: None,
     });
-    let processed = sim.run_to_completion();
+    let processed = sim.run_to_completion().expect("contract holds");
     // One million timer events were processed and two million (stale)
     // cancellations issued...
     assert_eq!(processed, n as u64 * per_node);

@@ -6,6 +6,7 @@
 //! and curves the paper reports. The `repro` binary in `heap-bench` calls
 //! each of them in turn; `EXPERIMENTS.md` records the measured outcomes.
 
+pub mod adversarial;
 pub mod common;
 pub mod fig10_churn;
 pub mod fig1_unconstrained;

@@ -6,6 +6,7 @@ use heap_gossip::fanout::FanoutPolicy;
 use heap_gossip::node::{GossipNode, ProtocolStats, Role};
 use heap_membership::churn::ChurnSchedule;
 use heap_simnet::bandwidth::{Bandwidth, UploadCapacity};
+use heap_simnet::fault::FaultPlan;
 use heap_simnet::node::NodeId;
 use heap_simnet::rng::stream_rng;
 use heap_simnet::sim::{Simulator, SimulatorBuilder};
@@ -35,6 +36,10 @@ pub struct NodeResult {
     /// `None` for nodes present from the start. Standby nodes that never
     /// joined report `Some(SimTime::MAX)`.
     pub joined_at: Option<SimTime>,
+    /// Whether the node was a free-rider adversary
+    /// ([`Scenario::free_riders`]); its `capability` is the *inflated*
+    /// advertised one.
+    pub free_rider: bool,
     /// Stream-quality metrics derived from the node's receive log.
     pub metrics: NodeStreamMetrics,
     /// Stream-health report (drift, cadence, freezes, 0–100 score) snapshotted
@@ -165,6 +170,23 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             }
         }
     }
+    // Free-riders: a fraction of receivers advertises an inflated capability
+    // (attracting the fanout a strong relay would get) while actually
+    // uploading at a trickle and serving only part of each retransmission
+    // request. The selection draws from `setup_rng` only when the spec is
+    // present, so honest scenarios keep their exact draw sequence.
+    let mut free_rider: Vec<bool> = vec![false; n];
+    if let Some(spec) = scenario.free_riders {
+        use rand::seq::SliceRandom;
+        let mut ids: Vec<usize> = (1..n).collect();
+        ids.shuffle(&mut setup_rng);
+        let count = (((n - 1) as f64) * spec.fraction).round() as usize;
+        for &i in ids.iter().take(count.min(n - 1)) {
+            free_rider[i] = true;
+            advertised[i] = Some(spec.advertised);
+            actual[i] = Some(spec.actual);
+        }
+    }
     let capacities: Vec<UploadCapacity> = actual
         .iter()
         .map(|c| {
@@ -203,6 +225,18 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
                 &mut setup_rng,
             ))
         }
+        ChurnSpec::FlashCrowd {
+            fraction,
+            at_secs,
+            spread_secs,
+        } => Some(ChurnSchedule::flash_crowd(
+            n,
+            fraction,
+            schedule.start() + SimDuration::from_secs(at_secs),
+            SimDuration::from_secs(spread_secs),
+            &[0],
+            &mut setup_rng,
+        )),
         _ => None,
     };
     let join_at: Vec<Option<SimTime>> = match &continuous {
@@ -224,10 +258,61 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         }
     };
 
+    // --- Faults -------------------------------------------------------------
+    // Fault regions come from a ShardPolicy partition of the population —
+    // deliberately independent of the engine's actual sharding configuration,
+    // so a fault spec means exactly the same thing on the flat core as on
+    // any sharded run (the bit-identity the differential tests pin).
+    let fault_regions: Vec<u32> = match &scenario.fault {
+        Some(spec) => spec
+            .region_policy
+            .resolve()
+            .assign(n, spec.regions, &capacities),
+        None => Vec::new(),
+    };
+    let mut fault_plan = FaultPlan::new();
+    // (crash instant, victim, mean detection delay) for the survivor-side
+    // failure-detector notifications; the crashes themselves are scheduled
+    // by the simulator from the plan.
+    let mut regional_crashes: Vec<(SimTime, NodeId, SimDuration)> = Vec::new();
+    if let Some(spec) = &scenario.fault {
+        if spec.needs_regions() {
+            fault_plan = fault_plan.with_groups(fault_regions.clone());
+        }
+        for window in &spec.partitions {
+            fault_plan = fault_plan.partition(
+                schedule.start() + SimDuration::from_secs_f64(window.start_secs),
+                schedule.start() + SimDuration::from_secs_f64(window.end_secs),
+            );
+        }
+        for crash in &spec.regional_crashes {
+            let at = schedule.start() + SimDuration::from_secs_f64(crash.at_secs);
+            // The source (node 0) is exempt: the stream must survive the
+            // outage for "degrade and recover" to be observable at all.
+            let victims: Vec<NodeId> = (1..n)
+                .filter(|&i| fault_regions[i] == crash.region)
+                .map(|i| NodeId::new(i as u32))
+                .collect();
+            for &node in &victims {
+                regional_crashes.push((at, node, SimDuration::from_secs(crash.detection_secs)));
+            }
+            fault_plan = fault_plan.regional_crash(at, victims);
+        }
+        if let Some(diurnal) = &spec.diurnal {
+            fault_plan = fault_plan.diurnal(
+                SimDuration::from_secs_f64(diurnal.period_secs),
+                diurnal.factors.clone(),
+            );
+        }
+    }
+
     let mut builder = SimulatorBuilder::new(n, scale.seed)
         .latency(scenario.latency.clone())
         .loss(scenario.loss.clone())
         .capacities(capacities);
+    if !fault_plan.is_inert() {
+        builder = builder.fault_plan(fault_plan);
+    }
     if let Some(limit) = scenario.upload_queue_limit {
         builder = builder.upload_queue_limit(limit);
     }
@@ -257,6 +342,10 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         if let Some(at) = join_at[id.index()] {
             node = node.join_at(at);
         }
+        if free_rider[id.index()] {
+            let spec = scenario.free_riders.expect("free-riders marked from spec");
+            node = node.serve_fraction(spec.serve_fraction);
+        }
         node.build()
     });
 
@@ -278,6 +367,8 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             .schedule
             .clone()
             .with_detection_mean(SimDuration::from_secs(detection_secs)),
+        // A flash crowd only joins; nobody leaves.
+        ChurnSpec::FlashCrowd { .. } => ChurnSchedule::none(),
     };
     for event in churn_schedule.events() {
         sim.schedule_crash(event.node, event.at);
@@ -295,6 +386,13 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             )
         })
         .collect();
+    // Survivors learn about regional-crash victims through the same failure
+    // detector; these draws happen only when the fault spec schedules
+    // crashes, after every churn draw, so fault-free runs are unperturbed.
+    for &(at, node, mean) in &regional_crashes {
+        let detector = ChurnSchedule::none().with_detection_mean(mean);
+        notifications.push((detector.sample_detection_time(at, &mut setup_rng), node));
+    }
     notifications.sort_by_key(|(t, _)| *t);
 
     // --- Run ----------------------------------------------------------------
@@ -357,8 +455,9 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     // Bandwidth usage is measured over the streaming phase (start of stream to
     // end of stream), the period Fig. 4 reports about.
     let streaming_span = stream_config.stream_duration();
-    let crashed_nodes: std::collections::HashSet<NodeId> =
+    let mut crashed_nodes: std::collections::HashSet<NodeId> =
         churn_schedule.crashed_nodes().into_iter().collect();
+    crashed_nodes.extend(regional_crashes.iter().map(|&(_, node, _)| node));
 
     let mut nodes = Vec::with_capacity(n - 1);
     for (i, &advertised_cap) in advertised.iter().enumerate().skip(1) {
@@ -391,6 +490,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
             capability: advertised_cap,
             crashed: crashed_nodes.contains(&id),
             joined_at: join_at[i],
+            free_rider: free_rider[i],
             metrics,
             health,
             upload_utilization,
@@ -869,6 +969,137 @@ mod tests {
         // Determinism: the plan derives from the scenario seed.
         let again = run_scenario(&scenario);
         assert_eq!(result.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn flash_crowd_joins_arrive_in_one_burst() {
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::FlashCrowd {
+                fraction: 0.3,
+                at_secs: 4,
+                spread_secs: 2,
+            },
+        );
+        let result = run_scenario(&scenario);
+        assert_eq!(result.crashed_count, 0, "a flash crowd only joins");
+        let joiners: Vec<_> = result
+            .nodes
+            .iter()
+            .filter(|n| n.joined_at.is_some())
+            .collect();
+        let expected = (Scale::test().n_nodes as f64 * 0.3).round() as usize;
+        assert_eq!(joiners.len(), expected);
+        let start = result.schedule.start();
+        for node in &joiners {
+            let at = node.joined_at.unwrap();
+            assert!(
+                at >= start + SimDuration::from_secs(4)
+                    && at <= start + SimDuration::from_secs(6) + SimDuration::from_micros(1),
+                "join at {at} outside the burst window"
+            );
+            // Every flash-crowd joiner eventually receives the stream.
+            assert!(
+                node.metrics.delivery_ratio() > 0.0,
+                "joiner {} never received anything",
+                node.node
+            );
+        }
+        let again = run_scenario(&scenario);
+        assert_eq!(result.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn free_riders_are_marked_and_inflate_their_capability() {
+        use crate::scenario::FreeRiderSpec;
+        let spec = FreeRiderSpec::default_adversary();
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::None,
+        )
+        .with_free_riders(spec);
+        let result = run_scenario(&scenario);
+        let riders: Vec<_> = result.nodes.iter().filter(|n| n.free_rider).collect();
+        let expected = ((Scale::test().n_receivers()) as f64 * spec.fraction).round() as usize;
+        assert_eq!(riders.len(), expected);
+        for rider in &riders {
+            assert_eq!(rider.capability, Some(spec.advertised));
+        }
+        // Honest nodes still disseminate despite the adversaries.
+        let honest: Vec<_> = result.nodes.iter().filter(|n| !n.free_rider).collect();
+        let honest_mean: f64 = honest
+            .iter()
+            .map(|n| n.metrics.delivery_ratio())
+            .sum::<f64>()
+            / honest.len() as f64;
+        assert!(honest_mean > 0.6, "honest mean delivery {honest_mean}");
+    }
+
+    #[test]
+    fn regional_crash_kills_exactly_one_region() {
+        use crate::scenario::FaultSpec;
+        let scenario = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::None,
+        )
+        .with_fault(FaultSpec::regions(4).regional_crash(3, 6.0, 5));
+        let result = run_scenario(&scenario);
+        // Contiguous 4-way split of 40 nodes: region 3 holds nodes 30..39,
+        // none of which is the source.
+        assert_eq!(result.crashed_count, 10);
+        for node in &result.nodes {
+            assert_eq!(node.crashed, node.node.index() >= 30, "node {}", node.node);
+        }
+        // Survivors keep streaming after the outage.
+        let survivors: Vec<_> = result.survivors().collect();
+        let mean: f64 = survivors
+            .iter()
+            .map(|n| n.metrics.delivery_ratio())
+            .sum::<f64>()
+            / survivors.len() as f64;
+        assert!(mean > 0.6, "survivor mean delivery {mean}");
+    }
+
+    #[test]
+    fn faulted_scenarios_are_bit_identical_across_engines() {
+        use crate::scenario::{FaultSpec, FreeRiderSpec, ShardingChoice};
+        // Pile every adversarial feature into one run: partition + heal,
+        // a regional crash, diurnal cycling, bursty loss, a flash crowd and
+        // free-riders — and require the sharded engines to reproduce the
+        // flat core bit for bit.
+        let base = quick_scenario(
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 6.0 },
+            ChurnSpec::FlashCrowd {
+                fraction: 0.2,
+                at_secs: 6,
+                spread_secs: 3,
+            },
+        )
+        .with_loss(LossModel::bursty_default())
+        .with_fault(
+            FaultSpec::regions(2)
+                .partition(10.0, 20.0)
+                .regional_crash(1, 30.0, 5)
+                .diurnal(25.0, vec![1.0, 0.6]),
+        )
+        .with_free_riders(FreeRiderSpec::default_adversary());
+        let reference = run_scenario(&base).fingerprint();
+        for sharding in [
+            ShardingChoice::sharded(2),
+            ShardingChoice::sharded_threaded(4),
+        ] {
+            let sharded = base.clone().with_sharding(sharding);
+            assert_eq!(
+                run_scenario(&sharded).fingerprint(),
+                reference,
+                "faulted scenario diverged from the single-core engine: {}",
+                sharding.label()
+            );
+        }
     }
 
     #[test]

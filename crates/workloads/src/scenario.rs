@@ -246,6 +246,20 @@ pub enum ChurnSpec {
         /// Mean failure-detection delay for leaves, in seconds.
         detection_secs: u64,
     },
+    /// A flash crowd ([`ChurnSchedule::flash_crowd`]): a fraction of the
+    /// receivers starts on standby and stampedes into the stream in one
+    /// burst — every standby node joins at a uniformly drawn instant within
+    /// `spread_secs` seconds of the burst start. Nobody leaves.
+    ///
+    /// [`ChurnSchedule::flash_crowd`]: heap_membership::churn::ChurnSchedule::flash_crowd
+    FlashCrowd {
+        /// Fraction of receivers held back for the join burst.
+        fraction: f64,
+        /// When the burst starts, in seconds from the stream start.
+        at_secs: u64,
+        /// Width of the burst window, in seconds.
+        spread_secs: u64,
+    },
 }
 
 impl ChurnSpec {
@@ -262,6 +276,159 @@ impl ChurnSpec {
             joins_per_min: 6.0,
             leaves_per_min: 4.0,
             detection_secs: 10,
+        }
+    }
+}
+
+/// One network-partition window: the fault regions are mutually unreachable
+/// from `start_secs` to `end_secs` (seconds from the stream start), then the
+/// partition heals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PartitionWindow {
+    /// Partition onset, in seconds from the stream start.
+    pub start_secs: f64,
+    /// Heal instant, in seconds from the stream start.
+    pub end_secs: f64,
+}
+
+/// A correlated regional failure: every receiver of one fault region crashes
+/// at the same instant (a rack/AZ outage, not independent churn).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RegionalCrash {
+    /// Which fault region crashes.
+    pub region: u32,
+    /// When, in seconds from the stream start.
+    pub at_secs: f64,
+    /// Mean failure-detection delay for the survivors, in seconds.
+    pub detection_secs: u64,
+}
+
+/// Diurnal bandwidth cycling: actual upload capacity is scaled by a repeating
+/// factor pattern ([`FaultPlan::diurnal`](heap_simnet::FaultPlan::diurnal)).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DiurnalSpec {
+    /// Length of one full cycle, in seconds.
+    pub period_secs: f64,
+    /// Capacity multipliers, one per equal slice of the period.
+    pub factors: Vec<f64>,
+}
+
+/// Declarative fault injection layered on a scenario, compiled by the runner
+/// into a seed-deterministic [`FaultPlan`](heap_simnet::FaultPlan).
+///
+/// Fault *regions* are derived by partitioning the node population with
+/// `region_policy` — the same policies that drive simulator sharding — but
+/// they are independent of the scenario's actual [`ShardingChoice`]: a
+/// 2-region partition fault means exactly the same thing on the flat core as
+/// on an 8-shard threaded run, which is what makes faulted runs bit-identical
+/// across engines.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// Number of fault regions the population is split into.
+    pub regions: usize,
+    /// How nodes map onto fault regions.
+    pub region_policy: ShardPolicyChoice,
+    /// Partition/heal windows (all regions mutually isolated while open).
+    pub partitions: Vec<PartitionWindow>,
+    /// Correlated regional crashes.
+    pub regional_crashes: Vec<RegionalCrash>,
+    /// Optional diurnal bandwidth cycling (applies to every node).
+    pub diurnal: Option<DiurnalSpec>,
+}
+
+impl FaultSpec {
+    /// A fault spec with `regions` contiguous fault regions and no faults
+    /// yet; chain the builder methods to add them.
+    pub fn regions(regions: usize) -> Self {
+        assert!(regions >= 1, "a fault spec needs at least one region");
+        FaultSpec {
+            regions,
+            region_policy: ShardPolicyChoice::Contiguous,
+            partitions: Vec::new(),
+            regional_crashes: Vec::new(),
+            diurnal: None,
+        }
+    }
+
+    /// Sets the region-assignment policy.
+    pub fn with_region_policy(mut self, policy: ShardPolicyChoice) -> Self {
+        self.region_policy = policy;
+        self
+    }
+
+    /// Adds a partition window (seconds from the stream start).
+    pub fn partition(mut self, start_secs: f64, end_secs: f64) -> Self {
+        assert!(
+            end_secs > start_secs,
+            "partition must heal after it starts ({start_secs}..{end_secs})"
+        );
+        self.partitions.push(PartitionWindow {
+            start_secs,
+            end_secs,
+        });
+        self
+    }
+
+    /// Adds a correlated crash of one fault region.
+    pub fn regional_crash(mut self, region: u32, at_secs: f64, detection_secs: u64) -> Self {
+        assert!(
+            (region as usize) < self.regions,
+            "region {region} out of range (have {} regions)",
+            self.regions
+        );
+        self.regional_crashes.push(RegionalCrash {
+            region,
+            at_secs,
+            detection_secs,
+        });
+        self
+    }
+
+    /// Sets diurnal bandwidth cycling.
+    pub fn diurnal(mut self, period_secs: f64, factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "diurnal needs at least one factor");
+        self.diurnal = Some(DiurnalSpec {
+            period_secs,
+            factors,
+        });
+        self
+    }
+
+    /// Returns `true` if any fault needs the region assignment (partitions
+    /// and regional crashes do; diurnal cycling applies globally).
+    pub fn needs_regions(&self) -> bool {
+        !self.partitions.is_empty() || !self.regional_crashes.is_empty()
+    }
+}
+
+/// A free-rider adversary population: a fraction of the receivers advertises
+/// an inflated capability (attracting the fanout a strong node would get)
+/// while actually uploading at `actual` and serving only `serve_fraction` of
+/// each retransmission request ([`GossipNodeBuilder::serve_fraction`]).
+///
+/// [`GossipNodeBuilder::serve_fraction`]: heap_gossip::node::GossipNodeBuilder::serve_fraction
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FreeRiderSpec {
+    /// Fraction of receivers that free-ride.
+    pub fraction: f64,
+    /// Capability the free-riders *claim* (drives peers' fanout towards
+    /// them).
+    pub advertised: Bandwidth,
+    /// Upload capacity they actually dedicate.
+    pub actual: Bandwidth,
+    /// Fraction of each retransmission request they actually serve.
+    pub serve_fraction: f64,
+}
+
+impl FreeRiderSpec {
+    /// The default adversary: 20 % of receivers claim 1024 kbps, upload at
+    /// 128 kbps, and serve 30 % of what they are asked for.
+    pub fn default_adversary() -> Self {
+        FreeRiderSpec {
+            fraction: 0.2,
+            advertised: Bandwidth::from_kbps(1024),
+            actual: Bandwidth::from_kbps(128),
+            serve_fraction: 0.3,
         }
     }
 }
@@ -307,6 +474,13 @@ pub struct Scenario {
     /// [`BucketSeries`](heap_analytics::BucketSeries) on the result
     /// (`None`, the default, skips sampling entirely).
     pub health_series: Option<SimDuration>,
+    /// Declarative fault injection (partitions, regional crashes, diurnal
+    /// cycling); `None`, the default, injects nothing and draws no setup
+    /// randomness.
+    pub fault: Option<FaultSpec>,
+    /// Free-rider adversary population; `None`, the default, makes every
+    /// node honest and draws no setup randomness.
+    pub free_riders: Option<FreeRiderSpec>,
 }
 
 impl Scenario {
@@ -334,6 +508,8 @@ impl Scenario {
             upload_queue_limit: Some(SimDuration::from_secs(4)),
             sharding: ShardingChoice::Single,
             health_series: None,
+            fault: None,
+            free_riders: None,
         }
     }
 
@@ -391,6 +567,18 @@ impl Scenario {
         self
     }
 
+    /// Sets the fault-injection spec.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Sets the free-rider adversary spec.
+    pub fn with_free_riders(mut self, free_riders: FreeRiderSpec) -> Self {
+        self.free_riders = Some(free_riders);
+        self
+    }
+
     /// How long the simulation must run to let the stream finish and the
     /// tail of the dissemination settle: stream duration plus a drain margin.
     pub fn run_duration(&self) -> SimDuration {
@@ -445,6 +633,50 @@ mod tests {
             detection_secs: 10
         }
         .is_none());
+    }
+
+    #[test]
+    fn fault_spec_builders_accumulate() {
+        let spec = FaultSpec::regions(3)
+            .with_region_policy(ShardPolicyChoice::RoundRobin)
+            .partition(30.0, 60.0)
+            .partition(90.0, 95.0)
+            .regional_crash(2, 120.0, 10)
+            .diurnal(40.0, vec![1.0, 0.5]);
+        assert_eq!(spec.regions, 3);
+        assert_eq!(spec.partitions.len(), 2);
+        assert_eq!(spec.regional_crashes.len(), 1);
+        assert!(spec.needs_regions());
+        assert_eq!(spec.diurnal.as_ref().unwrap().factors.len(), 2);
+        // Diurnal-only specs don't need the region assignment.
+        assert!(!FaultSpec::regions(1)
+            .diurnal(10.0, vec![0.5])
+            .needs_regions());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_spec_rejects_out_of_range_region() {
+        let _ = FaultSpec::regions(2).regional_crash(2, 60.0, 10);
+    }
+
+    #[test]
+    fn scenario_carries_fault_and_free_rider_specs() {
+        let sc = Scenario::new(
+            "adv",
+            Scale::test(),
+            BandwidthDistribution::ref_691(),
+            ProtocolChoice::Heap { fanout: 7.0 },
+        );
+        assert!(sc.fault.is_none());
+        assert!(sc.free_riders.is_none());
+        let sc = sc
+            .with_fault(FaultSpec::regions(2).partition(30.0, 60.0))
+            .with_free_riders(FreeRiderSpec::default_adversary());
+        assert_eq!(sc.fault.as_ref().unwrap().regions, 2);
+        let riders = sc.free_riders.unwrap();
+        assert!(riders.advertised > riders.actual);
+        assert!(riders.serve_fraction < 1.0);
     }
 
     #[test]
