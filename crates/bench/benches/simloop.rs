@@ -19,9 +19,17 @@ fn bench_simloop(c: &mut Criterion) {
     for &n in &[100usize, 271, 1000, 5000] {
         let ttl = simloop::ttl_for(n, TARGET_EVENTS);
         // The event count is identical across cores (asserted in the lib
-        // tests); measure it once for the throughput denominator.
-        let mut probe = simloop::build_sim(n, 7, ttl, Core::Flat);
-        let events = probe.run_to_completion().expect("contract holds");
+        // tests); measure it once for the throughput denominator — and pin
+        // the PR 8 batched bucket-drain dispatch against single-pop dispatch
+        // on the full run, so a batch-path divergence fails the smoke run
+        // itself on fingerprint mismatch.
+        let batched = simloop::fingerprint(&mut simloop::build_sim(n, 7, ttl, Core::Flat));
+        let single = simloop::fingerprint(&mut simloop::build_sim_single_pop(n, 7, ttl));
+        assert_eq!(
+            batched, single,
+            "batched dispatch diverged from single-pop at {n} nodes"
+        );
+        let events = batched.0;
         group.throughput(Throughput::Elements(events));
         // Construction is untimed (batched setup), matching bench-json's
         // `simloop::measure`, so both report the same events/s quantity.
@@ -34,6 +42,14 @@ fn bench_simloop(c: &mut Criterion) {
                 );
             });
         }
+        // The flat core with batching off: the PR 8 measurement baseline.
+        group.bench_function(&format!("pr4_flat_single_pop_{n}_nodes"), |b| {
+            b.iter_batched_ref(
+                || simloop::build_sim_single_pop(n, 7, ttl),
+                |sim| sim.run_to_completion().expect("contract holds"),
+                BatchSize::LargeInput,
+            );
+        });
     }
     group.finish();
 }

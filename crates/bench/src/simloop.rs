@@ -219,6 +219,52 @@ pub fn build_sim_with_latency(
     builder.build(make_flood(n, ttl))
 }
 
+/// [`build_sim`] with the PR 8 batched bucket-drain dispatch switched off:
+/// the single-pop measurement baseline for the batch-vs-single comparison in
+/// `bench-json` and the CI fingerprint smoke. Only meaningful for
+/// [`Core::Flat`] (the compat cores never batch).
+pub fn build_sim_single_pop(n: usize, seed: u64, ttl: u32) -> Simulator<Flood> {
+    SimulatorBuilder::new(n, seed)
+        .latency(bench_latency())
+        .loss(LossModel::none())
+        .single_pop_dispatch()
+        .build(make_flood(n, ttl))
+}
+
+/// [`build_sim`] with the event queue replaced by the LIFO ablation stack
+/// (`SimulatorBuilder::lifo_queue_for_ablation`): O(1) unordered push/pop,
+/// zero ordering work. The run is not a valid simulation — events fire in
+/// stack order — but the [`Flood`] event population is order-invariant
+/// (lossless links, no timer cancels, TTL-driven chains, count-budgeted
+/// re-arms), so the processed-event count matches the real runs exactly
+/// (asserted by `bench-json` and the unit tests). Timing it prices the
+/// full non-queue pipeline per event; the gap to a real run is the
+/// queue's share of per-event cost — the same LIFO-substitution
+/// methodology as the PR 4 ablation in `BENCH_4.json`.
+pub fn build_sim_lifo(n: usize, seed: u64, ttl: u32) -> Simulator<Flood> {
+    SimulatorBuilder::new(n, seed)
+        .latency(bench_latency())
+        .loss(LossModel::none())
+        .lifo_queue_for_ablation()
+        .build(make_flood(n, ttl))
+}
+
+/// [`build_sim_lifo`] with a FIFO deque instead of a stack
+/// (`SimulatorBuilder::fifo_queue_for_ablation`). Push order tracks
+/// virtual time statistically, so the FIFO run walks the node population
+/// in the same breadth-first pattern as a real time-ordered run — it is
+/// the *locality-matched* non-queue baseline. The LIFO stack's
+/// depth-first chain walk keeps one chain's protocol state artificially
+/// hot, so its time bounds the non-queue cost from below and overstates
+/// the queue share. Reporting both brackets the true share.
+pub fn build_sim_fifo(n: usize, seed: u64, ttl: u32) -> Simulator<Flood> {
+    SimulatorBuilder::new(n, seed)
+        .latency(bench_latency())
+        .loss(LossModel::none())
+        .fifo_queue_for_ablation()
+        .build(make_flood(n, ttl))
+}
+
 /// Runs one measurement: builds the simulator (untimed), drains it to
 /// completion (timed) and returns `(events processed, seconds)`.
 pub fn measure(n: usize, seed: u64, target_events: u64, core: Core) -> (u64, f64) {
@@ -227,6 +273,50 @@ pub fn measure(n: usize, seed: u64, target_events: u64, core: Core) -> (u64, f64
     let start = Instant::now();
     let processed = sim.run_to_completion().expect("contract holds");
     (processed, start.elapsed().as_secs_f64())
+}
+
+/// [`measure`] on the flat core with batched dispatch disabled.
+pub fn measure_single_pop(n: usize, seed: u64, target_events: u64) -> (u64, f64) {
+    let ttl = ttl_for(n, target_events);
+    let mut sim = build_sim_single_pop(n, seed, ttl);
+    let start = Instant::now();
+    let processed = sim.run_to_completion().expect("contract holds");
+    (processed, start.elapsed().as_secs_f64())
+}
+
+/// [`measure`] on the LIFO ablation stack (see [`build_sim_lifo`]): the
+/// non-queue pipeline cost at the real event count.
+pub fn measure_lifo(n: usize, seed: u64, target_events: u64) -> (u64, f64) {
+    let ttl = ttl_for(n, target_events);
+    let mut sim = build_sim_lifo(n, seed, ttl);
+    let start = Instant::now();
+    let processed = sim.run_to_completion().expect("contract holds");
+    (processed, start.elapsed().as_secs_f64())
+}
+
+/// [`measure`] on the FIFO ablation deque (see [`build_sim_fifo`]): the
+/// non-queue pipeline cost at the real event count with real-run access
+/// locality.
+pub fn measure_fifo(n: usize, seed: u64, target_events: u64) -> (u64, f64) {
+    let ttl = ttl_for(n, target_events);
+    let mut sim = build_sim_fifo(n, seed, ttl);
+    let start = Instant::now();
+    let processed = sim.run_to_completion().expect("contract holds");
+    (processed, start.elapsed().as_secs_f64())
+}
+
+/// Drains `sim` and condenses every observable the differential tests pin —
+/// processed-event count, the full [`NetStats`](heap_simnet::NetStats)
+/// rendering and the final clock — into `(processed, fingerprint)`. The CI
+/// smoke compares this across dispatch modes so a batch-path divergence
+/// fails the bench run itself, not just the unit suites.
+pub fn fingerprint(sim: &mut Simulator<Flood>) -> (u64, u64) {
+    use std::hash::{Hash, Hasher};
+    let processed = sim.run_to_completion().expect("contract holds");
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    format!("{:?}", sim.stats()).hash(&mut hasher);
+    sim.now().as_micros().hash(&mut hasher);
+    (processed, hasher.finish())
 }
 
 /// [`build_sim`]'s sharded counterpart: the same workload on the PR 5
@@ -287,6 +377,30 @@ mod tests {
             let (thr_events, _) = measure_sharded(60, 5, 50_000, shards, true);
             assert_eq!(flat_events, thr_events, "{shards}-shard threaded");
         }
+    }
+
+    #[test]
+    fn lifo_ablation_processes_the_identical_event_count() {
+        // The Flood event population is order-invariant, so the unordered
+        // LIFO stack must pop exactly the events the real queue orders.
+        let (flat_events, _) = measure(60, 5, 50_000, Core::Flat);
+        let (lifo_events, _) = measure_lifo(60, 5, 50_000);
+        assert_eq!(flat_events, lifo_events);
+    }
+
+    #[test]
+    fn fifo_ablation_processes_the_identical_event_count() {
+        let (flat_events, _) = measure(60, 5, 50_000, Core::Flat);
+        let (fifo_events, _) = measure_fifo(60, 5, 50_000);
+        assert_eq!(flat_events, fifo_events);
+    }
+
+    #[test]
+    fn dispatch_modes_share_one_fingerprint() {
+        let ttl = ttl_for(60, 50_000);
+        let batched = fingerprint(&mut build_sim(60, 5, ttl, Core::Flat));
+        let single = fingerprint(&mut build_sim_single_pop(60, 5, ttl));
+        assert_eq!(batched, single);
     }
 
     #[test]

@@ -2,24 +2,35 @@
 //!
 //! [`EventQueue`] orders events by their firing time and breaks ties by
 //! insertion order, which makes simulations fully deterministic for a given
-//! seed. Since PR 3 it is no longer a [`BinaryHeap`] but a two-level
-//! *calendar queue* (a timer wheel with a far-future overflow heap), which
-//! turns the hot `push`/`pop` pair from `O(log n)` pointer-chasing sifts into
-//! amortised `O(1)` appends and pops on small contiguous buckets:
+//! seed. Since PR 3 it is no longer a [`BinaryHeap`] but a hierarchical
+//! *calendar queue* — two timer wheels and a far-future overflow heap (the
+//! outer wheel is new in PR 8; PR 3–7 ran a single wheel over the heap) —
+//! which turns the hot `push`/`pop` pair from `O(log n)` pointer-chasing
+//! sifts into amortised `O(1)` appends and pops on contiguous buckets:
 //!
-//! * **Near horizon** — a sliding ring of [`NUM_BUCKETS`] buckets, each
-//!   covering [`BUCKET_WIDTH_MICROS`] of virtual time, so the window
-//!   `[current bucket, current bucket + NUM_BUCKETS)` (≈ 0.5 s) slides with
-//!   the simulation clock. Events within the window are appended to their
-//!   bucket unsorted; a bucket is ordered exactly once, when the cursor
-//!   reaches it (packed 4-byte sort keys built in one scan, sorted, events
-//!   gathered through the permutation), and then drained from its tail.
-//! * **Far overflow** — events beyond the window live in a min-heap. Each
-//!   time the cursor advances one bucket, overflow events falling into the
-//!   newly revealed bucket migrate to the ring (one heap peek per advance);
-//!   when the wheel drains entirely, the cursor jumps straight to the
-//!   earliest overflow event. With link latencies and timer periods well
-//!   under the window span, steady-state events never touch the heap.
+//! * **Near horizon** — a ring of [`NUM_BUCKETS`] inner buckets, each
+//!   covering [`BUCKET_WIDTH_MICROS`] of virtual time. The ring holds the
+//!   events of the *current window*: the span of the outer-wheel bucket the
+//!   cursor is in (so `[cursor, end of the cursor's outer bucket)`, up to
+//!   ≈ 0.5 s). Events within the window are appended to their bucket
+//!   unsorted; a bucket is ordered exactly once, when the cursor reaches it
+//!   (a counting sort over µs offsets for dense buckets, packed 4-byte sort
+//!   keys for sparse ones), and then drained from its tail.
+//! * **Mid horizon** — a ring of [`NUM_OUTER_BUCKETS`] outer buckets, each
+//!   covering one full inner-window span, reaching ≈ 268 s out. Events
+//!   beyond the current window are appended to their outer bucket, unsorted
+//!   and in O(1). When the cursor crosses into the next outer bucket, that
+//!   bucket *cascades*: its events are distributed to their inner buckets
+//!   in one linear pass of appends. Cascading happens before any push can
+//!   reach the new window's inner buckets directly, so appends stay in
+//!   arrival order — the stability invariant the bucket sorts rely on.
+//!   Multi-second protocol timers (retransmissions, failure detection) live
+//!   here for the price of one extra append, never in a heap.
+//! * **Far overflow** — events beyond the outer wheel's reach live in a
+//!   min-heap. Each time the cursor enters a new outer bucket, heap events
+//!   within the extended reach migrate to the outer wheel; when both wheels
+//!   drain entirely, the cursor jumps straight to the earliest overflow
+//!   event. Only events scheduled minutes out ever touch the heap.
 //! * **Past guard** — a second, normally-empty min-heap accepts events pushed
 //!   *before* the current bucket, which cannot happen in the simulator
 //!   (events are never scheduled in the past) but keeps the structure
@@ -45,13 +56,23 @@ pub const NUM_BUCKETS: usize = 512;
 /// log2 of the bucket width in microseconds.
 const BUCKET_WIDTH_BITS: u32 = 10;
 
-/// Width of one bucket in microseconds (1.024 ms), making the sliding
-/// window `NUM_BUCKETS × BUCKET_WIDTH_MICROS` ≈ 0.5 s deep. Link latencies
-/// in the simulated network are tens to hundreds of milliseconds, so
-/// in-flight messages spread over tens to hundreds of buckets and stay
-/// inside the window; multi-second protocol timers (retransmissions,
-/// failure detection) take the overflow-heap path.
+/// Width of one bucket in microseconds (1.024 ms), making the inner window
+/// `NUM_BUCKETS × BUCKET_WIDTH_MICROS` ≈ 0.5 s deep. Link latencies in the
+/// simulated network are tens to hundreds of milliseconds, so in-flight
+/// messages spread over tens to hundreds of buckets and mostly stay inside
+/// the window; multi-second protocol timers (retransmissions, failure
+/// detection) take the outer-wheel path.
 pub const BUCKET_WIDTH_MICROS: u64 = 1 << BUCKET_WIDTH_BITS;
+
+/// Number of outer-wheel buckets. Each spans one full inner window, so the
+/// outer wheel reaches `NUM_OUTER_BUCKETS × NUM_BUCKETS ×
+/// BUCKET_WIDTH_MICROS` ≈ 268 s of virtual time beyond the cursor.
+pub const NUM_OUTER_BUCKETS: usize = 512;
+
+/// log2 of an outer bucket's width in microseconds (= one inner window).
+const OUTER_WIDTH_BITS: u32 = BUCKET_WIDTH_BITS + NUM_BUCKETS.trailing_zeros();
+const _: () = assert!(NUM_BUCKETS.is_power_of_two());
+const _: () = assert!(NUM_OUTER_BUCKETS.is_power_of_two());
 
 /// An event scheduled for a point of virtual time.
 ///
@@ -110,34 +131,59 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// The sliding ring. Absolute bucket number `b` (`time_µs >>
+    /// The inner ring. Absolute bucket number `b` (`time_µs >>
     /// BUCKET_WIDTH_BITS`) maps to slot `b % NUM_BUCKETS`; the ring holds
-    /// exactly the events with `b ∈ [cursor_bucket, cursor_bucket +
-    /// NUM_BUCKETS)`. A boxed fixed-size array so that masked slot indexing
-    /// needs no bounds check.
+    /// exactly the events with `b ∈ [cursor_bucket, window_end)`, where
+    /// `window_end` is the first bucket of the next *outer* bucket — the
+    /// window never spans an outer-bucket boundary, so a cascading outer
+    /// bucket always lands on inner buckets no push has reached yet. A boxed
+    /// fixed-size array so that masked slot indexing needs no bounds check.
     buckets: Box<[Vec<ScheduledEvent<E>>; NUM_BUCKETS]>,
     /// Absolute bucket number of the current bucket. Invariants: every ring
-    /// event is in `[cursor_bucket, cursor_bucket + NUM_BUCKETS)`, and if
-    /// the ring is non-empty, the current bucket's slot is non-empty and
-    /// sorted (earliest event last).
+    /// event is in `[cursor_bucket, window_end)`, and if the ring is
+    /// non-empty, the current bucket's slot is non-empty and sorted
+    /// (earliest event last).
     cursor_bucket: u64,
-    /// Number of events currently in the ring.
+    /// Number of events currently in the inner ring.
     wheel_len: usize,
+    /// The outer wheel. Absolute outer-bucket number `o` (`time_µs >>
+    /// OUTER_WIDTH_BITS`) maps to slot `o % NUM_OUTER_BUCKETS`; it holds the
+    /// events with `o ∈ (cursor's outer bucket, cursor's outer bucket +
+    /// NUM_OUTER_BUCKETS)`, unsorted, in arrival order (the cursor's own
+    /// outer bucket has already cascaded into the inner ring).
+    outer: Box<[Vec<ScheduledEvent<E>>; NUM_OUTER_BUCKETS]>,
+    /// Number of events currently in the outer wheel.
+    outer_len: usize,
     /// Events pushed before the current bucket (see module docs).
     past: BinaryHeap<ScheduledEvent<E>>,
-    /// Events at or beyond the end of the sliding window.
+    /// Events at or beyond the outer wheel's reach.
     overflow: BinaryHeap<ScheduledEvent<E>>,
-    /// Sort-key scratch for [`order_bucket`](Self::order_bucket), rebuilt
-    /// from the bucket's events each time a bucket becomes current. PR 3
-    /// appended keys at push time into one key vector per bucket; PR 4
-    /// builds them in a single sequential scan instead, which halves the
-    /// cache lines a push touches (the key tails are gone) and doubles as a
-    /// prefetch pass that warms the bucket for the gather that follows.
+    /// Sort-key scratch for [`order_bucket`](Self::order_bucket)'s sparse
+    /// path, rebuilt from the bucket's events each time a small bucket
+    /// becomes current. PR 3 appended keys at push time into one key vector
+    /// per bucket; PR 4 builds them in a single sequential scan instead,
+    /// which halves the cache lines a push touches (the key tails are gone)
+    /// and doubles as a prefetch pass that warms the bucket for the gather
+    /// that follows.
     keys: Vec<u32>,
+    /// Per-µs-offset rank counters for [`order_bucket`](Self::order_bucket)'s
+    /// dense path (counting sort), zeroed at the start of each use (a 4 KiB
+    /// memset, amortised over the bucket by [`DENSE_BUCKET_MIN`]).
+    offset_counts: Box<[u32; BUCKET_WIDTH_MICROS as usize]>,
     /// Gather buffer for [`order_bucket`](Self::order_bucket); its capacity
     /// is recycled across buckets.
     scratch: Vec<ScheduledEvent<E>>,
     next_seq: u64,
+    /// While a batch produced by [`EventQueue::drain_bucket`] is outstanding:
+    /// the firing time of the batch's *latest* event. Pushes at or before
+    /// this time would have popped interleaved with the batch under
+    /// single-pop dispatch, so they latch [`EventQueue::drain_intruded`] and
+    /// the batch consumer falls back to merging against the queue front.
+    /// `None` when no batch is outstanding.
+    drain_guard: Option<SimTime>,
+    /// Whether a push intruded into the outstanding batch (see
+    /// [`EventQueue::drain_guard`]).
+    intruded: bool,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -158,11 +204,44 @@ fn slot_of(bucket: u64) -> usize {
     (bucket & (NUM_BUCKETS as u64 - 1)) as usize
 }
 
+/// Absolute outer-bucket number of a time in microseconds.
+#[inline]
+fn outer_bucket_of(micros: u64) -> u64 {
+    micros >> OUTER_WIDTH_BITS
+}
+
+/// Absolute outer-bucket number containing an absolute inner bucket.
+#[inline]
+fn outer_of(bucket: u64) -> u64 {
+    bucket >> (OUTER_WIDTH_BITS - BUCKET_WIDTH_BITS)
+}
+
+/// Outer-ring slot of an absolute outer-bucket number.
+#[inline]
+fn outer_slot_of(outer_bucket: u64) -> usize {
+    (outer_bucket & (NUM_OUTER_BUCKETS as u64 - 1)) as usize
+}
+
+/// First inner bucket of an absolute outer bucket.
+#[inline]
+fn window_start_of(outer_bucket: u64) -> u64 {
+    outer_bucket << (OUTER_WIDTH_BITS - BUCKET_WIDTH_BITS)
+}
+
 /// Bits of a packed sort key holding the arrival index; the within-bucket
 /// µs offset occupies the bits above, so `BUCKET_WIDTH_BITS` may not exceed
 /// `32 - KEY_IDX_BITS`.
 const KEY_IDX_BITS: u32 = 22;
 const _: () = assert!(BUCKET_WIDTH_BITS <= 32 - KEY_IDX_BITS);
+
+/// Bucket size at which [`EventQueue`]'s `order_bucket` switches from the
+/// packed-key comparison sort to the offset counting sort. The counting
+/// sort's fixed cost is the [`BUCKET_WIDTH_MICROS`]-entry prefix sum
+/// (~1 µs-of-work per bucket); the comparison sort overtakes it below a few
+/// dozen events. Must stay below `2^KEY_IDX_BITS` so the sparse path's keys
+/// never truncate.
+const DENSE_BUCKET_MIN: usize = 64;
+const _: () = assert!(DENSE_BUCKET_MIN < (1 << KEY_IDX_BITS));
 
 /// The packed sort key of an event at arrival position `idx` (see
 /// [`EventQueue::order_bucket`]). Positions beyond the index field trigger
@@ -177,17 +256,29 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         let buckets: Vec<Vec<ScheduledEvent<E>>> = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
+        let outer: Vec<Vec<ScheduledEvent<E>>> =
+            (0..NUM_OUTER_BUCKETS).map(|_| Vec::new()).collect();
         EventQueue {
             buckets: buckets
                 .try_into()
                 .unwrap_or_else(|_| unreachable!("built with NUM_BUCKETS entries")),
             cursor_bucket: 0,
             wheel_len: 0,
+            outer: outer
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("built with NUM_OUTER_BUCKETS entries")),
+            outer_len: 0,
             past: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             keys: Vec::new(),
+            offset_counts: vec![0u32; BUCKET_WIDTH_MICROS as usize]
+                .into_boxed_slice()
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("built with BUCKET_WIDTH_MICROS entries")),
             scratch: Vec::new(),
             next_seq: 0,
+            drain_guard: None,
+            intruded: false,
         }
     }
 
@@ -195,22 +286,39 @@ impl<E> EventQueue<E> {
     /// the earliest event sits at the tail.
     ///
     /// Within a bucket an event's time is fully determined by its µs offset
-    /// and elements are stored in ascending `seq` order, so the packed key
-    /// `(offset << KEY_IDX_BITS) | arrival index` carries the complete
-    /// `(time, seq)` order. The keys are built in one sequential scan of the
-    /// bucket — which also serves as a prefetch pass over event data that
-    /// went cold since it was pushed — then sorted (4-byte elements instead
-    /// of whole events), and the events are gathered through the resulting
-    /// permutation out of now-warm lines, each moved exactly once.
+    /// and elements are stored in ascending `seq` order, so `(offset,
+    /// arrival index)` carries the complete `(time, seq)` order. Two paths
+    /// share that invariant:
+    ///
+    /// * **Sparse buckets** (fewer events than [`DENSE_BUCKET_MIN`]): packed
+    ///   `(offset << KEY_IDX_BITS) | arrival` keys are built in one
+    ///   sequential scan — which doubles as a prefetch pass over event data
+    ///   that went cold since it was pushed — sorted (4-byte elements
+    ///   instead of whole events), and the events gathered through the
+    ///   resulting permutation, each moved exactly once.
+    /// * **Dense buckets**: a counting sort over the
+    ///   [`BUCKET_WIDTH_MICROS`] possible offsets. One scan builds the
+    ///   per-offset histogram, an exclusive prefix sum turns it into ranks,
+    ///   and the scatter pass places each event directly — O(k) ordering
+    ///   work per bucket instead of the comparison sort's O(k log k), which
+    ///   flattens the per-event queue cost against bucket density (PR 8;
+    ///   the `BENCH_6.json` batch ablation quantifies it). Scanning arrival
+    ///   order and incrementing each offset's rank keeps equal-offset
+    ///   events in ascending `seq`, exactly as the packed keys did.
     fn order_bucket(&mut self, slot: usize) {
         let bucket = &mut self.buckets[slot];
         let k = bucket.len();
         if k <= 1 {
             return;
         }
+        if k >= DENSE_BUCKET_MIN {
+            self.order_bucket_dense(slot);
+            return;
+        }
+        let bucket = &mut self.buckets[slot];
         if k > (1 << KEY_IDX_BITS) as usize {
-            // A pathologically dense bucket would overflow the key's index
-            // field: sort the events directly.
+            // Unreachable while DENSE_BUCKET_MIN < 2^KEY_IDX_BITS, but kept
+            // so the sparse path never depends on the threshold's value.
             bucket.sort_unstable();
             return;
         }
@@ -247,29 +355,160 @@ impl<E> EventQueue<E> {
         std::mem::swap(bucket, &mut self.scratch);
     }
 
-    /// Migrates every overflow event that now falls inside the sliding
-    /// window into the ring. Called whenever `cursor_bucket` moves. In
-    /// steady state the loop body never runs: it is one heap peek.
+    /// The dense arm of [`order_bucket`](Self::order_bucket): counting sort
+    /// by µs offset, stable in arrival (= ascending `seq`) order.
+    fn order_bucket_dense(&mut self, slot: usize) {
+        let bucket = &mut self.buckets[slot];
+        let k = bucket.len();
+        let counts = &mut self.offset_counts;
+        // The prefix sum below dirties every entry (unused offsets hold the
+        // running accumulator), so the whole array is re-zeroed per use.
+        counts.fill(0);
+        let offset_of = |event: &ScheduledEvent<E>| {
+            (event.time.as_micros() & (BUCKET_WIDTH_MICROS - 1)) as usize
+        };
+        for event in bucket.iter() {
+            counts[offset_of(event)] += 1;
+        }
+        // Exclusive prefix sum: counts[o] becomes the ascending rank of the
+        // first event at offset o.
+        let mut acc = 0u32;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = acc;
+            acc += n;
+        }
+        self.scratch.clear();
+        self.scratch.reserve(k);
+        // SAFETY: the ranks `counts[offset]++` hand out are a permutation of
+        // 0..k (the prefix sum partitions 0..k among the offsets and each
+        // increment consumes one slot of its offset's range), so every
+        // source element is read exactly once and every output position
+        // 0..k is written exactly once; the source length is zeroed before
+        // ownership transfers, so nothing is dropped twice (a panic cannot
+        // occur between `set_len(0)` and `set_len(k)`).
+        unsafe {
+            let src = bucket.as_ptr();
+            bucket.set_len(0);
+            let out = self.scratch.as_mut_ptr();
+            for i in 0..k {
+                let offset = offset_of(&*src.add(i));
+                let rank = counts[offset] as usize;
+                counts[offset] += 1;
+                // Ascending rank stored back-to-front = descending (time,
+                // seq): the storage order with the earliest event last.
+                std::ptr::write(out.add(k - 1 - rank), std::ptr::read(src.add(i)));
+            }
+            self.scratch.set_len(k);
+        }
+        std::mem::swap(bucket, &mut self.scratch);
+    }
+
+    /// First inner bucket beyond the current window: pushes at or past it
+    /// take the outer wheel (or the overflow heap).
     #[inline]
+    fn window_end(&self) -> u64 {
+        window_start_of(outer_of(self.cursor_bucket) + 1)
+    }
+
+    /// Migrates every overflow event within the outer wheel's reach into its
+    /// outer bucket. Called whenever the cursor enters a new outer bucket
+    /// (never from the per-event hot path). The heap pops in ascending
+    /// `(time, seq)` order and a newly reachable outer bucket cannot have
+    /// received direct pushes yet, so same-microsecond migrants land in
+    /// ascending-seq arrival order — the stability invariant the bucket
+    /// sorts rely on.
     fn reveal_overflow(&mut self) {
-        // `bucket_of` of any time is ≤ 2^54, so this cannot wrap.
-        let window_end = self.cursor_bucket + NUM_BUCKETS as u64;
+        // `outer_bucket_of` of any time is ≤ 2^45, so this cannot wrap.
+        let reach_end = outer_of(self.cursor_bucket) + NUM_OUTER_BUCKETS as u64;
         while let Some(head) = self.overflow.peek() {
-            let bucket = bucket_of(head.time.as_micros());
-            if bucket >= window_end {
+            let outer_bucket = outer_bucket_of(head.time.as_micros());
+            if outer_bucket >= reach_end {
                 break;
             }
             let event = self.overflow.pop().expect("peeked event exists");
-            // Migration never targets the current bucket mid-life: events
-            // enter either the newly revealed farthest bucket (cursor
-            // advance) or the buckets of a fresh window (cursor jump, before
-            // the current bucket is sorted). The heap pops in ascending
-            // `(time, seq)` order, so same-microsecond migrants land in
-            // ascending-seq storage order — the invariant `order_bucket`'s
-            // scan-built keys rely on.
-            self.buckets[slot_of(bucket)].push(event);
-            self.wheel_len += 1;
+            self.outer[outer_slot_of(outer_bucket)].push(event);
+            self.outer_len += 1;
         }
+    }
+
+    /// Cascades the cursor's outer bucket into the inner ring: one linear
+    /// pass distributing its events to their inner buckets, in arrival
+    /// order. Called exactly once per outer bucket, when the cursor enters
+    /// it — before any push can target the new window's inner buckets
+    /// directly (they were beyond `window_end` until now), so per-bucket
+    /// arrival order stays ascending in `seq` for same-time events.
+    fn cascade_window(&mut self) {
+        let outer_slot = outer_slot_of(outer_of(self.cursor_bucket));
+        let mut events = std::mem::take(&mut self.outer[outer_slot]);
+        self.outer_len -= events.len();
+        self.wheel_len += events.len();
+        for event in events.drain(..) {
+            let bucket = bucket_of(event.time.as_micros());
+            debug_assert!(bucket >= self.cursor_bucket, "cascade into the past");
+            self.buckets[slot_of(bucket)].push(event);
+        }
+        // Hand the drained allocation back for the next cascade of this slot.
+        self.outer[outer_slot] = events;
+    }
+
+    /// The earliest event beyond the (empty) inner ring, if any: the
+    /// `(time, seq)`-minimum of the first non-empty outer bucket, or the
+    /// overflow head once the outer wheel is empty too. Outer buckets are
+    /// unsorted, so this scans one bucket — acceptable off the hot path
+    /// (the wheel only empties when every near event has drained).
+    fn beyond_wheel(&self) -> Option<&ScheduledEvent<E>> {
+        debug_assert_eq!(self.wheel_len, 0);
+        if self.outer_len > 0 {
+            let base = outer_of(self.cursor_bucket);
+            for d in 1..NUM_OUTER_BUCKETS as u64 {
+                let bucket = &self.outer[outer_slot_of(base + d)];
+                if !bucket.is_empty() {
+                    // Reversed `Ord`: the maximum is the earliest
+                    // `(time, seq)`, i.e. exactly what `pop` yields next.
+                    return bucket.iter().max();
+                }
+            }
+            unreachable!("outer_len > 0 but no outer bucket within reach");
+        }
+        self.overflow.peek()
+    }
+
+    /// Moves the cursor forward to the next pending event once the inner
+    /// ring is empty, cascading outer buckets (and revealing overflow) along
+    /// the way, and sorts the new current bucket. Returns `false` when
+    /// nothing is pending beyond the ring.
+    fn refill_wheel(&mut self) -> bool {
+        debug_assert_eq!(self.wheel_len, 0);
+        if self.outer_len > 0 {
+            // Step to the next non-empty outer bucket. Overflow events are
+            // all beyond the pre-step reach, so none can undercut it.
+            let base = outer_of(self.cursor_bucket);
+            for d in 1..NUM_OUTER_BUCKETS as u64 {
+                if !self.outer[outer_slot_of(base + d)].is_empty() {
+                    self.cursor_bucket = window_start_of(base + d);
+                    break;
+                }
+            }
+            debug_assert_ne!(outer_of(self.cursor_bucket), base, "outer_len lied");
+        } else if let Some(head) = self.overflow.peek() {
+            // Jump straight to the earliest overflow event; nothing pending
+            // fires before it, so its bucket anchors the new window.
+            self.cursor_bucket = bucket_of(head.time.as_micros());
+        } else {
+            return false;
+        }
+        self.reveal_overflow();
+        self.cascade_window();
+        // The target outer bucket was non-empty, so the window holds at
+        // least one event at or after the cursor.
+        let window_end = self.window_end();
+        while self.buckets[slot_of(self.cursor_bucket)].is_empty() {
+            self.cursor_bucket += 1;
+            debug_assert!(self.cursor_bucket < window_end, "window held no event");
+        }
+        self.order_bucket(slot_of(self.cursor_bucket));
+        true
     }
 
     /// Schedules `payload` to fire at `time`. Returns the sequence number
@@ -298,6 +537,11 @@ impl<E> EventQueue<E> {
     /// Shared insertion path of [`EventQueue::push`] and
     /// [`EventQueue::push_at_seq`].
     fn push_event(&mut self, event: ScheduledEvent<E>) {
+        if let Some(guard) = self.drain_guard {
+            if event.time <= guard {
+                self.intruded = true;
+            }
+        }
         let micros = event.time.as_micros();
         let bucket = bucket_of(micros);
         if bucket < self.cursor_bucket {
@@ -312,16 +556,15 @@ impl<E> EventQueue<E> {
                 // external user (the simulator never schedules in the past).
                 self.past.push(event);
             }
-        } else if bucket - self.cursor_bucket < NUM_BUCKETS as u64 {
+        } else if bucket < self.window_end() {
             if self.wheel_len == 0 {
                 // Empty ring: re-point the cursor at this event (a singleton
-                // bucket is trivially sorted), then pull in any overflow
-                // events the moved window now covers.
+                // bucket is trivially sorted). The window — and with it the
+                // outer wheel's reach — is unchanged, so nothing cascades.
                 self.buckets[slot_of(bucket)].push(event);
                 self.wheel_len = 1;
                 if bucket > self.cursor_bucket {
                     self.cursor_bucket = bucket;
-                    self.reveal_overflow();
                 }
             } else if bucket == self.cursor_bucket {
                 // The current bucket is kept sorted; insert in place.
@@ -335,35 +578,26 @@ impl<E> EventQueue<E> {
                 self.wheel_len += 1;
             }
         } else {
-            self.overflow.push(event);
+            let outer_bucket = outer_bucket_of(micros);
+            if outer_bucket - outer_of(self.cursor_bucket) < NUM_OUTER_BUCKETS as u64 {
+                self.outer[outer_slot_of(outer_bucket)].push(event);
+                self.outer_len += 1;
+            } else {
+                self.overflow.push(event);
+            }
         }
     }
 
     /// Removes and returns the earliest scheduled event, if any.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        // Past events are strictly earlier than every ring/overflow event.
+        // Past events are strictly earlier than every wheel/overflow event.
         // The emptiness guard keeps the (out-of-line, sift-down-capable)
         // heap pop off the hot path: the past heap is almost always empty.
         if !self.past.is_empty() {
             return self.past.pop();
         }
-        if self.wheel_len == 0 {
-            if self.overflow.is_empty() {
-                return None;
-            }
-            // Jump the window straight to the earliest overflow event and
-            // migrate everything the new window covers. The migrated events
-            // arrive in ascending (time, seq) order, so the current bucket
-            // sees a reversed run — cheap to sort.
-            self.cursor_bucket = bucket_of(
-                self.overflow
-                    .peek()
-                    .expect("overflow is non-empty")
-                    .time
-                    .as_micros(),
-            );
-            self.reveal_overflow();
-            self.order_bucket(slot_of(self.cursor_bucket));
+        if self.wheel_len == 0 && !self.refill_wheel() {
+            return None;
         }
         Some(self.pop_from_wheel())
     }
@@ -379,11 +613,13 @@ impl<E> EventQueue<E> {
             .expect("cursor bucket is non-empty");
         self.wheel_len -= 1;
         if self.buckets[slot].is_empty() && self.wheel_len > 0 {
-            // Advance to the next non-empty bucket, revealing overflow
-            // events bucket by bucket, and sort the destination once.
+            // Advance to the next non-empty bucket — within the current
+            // window by the ring invariant, so no cascade or overflow reveal
+            // can be due — and sort the destination once.
+            let window_end = self.window_end();
             loop {
                 self.cursor_bucket += 1;
-                self.reveal_overflow();
+                debug_assert!(self.cursor_bucket < window_end, "ring event escaped window");
                 if !self.buckets[slot_of(self.cursor_bucket)].is_empty() {
                     break;
                 }
@@ -403,16 +639,17 @@ impl<E> EventQueue<E> {
                 .last()
                 .map(|e| e.time);
         }
-        self.overflow.peek().map(|e| e.time)
+        self.beyond_wheel().map(|e| e.time)
     }
 
     /// The earliest scheduled event, if any, without removing it.
     ///
     /// The returned event is exactly the one the next [`EventQueue::pop`]
-    /// would yield (when the ring is empty the overflow head is the earliest
-    /// `(time, seq)` pending, which is also what the window jump in `pop`
-    /// surfaces first). The simulator's batched delivery dispatch uses this
-    /// to decide whether the next event extends the current same-tick,
+    /// would yield (when the ring is empty, `beyond_wheel`
+    /// resolves the earliest `(time, seq)` pending in the outer wheel or the
+    /// overflow heap, which is also what the window refill in `pop` surfaces
+    /// first). The simulator's batched delivery dispatch uses this to decide
+    /// whether the next event extends the current same-tick,
     /// same-destination delivery run.
     pub fn peek(&self) -> Option<&ScheduledEvent<E>> {
         if let Some(event) = self.past.peek() {
@@ -421,7 +658,7 @@ impl<E> EventQueue<E> {
         if self.wheel_len > 0 {
             return self.buckets[slot_of(self.cursor_bucket)].last();
         }
-        self.overflow.peek()
+        self.beyond_wheel()
     }
 
     /// Removes and returns the earliest event if it fires at or before
@@ -446,15 +683,109 @@ impl<E> EventQueue<E> {
             }
             return Some(self.pop_from_wheel());
         }
-        match self.overflow.peek() {
+        match self.beyond_wheel() {
             Some(e) if e.time <= deadline => self.pop(),
             _ => None,
         }
     }
 
+    /// Moves the entire current bucket — the earliest pending events — into
+    /// `out` in *descending* `(time, seq)` order (earliest last, so callers
+    /// consume via `out.pop()`) and advances the cursor past it. The batch is
+    /// exactly the run of events a sequence of [`EventQueue::pop`] calls
+    /// would yield, in the same order; the caller dispatches them without
+    /// touching the queue per event. Returns `true` if a batch was produced.
+    ///
+    /// Returns `false` — draining nothing — when the queue is empty, when
+    /// the past-guard heap is non-empty (out-of-order pushes must pop
+    /// first), or when `deadline` is set and the bucket's latest event fires
+    /// after it (a straddling bucket must not surrender events beyond the
+    /// deadline). The caller falls back to single pops for those cases.
+    ///
+    /// While the batch is outstanding the queue arms a *drain guard*: any
+    /// push at or before the batch's latest firing time would have popped
+    /// interleaved with the batch under single-pop dispatch (it lands in the
+    /// past heap, or re-anchors the ring when the queue drained empty), so
+    /// it latches [`EventQueue::drain_intruded`]. On intrusion the caller
+    /// merges the rest of the batch against [`EventQueue::peek`] /
+    /// [`EventQueue::pop`] by `(time, seq)`, restoring the exact sequential
+    /// order; pushes *later* than the guard are genuinely later than every
+    /// batch event and need no merging. Call [`EventQueue::finish_drain`]
+    /// once the batch is consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is non-empty (debug builds).
+    pub fn drain_bucket(
+        &mut self,
+        deadline: Option<SimTime>,
+        out: &mut Vec<ScheduledEvent<E>>,
+    ) -> bool {
+        debug_assert!(out.is_empty(), "drain_bucket needs an empty batch buffer");
+        if !self.past.is_empty() {
+            return false;
+        }
+        if self.wheel_len == 0 && !self.refill_wheel() {
+            return false;
+        }
+        let slot = slot_of(self.cursor_bucket);
+        // The current bucket is sorted descending: its head fires last.
+        let latest = self.buckets[slot]
+            .first()
+            .expect("cursor bucket is non-empty")
+            .time;
+        if let Some(d) = deadline {
+            if latest > d {
+                return false;
+            }
+        }
+        // Hand the whole sorted bucket over and give it the (empty) batch
+        // buffer's capacity back — no per-event copies in either direction.
+        std::mem::swap(&mut self.buckets[slot], out);
+        self.wheel_len -= out.len();
+        if self.wheel_len > 0 {
+            // Advance to the next non-empty bucket exactly as the final pop
+            // of this bucket would — within the current window by the ring
+            // invariant.
+            let window_end = self.window_end();
+            loop {
+                self.cursor_bucket += 1;
+                debug_assert!(self.cursor_bucket < window_end, "ring event escaped window");
+                if !self.buckets[slot_of(self.cursor_bucket)].is_empty() {
+                    break;
+                }
+            }
+            self.order_bucket(slot_of(self.cursor_bucket));
+        }
+        // With the wheel drained empty the cursor stays put; a later push at
+        // or before `latest` re-anchors the ring (or lands in the past heap
+        // once something re-anchored it) and is caught by the guard either
+        // way.
+        self.drain_guard = Some(latest);
+        self.intruded = false;
+        true
+    }
+
+    /// Whether a push intruded into the batch produced by the last
+    /// [`EventQueue::drain_bucket`] (see there). Cleared by
+    /// [`EventQueue::finish_drain`] and by the next drain.
+    #[inline]
+    pub fn drain_intruded(&self) -> bool {
+        self.intruded
+    }
+
+    /// Disarms the drain guard once the caller has consumed a
+    /// [`EventQueue::drain_bucket`] batch, so later pushes stop being
+    /// tracked as intrusions.
+    #[inline]
+    pub fn finish_drain(&mut self) {
+        self.drain_guard = None;
+        self.intruded = false;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.past.len() + self.wheel_len + self.overflow.len()
+        self.past.len() + self.wheel_len + self.outer_len + self.overflow.len()
     }
 
     /// Returns `true` if no events are pending.
@@ -935,6 +1266,143 @@ mod tests {
                 other => panic!("queues diverged: {other:?}"),
             }
         }
+    }
+
+    /// Consumes `q` entirely through the batch path (single pops where the
+    /// queue refuses to drain) and returns the `(time, seq)` order observed.
+    /// No pushes happen during consumption, so no merging is ever needed —
+    /// the sequence must equal plain `pop` order exactly.
+    fn drain_all_batched(q: &mut EventQueue<u64>) -> Vec<(SimTime, u64)> {
+        let mut order = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            if q.drain_bucket(None, &mut batch) {
+                while let Some(ev) = batch.pop() {
+                    assert!(!q.drain_intruded(), "no pushes happened mid-batch");
+                    order.push((ev.time, ev.seq));
+                }
+                q.finish_drain();
+            } else {
+                match q.pop() {
+                    Some(ev) => order.push((ev.time, ev.seq)),
+                    None => break,
+                }
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn drain_bucket_matches_single_pop_across_ring_wrap() {
+        // Regression for the batch path: bucket boundaries interacting with
+        // far-overflow migration must not reorder events against single-pop
+        // dispatch, in particular where the cursor crosses the 512-bucket
+        // ring wrap (absolute bucket 511 → 512 maps slot 511 → slot 0).
+        let build = || {
+            let mut q = EventQueue::new();
+            let wrap = NUM_BUCKETS as u64 * BUCKET_WIDTH_MICROS; // bucket 512
+            let mut payload = 0u64;
+            // Dense same-time ties straddling the wrap boundary buckets.
+            for &base in &[
+                wrap - 2 * BUCKET_WIDTH_MICROS, // bucket 510
+                wrap - BUCKET_WIDTH_MICROS,     // bucket 511 (slot 511)
+                wrap,                           // bucket 512 (slot 0)
+                wrap + BUCKET_WIDTH_MICROS,     // bucket 513 (slot 1)
+            ] {
+                for off in [0u64, 1, 1, 513, BUCKET_WIDTH_MICROS - 1] {
+                    q.push(SimTime::from_micros(base + off), payload);
+                    payload += 1;
+                }
+            }
+            // Far-overflow events that migrate in while the cursor advances
+            // across the wrap (one window ahead of the wrap buckets).
+            for i in 0..8u64 {
+                q.push(
+                    SimTime::from_micros(wrap + (NUM_BUCKETS as u64 - 2 + i) * BUCKET_WIDTH_MICROS),
+                    payload,
+                );
+                payload += 1;
+            }
+            q
+        };
+        let mut batched = build();
+        let mut reference = build();
+        let batch_order = drain_all_batched(&mut batched);
+        let mut pop_order = Vec::new();
+        while let Some(ev) = reference.pop() {
+            pop_order.push((ev.time, ev.seq));
+        }
+        assert_eq!(batch_order, pop_order);
+        assert!(batched.is_empty());
+    }
+
+    #[test]
+    fn drain_bucket_refuses_past_guard_and_straddling_deadlines() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), 0u64);
+        q.push(SimTime::from_secs(10), 1);
+        // Advance the cursor, then push before it: the event lands in the
+        // past heap and the queue must refuse to drain until it popped.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        q.push(SimTime::from_millis(1), 2);
+        let mut batch = Vec::new();
+        assert!(!q.drain_bucket(None, &mut batch));
+        assert_eq!(q.pop().unwrap().seq, 2);
+        // A deadline inside the current bucket: the bucket's latest event
+        // fires after it, so the batch path stands down and single pops take
+        // the prefix.
+        let base = SimTime::from_secs(10);
+        q.push(base + SimDuration::from_micros(3), 3);
+        assert!(!q.drain_bucket(Some(base + SimDuration::from_micros(1)), &mut batch));
+        assert_eq!(
+            q.pop_at_or_before(base + SimDuration::from_micros(1))
+                .unwrap()
+                .seq,
+            1
+        );
+        // With the straddler gone the whole bucket fits the deadline.
+        assert!(q.drain_bucket(Some(base + SimDuration::from_micros(3)), &mut batch));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.pop().unwrap().seq, 3);
+        q.finish_drain();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_guard_latches_intrusions() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.push(t, 0u64);
+        q.push(t + SimDuration::from_micros(5), 1);
+        q.push(SimTime::from_secs(5), 2);
+        let mut batch = Vec::new();
+        assert!(q.drain_bucket(None, &mut batch));
+        assert_eq!(batch.len(), 2);
+        // A push later than the batch's latest time is no intrusion...
+        q.push(SimTime::from_millis(900), 3);
+        assert!(!q.drain_intruded());
+        // ...but one at or before it is (same-tick timer, zero-delay send).
+        q.push(t + SimDuration::from_micros(2), 4);
+        assert!(q.drain_intruded());
+        // The intruder pops in exact (time, seq) order against the batch.
+        let front = q.peek().expect("intruder is pending");
+        assert_eq!(
+            (front.time, front.seq),
+            (t + SimDuration::from_micros(2), 4)
+        );
+        q.finish_drain();
+        assert!(!q.drain_intruded());
+
+        // Re-anchor intrusion: draining the queue empty and then pushing at
+        // or before the batch's latest time must also latch the flag (the
+        // push re-anchors the ring rather than landing in the past heap).
+        let mut q = EventQueue::new();
+        q.push(t, 0u64);
+        let mut batch = Vec::new();
+        assert!(q.drain_bucket(None, &mut batch));
+        q.push(t, 1);
+        assert!(q.drain_intruded());
+        assert_eq!(q.peek().map(|e| e.seq), Some(1));
     }
 
     #[test]

@@ -464,6 +464,13 @@ struct Shard<P: Protocol> {
     /// Protocol instances, indexed by shard-local index.
     protocols: Vec<P>,
     state: ShardState<P::Message>,
+    /// Whether bucket runs use the batch pipeline
+    /// ([`EventQueue::drain_bucket`]) or single pops
+    /// ([`SimulatorBuilder::single_pop_dispatch`]).
+    batched: bool,
+    /// Reusable batch buffer; capacity is recycled through the queue's
+    /// bucket storage via `mem::swap`.
+    batch: Vec<crate::event::ScheduledEvent<EventKind<P::Message>>>,
 }
 
 impl<P: Protocol> Shard<P> {
@@ -471,56 +478,106 @@ impl<P: Protocol> Shard<P> {
     /// bucket, possibly truncated by a run deadline) in ascending
     /// `(time, seq)` order — the restriction of the flat core's global order
     /// to this shard. Returns the number of events processed.
+    ///
+    /// By default this drains whole calendar buckets
+    /// ([`EventQueue::drain_bucket`]), exactly like the flat core's batched
+    /// loop but without its intrusion merging: shard callbacks defer every
+    /// push to the exchange outbox, so the shard queue cannot change while a
+    /// batch is outstanding (asserted). The cutoff lands on a calendar-bucket
+    /// boundary except when truncated by a run deadline, in which case the
+    /// straddling bucket falls back to single pops.
     fn run_bucket(&mut self, cutoff: SimTime) -> u64 {
         let mut processed = 0;
+        if self.batched {
+            let mut batch = std::mem::take(&mut self.batch);
+            debug_assert!(batch.is_empty());
+            while self.state.queue.drain_bucket(Some(cutoff), &mut batch) {
+                while let Some(ev) = batch.pop() {
+                    self.state.now = ev.time;
+                    processed += 1;
+                    processed += self.dispatch(ev.seq, ev.payload, &mut batch);
+                }
+                debug_assert!(
+                    !self.state.queue.drain_intruded(),
+                    "shard callbacks defer pushes to the exchange"
+                );
+                self.state.queue.finish_drain();
+            }
+            self.batch = batch;
+        }
+        // Single-pop dispatch: the whole bucket region in the unbatched
+        // mode, or only the deadline-straddling remainder in the batched
+        // mode.
         while let Some(ev) = self.state.queue.pop_at_or_before(cutoff) {
             self.state.now = ev.time;
             processed += 1;
-            match ev.payload {
-                EventKind::Deliver { from, to, msg } => {
-                    processed += self.deliver_run(ev.seq, from, to, msg);
-                }
-                EventKind::Timer { timer } => {
-                    // Firing always frees the slot; a cancelled (or stale)
-                    // timer is simply not delivered.
-                    if let Some((node, tag)) = self.state.timers.fire(timer) {
-                        let local = self.state.local_of[node.index()];
-                        if self.state.alive[local as usize] {
-                            let mut ctx = Context::shard(node, local, ev.seq, &mut self.state);
-                            self.protocols[local as usize].on_timer(&mut ctx, timer, tag);
-                        }
-                    }
-                }
-                EventKind::Crash { node } => {
-                    let local = self.state.local_of[node.index()] as usize;
-                    if self.state.alive[local] {
-                        self.state.alive[local] = false;
-                        self.protocols[local].on_crash(self.state.now);
-                    }
-                }
-            }
+            processed += self.dispatch(ev.seq, ev.payload, &mut Vec::new());
         }
         processed
     }
 
+    /// Dispatches one event; same-tick delivery runs extend from `batch`
+    /// when it is non-empty (the batched mode) and from the queue otherwise.
+    /// Returns the number of *additional* events consumed.
+    #[inline]
+    fn dispatch(
+        &mut self,
+        seq: u64,
+        payload: EventKind<P::Message>,
+        batch: &mut Vec<crate::event::ScheduledEvent<EventKind<P::Message>>>,
+    ) -> u64 {
+        match payload {
+            EventKind::Deliver { from, to, msg } => self.deliver_run(seq, from, to, msg, batch),
+            EventKind::Timer { timer } => {
+                // Firing always frees the slot; a cancelled (or stale)
+                // timer is simply not delivered.
+                if let Some((node, tag)) = self.state.timers.fire(timer) {
+                    let local = self.state.local_of[node.index()];
+                    if self.state.alive[local as usize] {
+                        let mut ctx = Context::shard(node, local, seq, &mut self.state);
+                        self.protocols[local as usize].on_timer(&mut ctx, timer, tag);
+                    }
+                }
+                0
+            }
+            EventKind::Crash { node } => {
+                let local = self.state.local_of[node.index()] as usize;
+                if self.state.alive[local] {
+                    self.state.alive[local] = false;
+                    self.protocols[local].on_crash(self.state.now);
+                }
+                0
+            }
+        }
+    }
+
     /// The shard counterpart of the flat core's batched delivery run: drains
-    /// every same-tick delivery to `to` pending *in this shard's queue* into
-    /// one callback context. The shard may see a longer contiguous run than
-    /// the flat core (events of other shards' nodes no longer interleave),
-    /// but activation boundaries are invisible to protocols and the batched
-    /// statistics sum identically, so the difference is unobservable; the
-    /// per-command exchange keys are re-anchored on each extension's own
-    /// event ([`Context::retrigger`]) so the global command order is
-    /// preserved exactly. Returns the number of *additional* events consumed
-    /// beyond the first.
-    fn deliver_run(&mut self, trigger_seq: u64, from: NodeId, to: NodeId, msg: P::Message) -> u64 {
+    /// every same-tick delivery to `to` pending *at the batch tail* into one
+    /// callback context (under single-pop dispatch the batch is empty and
+    /// every delivery is its own run). Run grouping may therefore differ
+    /// from the flat core — events of other shards' nodes no longer
+    /// interleave, and the unbatched mode never groups — but activation
+    /// boundaries are invisible to protocols and the batched statistics sum
+    /// identically, so the difference is unobservable; the per-command
+    /// exchange keys are re-anchored on each extension's own event
+    /// ([`Context::retrigger`]) so the global command order is preserved
+    /// exactly. Returns the number of *additional* events consumed beyond
+    /// the first.
+    fn deliver_run(
+        &mut self,
+        trigger_seq: u64,
+        from: NodeId,
+        to: NodeId,
+        msg: P::Message,
+        batch: &mut Vec<crate::event::ScheduledEvent<EventKind<P::Message>>>,
+    ) -> u64 {
         let local = self.state.local_of[to.index()] as usize;
         let now = self.state.now;
         if !self.state.alive[local] {
             // Drain the dead-destination run without a context.
             let mut count = 1u64;
-            while next_extends_shard_run(&self.state, now, to) {
-                let _ = self.state.queue.pop();
+            while batch_extends_shard_run(batch, now, to) {
+                let _ = batch.pop();
                 count += 1;
             }
             self.state
@@ -533,12 +590,8 @@ impl<P: Protocol> Shard<P> {
         let protocol = &mut self.protocols[local];
         let mut ctx = Context::shard(to, local as u32, trigger_seq, &mut self.state);
         protocol.on_message(&mut ctx, from, msg);
-        loop {
-            let state = ctx.shard_state();
-            if !next_extends_shard_run(state, now, to) {
-                break;
-            }
-            let ev = state.queue.pop().expect("peeked event exists");
+        while batch_extends_shard_run(batch, now, to) {
+            let ev = batch.pop().expect("tail was checked");
             let EventKind::Deliver { from, msg, .. } = ev.payload else {
                 unreachable!("run extension is a delivery");
             };
@@ -564,11 +617,15 @@ impl<P: Protocol> Shard<P> {
     }
 }
 
-/// Whether the front of the shard queue extends a same-tick delivery run to
-/// `to`.
+/// Whether the tail of the drained batch extends a same-tick delivery run
+/// to `to`.
 #[inline]
-fn next_extends_shard_run<M>(state: &ShardState<M>, now: SimTime, to: NodeId) -> bool {
-    match state.queue.peek() {
+fn batch_extends_shard_run<M>(
+    batch: &[crate::event::ScheduledEvent<EventKind<M>>],
+    now: SimTime,
+    to: NodeId,
+) -> bool {
+    match batch.last() {
         Some(ev) if ev.time == now => {
             matches!(&ev.payload, EventKind::Deliver { to: t, .. } if *t == to)
         }
@@ -593,6 +650,18 @@ struct ExchangeState {
     /// Determinism-contract violations (sub-bucket delays) observed so far;
     /// checked at the end of every run call.
     violations: u64,
+    /// Whether the exchange bulk-draws loss/latency for whole delivery
+    /// batches through the vectorized samplers (where the model gates
+    /// allow; see [`run_exchange`]). Mirrors
+    /// [`SimulatorBuilder::single_pop_dispatch`] so the unbatched mode is a
+    /// pure differential oracle.
+    batched: bool,
+    /// Raw-word scratch for the bulk RNG path.
+    raw_scratch: Vec<u64>,
+    /// Pre-drawn latency samples for the current exchange.
+    lat_batch: Vec<SimDuration>,
+    /// Pre-drawn loss decisions for the current exchange.
+    loss_batch: Vec<bool>,
 }
 
 /// Runs one exchange: merges the deferred commands, restores the flat
@@ -617,6 +686,54 @@ fn run_exchange<M, I>(
     I: DerefMut<Target = Inbox<M>>,
 {
     merged.sort_unstable_by_key(|e| e.key());
+    // Vectorized pre-draw (PR 8): when the model combination keeps the RNG
+    // stream order intact, all draws of this exchange are bulk-generated
+    // through the lane-blocked samplers and the loop below just consumes
+    // them. Exactly one sampler can draw per delivery without reordering:
+    //
+    // - lossless models draw nothing, so every surviving delivery's latency
+    //   draw is next in stream order → batch all latency draws;
+    // - constant latency draws nothing, so every non-blocked delivery's
+    //   loss draw is next in stream order → batch all loss decisions
+    //   (Gilbert–Elliott excluded: its per-sender state machine must see
+    //   the decisions in order, and `is_lost_batch` refuses it);
+    // - any other combination interleaves loss and latency draws per
+    //   delivery → scalar fallback, draw for draw as before.
+    //
+    // Partition-blocked deliveries consume no randomness on either path, so
+    // the batch covers exactly the non-blocked deliveries in merged order.
+    let mut cursor = 0usize;
+    let mut latency_batched = false;
+    let mut loss_batched = false;
+    if exch.batched && (exch.loss.is_draw_free() || exch.latency.is_draw_free()) {
+        let n = merged
+            .iter()
+            .filter(|e| match e {
+                OutEntry::Deliver { key, from, to, .. } => {
+                    !exch
+                        .fault
+                        .blocks(SimTime::from_micros(key.time_micros), *from, *to)
+                }
+                OutEntry::Timer { .. } => false,
+            })
+            .count();
+        if exch.loss.is_draw_free() {
+            exch.latency.sample_batch(
+                &mut exch.net_rng,
+                n,
+                &mut exch.raw_scratch,
+                &mut exch.lat_batch,
+            );
+            latency_batched = true;
+        } else {
+            loss_batched = exch.loss.is_lost_batch(
+                &mut exch.net_rng,
+                n,
+                &mut exch.raw_scratch,
+                &mut exch.loss_batch,
+            );
+        }
+    }
     for entry in merged.drain(..) {
         match entry {
             OutEntry::Deliver {
@@ -639,7 +756,14 @@ fn run_exchange<M, I>(
                         .push(plan.local_of[from.index()]);
                     continue;
                 }
-                if exch.loss.is_lost(&mut exch.net_rng, from, to) {
+                let lost = if loss_batched {
+                    let lost = exch.loss_batch[cursor];
+                    cursor += 1;
+                    lost
+                } else {
+                    exch.loss.is_lost(&mut exch.net_rng, from, to)
+                };
+                if lost {
                     // Lost messages consume no sequence number (the flat
                     // core never pushes them).
                     inboxes[plan.shard_of[from.index()] as usize]
@@ -647,7 +771,13 @@ fn run_exchange<M, I>(
                         .push(plan.local_of[from.index()]);
                     continue;
                 }
-                let latency = exch.latency.sample(&mut exch.net_rng);
+                let latency = if latency_batched {
+                    let latency = exch.lat_batch[cursor];
+                    cursor += 1;
+                    latency
+                } else {
+                    exch.latency.sample(&mut exch.net_rng)
+                };
                 let arrival = departure + latency;
                 if cutoff.is_some_and(|c| arrival <= c) {
                     exch.violations += 1;
@@ -748,6 +878,8 @@ impl<P: Protocol> ShardedSim<P> {
                 .collect();
             shards.push(Shard {
                 protocols,
+                batched: builder.batch_dispatch,
+                batch: Vec::new(),
                 state: ShardState {
                     queue: EventQueue::new(),
                     now: SimTime::ZERO,
@@ -777,6 +909,10 @@ impl<P: Protocol> ShardedSim<P> {
                 fault: builder.fault,
                 next_seq: 0,
                 violations: 0,
+                batched: builder.batch_dispatch,
+                raw_scratch: Vec::new(),
+                lat_batch: Vec::new(),
+                loss_batch: Vec::new(),
             },
             merged: Vec::new(),
             inboxes,

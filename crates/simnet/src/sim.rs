@@ -303,6 +303,15 @@ enum FatEventKind<M> {
     },
 }
 
+/// Which queue-substitution ablation to run, if any. See
+/// [`SimulatorBuilder::lifo_queue_for_ablation`] and
+/// [`SimulatorBuilder::fifo_queue_for_ablation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueAblation {
+    Lifo,
+    Fifo,
+}
+
 /// The scheduler backing the simulator: the calendar queue over slim
 /// [`EventKind`] entries by default, or — for the retained benchmark
 /// baselines — the PR 3 calendar queue ([`Pr3CalendarQueue`]) or the seed
@@ -313,6 +322,32 @@ enum SimQueue<M> {
     Calendar(EventQueue<EventKind<M>>),
     CalendarFat(Pr3CalendarQueue<FatEventKind<M>>),
     BaselineFat(BinaryHeapQueue<FatEventKind<M>>),
+    /// LIFO-stack substitution for the queue-share ablation
+    /// ([`SimulatorBuilder::lifo_queue_for_ablation`]): `push` appends,
+    /// `pop` takes the most recent entry, both O(1) with no ordering work
+    /// at all. Event *times are ignored* — the run is not a valid
+    /// simulation — but for workloads whose event population is
+    /// order-invariant (no losses, no cancels, payload-driven chains) the
+    /// total event count is unchanged, so timing a LIFO run isolates the
+    /// non-queue pipeline cost per event.
+    Lifo {
+        stack: Vec<ScheduledEvent<EventKind<M>>>,
+        next_seq: u64,
+    },
+    /// FIFO-deque substitution for the queue-share ablation
+    /// ([`SimulatorBuilder::fifo_queue_for_ablation`]): like
+    /// [`SimQueue::Lifo`] but consuming in push order. Push order tracks
+    /// virtual time statistically (modulo the latency shuffle), so the
+    /// *node-access pattern* of the run — which nodes' protocol state, RNG
+    /// streams and statistics each consecutive event touches — matches a
+    /// real time-ordered run, where the LIFO stack's depth-first chain
+    /// walk keeps one chain's state artificially hot. The FIFO time is
+    /// therefore the locality-matched non-queue baseline; the LIFO time
+    /// bounds it from below.
+    Fifo {
+        deque: std::collections::VecDeque<ScheduledEvent<EventKind<M>>>,
+        next_seq: u64,
+    },
 }
 
 impl<M> SimQueue<M> {
@@ -345,6 +380,24 @@ impl<M> SimQueue<M> {
                     },
                 );
             }
+            SimQueue::Lifo { stack, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                stack.push(ScheduledEvent {
+                    time,
+                    seq,
+                    payload: EventKind::Deliver { from, to, msg },
+                });
+            }
+            SimQueue::Fifo { deque, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                deque.push_back(ScheduledEvent {
+                    time,
+                    seq,
+                    payload: EventKind::Deliver { from, to, msg },
+                });
+            }
         }
     }
 
@@ -359,6 +412,24 @@ impl<M> SimQueue<M> {
             }
             SimQueue::BaselineFat(q) => {
                 q.push(time, FatEventKind::Timer { node, timer, tag });
+            }
+            SimQueue::Lifo { stack, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                stack.push(ScheduledEvent {
+                    time,
+                    seq,
+                    payload: EventKind::Timer { timer },
+                });
+            }
+            SimQueue::Fifo { deque, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                deque.push_back(ScheduledEvent {
+                    time,
+                    seq,
+                    payload: EventKind::Timer { timer },
+                });
             }
         }
     }
@@ -375,6 +446,24 @@ impl<M> SimQueue<M> {
             SimQueue::BaselineFat(q) => {
                 q.push(time, FatEventKind::Crash { node });
             }
+            SimQueue::Lifo { stack, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                stack.push(ScheduledEvent {
+                    time,
+                    seq,
+                    payload: EventKind::Crash { node },
+                });
+            }
+            SimQueue::Fifo { deque, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                deque.push_back(ScheduledEvent {
+                    time,
+                    seq,
+                    payload: EventKind::Crash { node },
+                });
+            }
         }
     }
 
@@ -383,25 +472,33 @@ impl<M> SimQueue<M> {
             SimQueue::Calendar(q) => q.len(),
             SimQueue::CalendarFat(q) => q.len(),
             SimQueue::BaselineFat(q) => q.len(),
+            SimQueue::Lifo { stack, .. } => stack.len(),
+            SimQueue::Fifo { deque, .. } => deque.len(),
         }
     }
 
-    /// The firing time of the earliest scheduled event, if any.
+    /// The firing time of the earliest scheduled event, if any. (On the
+    /// LIFO ablation stack: the time of the *most recent* entry — the one
+    /// the next pop returns — which is all its callers need.)
     #[inline]
     fn peek_time(&self) -> Option<SimTime> {
         match self {
             SimQueue::Calendar(q) => q.peek_time(),
             SimQueue::CalendarFat(q) => q.peek_time(),
             SimQueue::BaselineFat(q) => q.peek_time(),
+            SimQueue::Lifo { stack, .. } => stack.last().map(|ev| ev.time),
+            SimQueue::Fifo { deque, .. } => deque.front().map(|ev| ev.time),
         }
     }
 
-    /// Slim-queue accessors for the flat event loop; the flat core always
-    /// runs on [`SimQueue::Calendar`].
+    /// Slim-queue accessors for the flat event loop; the flat core runs on
+    /// [`SimQueue::Calendar`] (or the [`SimQueue::Lifo`] ablation stack).
     #[inline]
     fn pop_slim(&mut self) -> Option<ScheduledEvent<EventKind<M>>> {
         match self {
             SimQueue::Calendar(q) => q.pop(),
+            SimQueue::Lifo { stack, .. } => stack.pop(),
+            SimQueue::Fifo { deque, .. } => deque.pop_front(),
             _ => unreachable!("flat core runs on the slim calendar queue"),
         }
     }
@@ -410,6 +507,9 @@ impl<M> SimQueue<M> {
     fn pop_slim_at_or_before(&mut self, deadline: SimTime) -> Option<ScheduledEvent<EventKind<M>>> {
         match self {
             SimQueue::Calendar(q) => q.pop_at_or_before(deadline),
+            SimQueue::Lifo { .. } | SimQueue::Fifo { .. } => {
+                unreachable!("the ablation queues only support run_to_completion")
+            }
             _ => unreachable!("flat core runs on the slim calendar queue"),
         }
     }
@@ -418,6 +518,38 @@ impl<M> SimQueue<M> {
     fn peek_slim(&self) -> Option<&ScheduledEvent<EventKind<M>>> {
         match self {
             SimQueue::Calendar(q) => q.peek(),
+            SimQueue::Lifo { stack, .. } => stack.last(),
+            SimQueue::Fifo { deque, .. } => deque.front(),
+            _ => unreachable!("flat core runs on the slim calendar queue"),
+        }
+    }
+
+    /// [`EventQueue::drain_bucket`] on the slim calendar queue (the batched
+    /// dispatch path).
+    #[inline]
+    fn drain_bucket_slim(
+        &mut self,
+        deadline: Option<SimTime>,
+        out: &mut Vec<ScheduledEvent<EventKind<M>>>,
+    ) -> bool {
+        match self {
+            SimQueue::Calendar(q) => q.drain_bucket(deadline, out),
+            _ => unreachable!("flat core runs on the slim calendar queue"),
+        }
+    }
+
+    #[inline]
+    fn drain_intruded_slim(&self) -> bool {
+        match self {
+            SimQueue::Calendar(q) => q.drain_intruded(),
+            _ => unreachable!("flat core runs on the slim calendar queue"),
+        }
+    }
+
+    #[inline]
+    fn finish_drain_slim(&mut self) {
+        match self {
+            SimQueue::Calendar(q) => q.finish_drain(),
             _ => unreachable!("flat core runs on the slim calendar queue"),
         }
     }
@@ -427,7 +559,9 @@ impl<M> SimQueue<M> {
         match self {
             SimQueue::CalendarFat(q) => q.pop(),
             SimQueue::BaselineFat(q) => q.pop(),
-            SimQueue::Calendar(_) => unreachable!("compat cores run on a fat queue"),
+            SimQueue::Calendar(_) | SimQueue::Lifo { .. } | SimQueue::Fifo { .. } => {
+                unreachable!("compat cores run on a fat queue")
+            }
         }
     }
 }
@@ -750,6 +884,13 @@ pub struct SimulatorBuilder {
     pub(crate) capacities: Vec<UploadCapacity>,
     pub(crate) queue_limit: Option<SimDuration>,
     mode: CoreMode,
+    /// Whether the flat core dispatches whole calendar buckets at a time
+    /// (the PR 8 batch pipeline) instead of popping events one by one.
+    pub(crate) batch_dispatch: bool,
+    /// Queue-substitution ablation, if any
+    /// ([`SimulatorBuilder::lifo_queue_for_ablation`],
+    /// [`SimulatorBuilder::fifo_queue_for_ablation`]).
+    ablation: Option<QueueAblation>,
     /// Number of shards (`0` = the unsharded single-core simulator).
     pub(crate) shards: usize,
     /// How the node population is partitioned when sharded.
@@ -771,6 +912,8 @@ impl SimulatorBuilder {
             capacities: vec![UploadCapacity::Unlimited; n],
             queue_limit: None,
             mode: CoreMode::Flat,
+            batch_dispatch: true,
+            ablation: None,
             shards: 0,
             shard_policy: ShardPolicy::Contiguous,
             mailbox_capacity: None,
@@ -851,6 +994,58 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Routes the flat core (and each shard of a sharded simulator) through
+    /// single-pop dispatch instead of the default bucket-at-a-time batch
+    /// pipeline ([`EventQueue::drain_bucket`]). Bit-identical to the batched
+    /// path — same callback order, same RNG draws, same statistics (asserted
+    /// differentially in tests and CI) — retained as the differential oracle
+    /// and the measurement baseline of the PR 8 batching. No effect on the
+    /// compat cores, which never batch.
+    pub fn single_pop_dispatch(mut self) -> Self {
+        self.batch_dispatch = false;
+        self
+    }
+
+    /// Replaces the calendar queue with an unordered LIFO stack: push
+    /// appends, pop takes the most recent entry, both O(1) with zero
+    /// ordering work. **The run is not a valid simulation** — events fire
+    /// in stack order, virtual time regresses freely and every
+    /// time-derived observable (latencies, completion times, statistics)
+    /// is meaningless. What *is* preserved, for workloads whose event
+    /// population is independent of processing order (lossless delivery,
+    /// no timer cancels, payload-driven chains, count-budgeted re-arms),
+    /// is the total number of events processed: every push is popped
+    /// exactly once either way. Timing such a run therefore measures the
+    /// full non-queue pipeline — dispatch, protocol callbacks, RNG draws,
+    /// statistics — at the real event count, and the difference against a
+    /// real run isolates the event queue's share of per-event cost. Used
+    /// by the `bench-json` queue-share ablation; hidden because it is an
+    /// instrument, not a simulator configuration. Only
+    /// [`Simulator::run_to_completion`] is supported (deadlines are
+    /// meaningless without event ordering); batched dispatch is forced
+    /// off.
+    #[doc(hidden)]
+    pub fn lifo_queue_for_ablation(mut self) -> Self {
+        self.ablation = Some(QueueAblation::Lifo);
+        self
+    }
+
+    /// [`SimulatorBuilder::lifo_queue_for_ablation`] with a FIFO deque
+    /// instead of a stack: events are consumed in *push* order, which
+    /// tracks virtual time statistically and therefore preserves the
+    /// node-access locality of a real time-ordered run (the LIFO stack's
+    /// depth-first chain walk keeps one chain's protocol state
+    /// artificially hot). The FIFO time is the locality-matched non-queue
+    /// baseline of the queue-share ablation; the LIFO time bounds it from
+    /// below. All the LIFO caveats apply: not a valid simulation,
+    /// event-count-preserving only for order-invariant workloads,
+    /// `run_to_completion` only.
+    #[doc(hidden)]
+    pub fn fifo_queue_for_ablation(mut self) -> Self {
+        self.ablation = Some(QueueAblation::Fifo);
+        self
+    }
+
     /// Bounds every node's upload-queue backlog: messages arriving while the
     /// queue already holds more than `limit` of transmission work are dropped
     /// (finite application/socket send buffer). Unlimited-capacity nodes are
@@ -924,6 +1119,12 @@ impl SimulatorBuilder {
                 "a fault plan with partition epochs needs one group per node"
             );
         }
+        if self.ablation.is_some() {
+            assert!(
+                self.shards == 0 && self.mode == CoreMode::Flat,
+                "the ablation queues apply to the unsharded flat core only"
+            );
+        }
         if self.shards > 0 {
             assert!(
                 self.mode == CoreMode::Flat,
@@ -959,15 +1160,26 @@ impl SimulatorBuilder {
         let rngs: Vec<SmallRng> = (0..self.n)
             .map(|i| stream_rng(self.seed, 1 + i as u64))
             .collect();
-        let queue = match self.mode {
-            CoreMode::Flat => SimQueue::Calendar(EventQueue::new()),
-            CoreMode::Pr3 => SimQueue::CalendarFat(Pr3CalendarQueue::new()),
-            CoreMode::Seed => SimQueue::BaselineFat(BinaryHeapQueue::new()),
+        let queue = match (self.mode, self.ablation) {
+            (CoreMode::Flat, Some(QueueAblation::Lifo)) => SimQueue::Lifo {
+                stack: Vec::new(),
+                next_seq: 0,
+            },
+            (CoreMode::Flat, Some(QueueAblation::Fifo)) => SimQueue::Fifo {
+                deque: std::collections::VecDeque::new(),
+                next_seq: 0,
+            },
+            (CoreMode::Flat, None) => SimQueue::Calendar(EventQueue::new()),
+            (CoreMode::Pr3, _) => SimQueue::CalendarFat(Pr3CalendarQueue::new()),
+            (CoreMode::Seed, _) => SimQueue::BaselineFat(BinaryHeapQueue::new()),
         };
         let latency_fast = LatencySampler::new(&self.latency);
         let loss_fast = LossSampler::new(&self.loss, self.n);
+        let batched = self.batch_dispatch && self.mode == CoreMode::Flat && self.ablation.is_none();
         let mut sim = SingleSim {
             protocols,
+            batched,
+            batch: Vec::new(),
             core: Core {
                 queue,
                 latency: self.latency,
@@ -1033,6 +1245,13 @@ struct SingleSim<P: Protocol> {
     /// simultaneously (the eager-dispatch seam).
     protocols: Vec<P>,
     core: Core<P::Message>,
+    /// Whether the flat core runs the bucket-at-a-time batch pipeline
+    /// (default) or single-pop dispatch
+    /// ([`SimulatorBuilder::single_pop_dispatch`]).
+    batched: bool,
+    /// Reusable batch buffer for [`EventQueue::drain_bucket`]; its capacity
+    /// is recycled through the queue's bucket storage via `mem::swap`.
+    batch: Vec<ScheduledEvent<EventKind<P::Message>>>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -1251,6 +1470,7 @@ impl<P: Protocol> SingleSim<P> {
     /// whichever comes first. Returns the number of events processed.
     fn run_until(&mut self, deadline: SimTime) -> u64 {
         let processed = match self.core.mode {
+            CoreMode::Flat if self.batched => self.run_flat_batched(Some(deadline)),
             CoreMode::Flat => self.run_flat(Some(deadline)),
             _ => self.run_deferred(Some(deadline)),
         };
@@ -1265,12 +1485,15 @@ impl<P: Protocol> SingleSim<P> {
     /// Runs until the event queue is completely exhausted.
     fn run_to_completion(&mut self) -> u64 {
         match self.core.mode {
+            CoreMode::Flat if self.batched => self.run_flat_batched(None),
             CoreMode::Flat => self.run_flat(None),
             _ => self.run_deferred(None),
         }
     }
 
     /// The flat event loop: fused pop, inline dispatch, batched deliveries.
+    /// Retained unchanged as the differential oracle for the batched loop
+    /// ([`SimulatorBuilder::single_pop_dispatch`]).
     fn run_flat(&mut self, deadline: Option<SimTime>) -> u64 {
         let mut processed = 0;
         loop {
@@ -1281,30 +1504,123 @@ impl<P: Protocol> SingleSim<P> {
             let Some(ev) = popped else { break };
             self.core.now = ev.time;
             processed += 1;
-            match ev.payload {
-                EventKind::Deliver { from, to, msg } => {
-                    processed += self.deliver_run(from, to, msg);
+            processed += self.dispatch_slim(ev.payload);
+        }
+        processed
+    }
+
+    /// The PR 8 flat event loop: drains a whole calendar bucket at a time
+    /// ([`EventQueue::drain_bucket`]) and dispatches the sorted batch from
+    /// its tail (earliest first), amortising the per-event pop machinery —
+    /// cursor walking, overflow reveal, run-extension peeks — over the
+    /// bucket. Bit-identical to [`SingleSim::run_flat`]:
+    ///
+    /// - Buckets whose latest event fires after the deadline, past-guard
+    ///   events and empty-wheel states make `drain_bucket` stand down; the
+    ///   loop falls back to one single pop and retries (at most one
+    ///   straddling bucket per call).
+    /// - Callbacks fired from the batch can push events at or before the
+    ///   batch's latest firing time ("intrusions": same-tick timers,
+    ///   zero-bucket delays). The queue latches a flag and the loop merges
+    ///   the queue front against the next batch entry by global `(time,
+    ///   seq)` order before each top-level dispatch. New pushes always
+    ///   receive sequence numbers above every batch entry, so an intruder
+    ///   can never order *between* same-time batch entries — consuming a
+    ///   same-tick delivery run from the batch alone stays exact.
+    fn run_flat_batched(&mut self, deadline: Option<SimTime>) -> u64 {
+        let mut processed = 0;
+        let mut batch = std::mem::take(&mut self.batch);
+        debug_assert!(batch.is_empty());
+        loop {
+            if !self.core.queue.drain_bucket_slim(deadline, &mut batch) {
+                // Straddling bucket, past-guard events or an empty queue:
+                // dispatch a single event the classic way and retry.
+                let popped = match deadline {
+                    Some(d) => self.core.queue.pop_slim_at_or_before(d),
+                    None => self.core.queue.pop_slim(),
+                };
+                let Some(ev) = popped else { break };
+                self.core.now = ev.time;
+                processed += 1;
+                processed += self.dispatch_slim(ev.payload);
+                continue;
+            }
+            while let Some(next) = batch.last().map(|ev| (ev.time, ev.seq)) {
+                if self.core.queue.drain_intruded_slim() {
+                    // Merge intruders that fire before the next batch entry.
+                    // They are all later pushes (seq above the whole batch),
+                    // so a matching front is strictly earlier in time and
+                    // its same-tick run never overlaps batch entries.
+                    loop {
+                        let front_first = matches!(
+                            self.core.queue.peek_slim(),
+                            Some(front) if (front.time, front.seq) < next
+                        );
+                        if !front_first {
+                            break;
+                        }
+                        let ev = self.core.queue.pop_slim().expect("front was peeked");
+                        self.core.now = ev.time;
+                        processed += 1;
+                        processed += self.dispatch_slim(ev.payload);
+                    }
                 }
-                EventKind::Timer { timer } => {
-                    // Firing always frees the slot; a cancelled (or stale)
-                    // timer is simply not delivered.
-                    if let Some((node, tag)) = self.core.timers.fire(timer) {
-                        if self.core.alive[node.index()] {
-                            let mut ctx = Context::single(node, &mut self.core, None);
-                            self.protocols[node.index()].on_timer(&mut ctx, timer, tag);
+                let ev = batch.pop().expect("last() was Some");
+                self.core.now = ev.time;
+                processed += 1;
+                match ev.payload {
+                    EventKind::Deliver { from, to, msg } => {
+                        processed += self.deliver_run_batched(from, to, msg, &mut batch);
+                    }
+                    EventKind::Timer { timer } => {
+                        if let Some((node, tag)) = self.core.timers.fire(timer) {
+                            if self.core.alive[node.index()] {
+                                let mut ctx = Context::single(node, &mut self.core, None);
+                                self.protocols[node.index()].on_timer(&mut ctx, timer, tag);
+                            }
+                        }
+                    }
+                    EventKind::Crash { node } => {
+                        let idx = node.index();
+                        if self.core.alive[idx] {
+                            self.core.alive[idx] = false;
+                            self.protocols[idx].on_crash(self.core.now);
                         }
                     }
                 }
-                EventKind::Crash { node } => {
-                    let idx = node.index();
-                    if self.core.alive[idx] {
-                        self.core.alive[idx] = false;
-                        self.protocols[idx].on_crash(self.core.now);
+            }
+            self.core.queue.finish_drain_slim();
+        }
+        self.batch = batch;
+        processed
+    }
+
+    /// Dispatches one popped slim event (single-pop paths). Returns the
+    /// number of *additional* events consumed (same-tick delivery runs).
+    #[inline]
+    fn dispatch_slim(&mut self, payload: EventKind<P::Message>) -> u64 {
+        match payload {
+            EventKind::Deliver { from, to, msg } => self.deliver_run(from, to, msg),
+            EventKind::Timer { timer } => {
+                // Firing always frees the slot; a cancelled (or stale)
+                // timer is simply not delivered.
+                if let Some((node, tag)) = self.core.timers.fire(timer) {
+                    if self.core.alive[node.index()] {
+                        let mut ctx = Context::single(node, &mut self.core, None);
+                        self.protocols[node.index()].on_timer(&mut ctx, timer, tag);
                     }
                 }
+                0
+            }
+            EventKind::Crash { node } => {
+                let idx = node.index();
+                if self.core.alive[idx] {
+                    self.core.alive[idx] = false;
+                    self.protocols[idx].on_crash(self.core.now);
+                }
+                0
             }
         }
-        processed
     }
 
     /// Delivers `msg` to `to` and drains every further delivery to `to`
@@ -1338,6 +1654,54 @@ impl<P: Protocol> SingleSim<P> {
                 .queue
                 .pop_slim()
                 .expect("peeked event exists");
+            let EventKind::Deliver { from, msg, .. } = ev.payload else {
+                unreachable!("run extension is a delivery");
+            };
+            count += 1;
+            total_bytes += msg.wire_size() as u64;
+            protocol.on_message(&mut ctx, from, msg);
+        }
+        ctx.single_core()
+            .stats
+            .record_deliveries(to, count, total_bytes);
+        count - 1
+    }
+
+    /// [`SingleSim::deliver_run`] over a drained batch: the same-tick run to
+    /// `to` extends from the batch tail instead of queue peeks — no pop
+    /// machinery at all. An intruder pushed mid-run always carries a
+    /// sequence number above the whole batch, so it orders after every
+    /// same-time batch entry and the batch tail alone decides run extension
+    /// exactly as the global queue front would. (Sequential dispatch would
+    /// splice such an intruder into the *same* run; the batched loop
+    /// dispatches it as a follow-up run at the same tick — identical
+    /// callback order and statistics sums, the only observables.)
+    fn deliver_run_batched(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: P::Message,
+        batch: &mut Vec<ScheduledEvent<EventKind<P::Message>>>,
+    ) -> u64 {
+        let idx = to.index();
+        let now = self.core.now;
+        if !self.core.alive[idx] {
+            // Drain the dead-destination run without a context.
+            let mut count = 1u64;
+            while batch_extends_run(batch, now, to) {
+                let _ = batch.pop();
+                count += 1;
+            }
+            self.core.stats.record_to_dead_n(to, count);
+            return count - 1;
+        }
+        let mut count = 1u64;
+        let mut total_bytes = msg.wire_size() as u64;
+        let protocol = &mut self.protocols[idx];
+        let mut ctx = Context::single(to, &mut self.core, None);
+        protocol.on_message(&mut ctx, from, msg);
+        while batch_extends_run(batch, now, to) {
+            let ev = batch.pop().expect("tail was checked");
             let EventKind::Deliver { from, msg, .. } = ev.payload else {
                 unreachable!("run extension is a delivery");
             };
@@ -1448,6 +1812,17 @@ impl<P: Protocol> SingleSim<P> {
 #[inline]
 fn next_extends_run<M>(core: &Core<M>, now: SimTime, to: NodeId) -> bool {
     match core.queue.peek_slim() {
+        Some(ev) if ev.time == now => {
+            matches!(&ev.payload, EventKind::Deliver { to: t, .. } if *t == to)
+        }
+        _ => false,
+    }
+}
+
+/// [`next_extends_run`] against a drained batch consumed from its tail.
+#[inline]
+fn batch_extends_run<M>(batch: &[ScheduledEvent<EventKind<M>>], now: SimTime, to: NodeId) -> bool {
+    match batch.last() {
         Some(ev) if ev.time == now => {
             matches!(&ev.payload, EventKind::Deliver { to: t, .. } if *t == to)
         }

@@ -125,8 +125,16 @@ struct Outcome {
 }
 
 /// Builds and runs one configuration under the seed's fault plan.
-/// `shards == 0` means the flat core.
-fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: bool) -> Outcome {
+/// `shards == 0` means the flat core; `single_pop` opts out of the PR 8
+/// batched bucket-drain dispatch so the batch path crosses the differential.
+fn run(
+    seed: u64,
+    n: u32,
+    shards: usize,
+    policy: Option<ShardPolicy>,
+    threaded: bool,
+    single_pop: bool,
+) -> Outcome {
     let horizon = SimTime::from_secs(8);
     let mut cfg = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xFA17);
     let plan = random_plan(&mut cfg, n, horizon);
@@ -157,6 +165,9 @@ fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: 
         .capacities(capacities)
         .upload_queue_limit(SimDuration::from_secs(2))
         .fault_plan(plan);
+    if single_pop {
+        builder = builder.single_pop_dispatch();
+    }
     if shards > 0 {
         builder = builder.sharded(shards);
         if let Some(policy) = policy {
@@ -186,20 +197,33 @@ fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: 
     }
 }
 
-/// Flat vs sharded {1, 2, 4}, sequential and threaded, under one fault plan.
+/// Flat vs sharded {1, 2, 4}, sequential and threaded, under one fault plan,
+/// with batched dispatch pinned against single-pop dispatch on both engines.
 fn differential(seed: u64, n: u32) {
-    let flat = run(seed, n, 0, None, false);
+    let flat = run(seed, n, 0, None, false, false);
     assert!(flat.processed > 0, "workload must process events");
+    // Fault schedules (partitions, regional crashes, diurnal cycling) and
+    // Gilbert–Elliott loss must survive the batch pipeline bit-for-bit.
+    let flat_single = run(seed, n, 0, None, false, true);
+    assert_eq!(
+        flat, flat_single,
+        "faulted flat batched dispatch diverged from single-pop: seed {seed}"
+    );
     for shards in [1usize, 2, 4] {
-        let sequential = run(seed, n, shards, Some(ShardPolicy::Contiguous), false);
+        let sequential = run(seed, n, shards, Some(ShardPolicy::Contiguous), false, false);
         assert_eq!(
             flat, sequential,
             "faulted sequential sharded run diverged: seed {seed}, {shards} shards"
         );
-        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true);
+        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true, false);
         assert_eq!(
             flat, threaded,
             "faulted threaded sharded run diverged: seed {seed}, {shards} shards"
+        );
+        let single = run(seed, n, shards, Some(ShardPolicy::Contiguous), false, true);
+        assert_eq!(
+            flat, single,
+            "faulted sharded single-pop run diverged from batched: seed {seed}, {shards} shards"
         );
     }
 }

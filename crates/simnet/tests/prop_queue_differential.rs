@@ -169,6 +169,118 @@ fn drive(seed: u64, ops: usize) {
     }
 }
 
+/// One batched-drain differential run: the batch pipeline (PR 8) against a
+/// single-pop oracle on the same random workload.
+///
+/// Mirrors `run_flat_batched` exactly: drain whole buckets
+/// ([`EventQueue::drain_bucket`]), fall back to single pops where the queue
+/// stands down (deadline straddlers, past-guard events), consume batches
+/// from the tail, and merge intruding pushes against the next batch entry by
+/// global `(time, seq)` order. Mid-batch pushes — the "callback" pushes of a
+/// real run — are biased toward the drain guard so the intrusion machinery
+/// fires constantly.
+fn drive_batched(seed: u64, ops: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut batched: EventQueue<u64> = EventQueue::new();
+    let mut single: EventQueue<u64> = EventQueue::new();
+    let mut batch = Vec::new();
+    let mut payload = 0u64;
+    for step in 0..ops {
+        if rng.gen_range(0u32..10) < 6 {
+            let micros = arbitrary_micros(&mut rng);
+            batched.push(SimTime::from_micros(micros), payload);
+            single.push(SimTime::from_micros(micros), payload);
+            payload += 1;
+            continue;
+        }
+        // Consume a whole deadline region through the batch pipeline.
+        let deadline = match rng.gen_range(0u32..3) {
+            0 => None,
+            _ => Some(SimTime::from_micros(arbitrary_micros(&mut rng))),
+        };
+        loop {
+            if batched.drain_bucket(deadline, &mut batch) {
+                while let Some(next) = batch.last().map(|ev| (ev.time, ev.seq)) {
+                    if batched.drain_intruded() {
+                        let front_first =
+                            matches!(batched.peek(), Some(f) if (f.time, f.seq) < next);
+                        if front_first {
+                            let got = batched.pop().expect("front was peeked");
+                            let want = single.pop().expect("oracle has the intruder");
+                            assert_eq!(
+                                (got.time, got.seq, got.payload),
+                                (want.time, want.seq, want.payload),
+                                "merged intruder diverged at step {step}"
+                            );
+                            continue;
+                        }
+                    }
+                    let got = batch.pop().expect("last() was Some");
+                    let want = single.pop().expect("oracle keeps pace with the batch");
+                    assert_eq!(
+                        (got.time, got.seq, got.payload),
+                        (want.time, want.seq, want.payload),
+                        "batch entry diverged at step {step}"
+                    );
+                    // Mid-batch "callback" pushes, biased to land at or just
+                    // after the consumed event — i.e. at or before the drain
+                    // guard — so the intrusion path fires constantly.
+                    if rng.gen_range(0u32..4) == 0 {
+                        let micros = match rng.gen_range(0u32..3) {
+                            0 => got.time.as_micros() + rng.gen_range(0u64..3),
+                            1 => got.time.as_micros() + rng.gen_range(0u64..2_048),
+                            _ => arbitrary_micros(&mut rng).max(got.time.as_micros()),
+                        };
+                        batched.push(SimTime::from_micros(micros), payload);
+                        single.push(SimTime::from_micros(micros), payload);
+                        payload += 1;
+                    }
+                }
+                batched.finish_drain();
+                continue;
+            }
+            // Straddling bucket, past-guard events or an exhausted region:
+            // one single-pop step, exactly like the run loop's fallback.
+            let got = match deadline {
+                Some(d) => batched.pop_at_or_before(d),
+                None => batched.pop(),
+            };
+            let want = match deadline {
+                Some(d) => single.pop_at_or_before(d),
+                None => single.pop(),
+            };
+            match (&got, &want) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        (x.time, x.seq, x.payload),
+                        (y.time, y.seq, y.payload),
+                        "fallback pop diverged at step {step}"
+                    );
+                }
+                (None, None) => break,
+                other => panic!("region exhaustion diverged at step {step}: {other:?}"),
+            }
+        }
+        assert_eq!(batched.len(), single.len(), "len diverged at step {step}");
+        assert_eq!(
+            batched.peek_time(),
+            single.peek_time(),
+            "peek diverged at step {step}"
+        );
+    }
+    // Drain the remainder through plain pops: the batch path must leave the
+    // queue in a state indistinguishable from the oracle's.
+    loop {
+        match (batched.pop(), single.pop()) {
+            (Some(x), Some(y)) => {
+                assert_eq!((x.time, x.seq, x.payload), (y.time, y.seq, y.payload));
+            }
+            (None, None) => break,
+            other => panic!("queues diverged while draining: {other:?}"),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -178,10 +290,24 @@ proptest! {
     fn calendar_queues_match_binary_heap_reference(seed in 0u64..1_000_000) {
         drive(seed, 3_000);
     }
+
+    /// The bucket-at-a-time drain path yields the exact single-pop sequence
+    /// on random workloads, including mid-batch intrusions and deadline
+    /// straddlers.
+    #[test]
+    fn batched_drain_matches_single_pop_oracle(seed in 0u64..1_000_000) {
+        drive_batched(seed, 3_000);
+    }
 }
 
 /// A long single run for deeper epoch churn than the proptest cases afford.
 #[test]
 fn calendar_queue_matches_reference_on_a_long_run() {
     drive(0xC0FF_EE42, 60_000);
+}
+
+/// A long batched-drain run for deeper epoch churn and guard traffic.
+#[test]
+fn batched_drain_matches_single_pop_on_a_long_run() {
+    drive_batched(0xBA7C_4ED0, 60_000);
 }

@@ -119,8 +119,17 @@ struct Outcome {
     armed: usize,
 }
 
-/// Builds and runs one configuration. `shards == 0` means the flat core.
-fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: bool) -> Outcome {
+/// Builds and runs one configuration. `shards == 0` means the flat core;
+/// `single_pop` opts out of the PR 8 batched bucket-drain dispatch so the
+/// batch path is differentially pinned against the sequential one.
+fn run(
+    seed: u64,
+    n: u32,
+    shards: usize,
+    policy: Option<ShardPolicy>,
+    threaded: bool,
+    single_pop: bool,
+) -> Outcome {
     let mut cfg = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xD1FF);
     // Latency: minimum >= one bucket (1.024 ms), as the contract requires.
     let latency = if cfg.gen_bool(0.5) {
@@ -155,6 +164,9 @@ fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: 
         .loss(loss)
         .capacities(capacities)
         .upload_queue_limit(SimDuration::from_secs(2));
+    if single_pop {
+        builder = builder.single_pop_dispatch();
+    }
     if shards > 0 {
         builder = builder.sharded(shards);
         if let Some(policy) = policy {
@@ -194,17 +206,25 @@ fn run(seed: u64, n: u32, shards: usize, policy: Option<ShardPolicy>, threaded: 
     }
 }
 
-/// Flat vs sharded {1, 2, 4} x every policy x both execution modes.
+/// Flat vs sharded {1, 2, 4} x every policy x both execution modes, with the
+/// batched dispatch pinned against single-pop dispatch on every axis.
 fn differential(seed: u64, n: u32) {
-    let flat = run(seed, n, 0, None, false);
+    let flat = run(seed, n, 0, None, false, false);
     assert!(flat.processed > 0, "workload must process events");
+    // The PR 8 batch pipeline (on by default) must be bit-identical to the
+    // plain single-pop dispatcher on the flat core.
+    let flat_single = run(seed, n, 0, None, false, true);
+    assert_eq!(
+        flat, flat_single,
+        "flat batched dispatch diverged from single-pop: seed {seed}"
+    );
     for shards in [1usize, 2, 4] {
         for policy in [
             ShardPolicy::RoundRobin,
             ShardPolicy::Contiguous,
             ShardPolicy::ByCapacityClass,
         ] {
-            let sequential = run(seed, n, shards, Some(policy.clone()), false);
+            let sequential = run(seed, n, shards, Some(policy.clone()), false, false);
             assert_eq!(
                 flat, sequential,
                 "sequential sharded run diverged: seed {seed}, {shards} shards, {policy:?}"
@@ -212,10 +232,17 @@ fn differential(seed: u64, n: u32) {
         }
         // The threaded mode shares the exchange with the sequential mode;
         // one policy per shard count keeps the case affordable.
-        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true);
+        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true, false);
         assert_eq!(
             flat, threaded,
             "threaded sharded run diverged: seed {seed}, {shards} shards"
+        );
+        // And the sharded batch path (per-shard bucket drains plus the
+        // vectorized exchange pre-draw) against sharded single-pop.
+        let single = run(seed, n, shards, Some(ShardPolicy::RoundRobin), false, true);
+        assert_eq!(
+            flat, single,
+            "sharded single-pop run diverged from batched: seed {seed}, {shards} shards"
         );
     }
 }
@@ -240,7 +267,7 @@ fn sharded_simulations_match_the_flat_core_on_a_larger_population() {
 /// The custom policy plugs into the same differential harness.
 #[test]
 fn custom_policy_matches_the_flat_core() {
-    let flat = run(7, 48, 0, None, false);
+    let flat = run(7, 48, 0, None, false, false);
     let custom = run(
         7,
         48,
@@ -249,6 +276,7 @@ fn custom_policy_matches_the_flat_core() {
             // A deliberately unbalanced deterministic assignment.
             (0..n).map(|i| ((i * i) % shards) as u32).collect()
         })),
+        false,
         false,
     );
     assert_eq!(flat, custom);

@@ -191,6 +191,29 @@ fn thousand_node_run_matches_pinned_fingerprint() {
     assert_eq!(fingerprint, 8_177_022_352_140_872_795);
 }
 
+/// The same constants must hold with the PR 8 batched bucket-drain dispatch
+/// switched off: the batch pipeline is an execution strategy, not a
+/// semantics change.
+#[test]
+fn thousand_node_fingerprint_is_dispatch_mode_independent() {
+    let mut sim = SimulatorBuilder::new(1000, 42)
+        .latency(LatencyModel::uniform(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(80),
+        ))
+        .loss(LossModel::bernoulli(0.02))
+        .single_pop_dispatch()
+        .build(|_| Flood {
+            n: 1000,
+            ttl: 60,
+            rounds: 5,
+            received: 0,
+        });
+    let (processed, fingerprint) = run_fingerprint(&mut sim);
+    assert_eq!(processed, 55_722);
+    assert_eq!(fingerprint, 8_177_022_352_140_872_795);
+}
+
 // ---------------------------------------------------------------------------
 // Timer-slot memory bounds
 // ---------------------------------------------------------------------------

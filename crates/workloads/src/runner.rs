@@ -15,6 +15,8 @@ use heap_streaming::health::HealthReport;
 use heap_streaming::metrics::NodeStreamMetrics;
 use heap_streaming::source::{StreamConfig, StreamSchedule};
 use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// How long the system runs before the source starts streaming, giving the
 /// aggregation protocol a few rounds to seed its capability estimates (the
@@ -533,21 +535,109 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
 /// simulators on one core thrashes the cache of the (memory-bound) event
 /// loop — `BENCH_3.json`'s 1-core container measured thread-per-scenario at
 /// ~0.5× sequential at paper scale.
+///
+/// The `HEAP_RUNNER` environment variable overrides the strategy: `inline`
+/// forces the sequential loop, `steal` forces the work-stealing pool
+/// ([`run_scenarios_stealing`], with at least two workers so the stealing
+/// path is exercised even on one core — the CI smoke configuration),
+/// `threads` forces the legacy thread-per-scenario fan-out, and anything
+/// else (or unset) picks adaptively: inline on one core, work-stealing
+/// otherwise.
 pub fn run_scenarios_parallel(scenarios: &[Scenario]) -> Vec<ExperimentResult> {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if cores <= 1 || scenarios.len() <= 1 {
-        return scenarios.iter().map(run_scenario).collect();
+    match std::env::var("HEAP_RUNNER").as_deref() {
+        Ok("inline") => scenarios.iter().map(run_scenario).collect(),
+        Ok("steal") => run_scenarios_stealing(scenarios, cores.max(2)),
+        Ok("threads") => run_scenarios_threaded(scenarios),
+        _ => {
+            if cores <= 1 || scenarios.len() <= 1 {
+                scenarios.iter().map(run_scenario).collect()
+            } else {
+                run_scenarios_stealing(scenarios, cores)
+            }
+        }
     }
-    run_scenarios_threaded(scenarios)
 }
 
-/// The always-threaded variant behind [`run_scenarios_parallel`]: one scoped
-/// thread per scenario regardless of the host's core count. Used by the
-/// bit-identity tests (and `bench-json`'s sweep check) so the threaded path
-/// is exercised even on single-core CI hosts; prefer
-/// [`run_scenarios_parallel`] everywhere else.
+/// Runs a scenario batch on a work-stealing pool of `workers` threads (PR
+/// 8, replacing thread-per-scenario as the multi-core strategy): scenario
+/// indices are striped across per-worker deques; a worker pops its own
+/// deque from the back (LIFO — its most recently queued, cache-warmest
+/// stripe) and, when empty, steals from the front of the others (FIFO — the
+/// victim's coldest item) round-robin from its right-hand neighbour. Long
+/// scenarios (paper-scale figure sweeps mix 10³- and 10⁴-node runs) no
+/// longer strand a core the way one-thread-per-scenario did: finished
+/// workers drain the stragglers' queues instead of exiting.
+///
+/// The *unit* of stealable work is one scenario. A scenario whose
+/// [`ShardingChoice`] requests threaded
+/// shards still fans out shard-per-core inside its worker — overlapping
+/// scenarios *and* shards — but one scenario's shards never split across
+/// the pool: shard stepping synchronises at every calendar-bucket boundary,
+/// and a global deque cannot honour that barrier without serialising the
+/// pool on it.
+///
+/// Results are returned in input order and are bit-identical to the
+/// sequential loop for any worker count ([`run_scenario`] is a pure
+/// function of its scenario; asserted in tests).
+pub fn run_scenarios_stealing(scenarios: &[Scenario], workers: usize) -> Vec<ExperimentResult> {
+    let workers = workers.clamp(1, scenarios.len().max(1));
+    if workers <= 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..scenarios.len()).step_by(workers).collect()))
+        .collect();
+    let queues = &queues;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut ran: Vec<(usize, ExperimentResult)> = Vec::new();
+                    loop {
+                        // Claim under the lock, run outside it. No work is
+                        // ever produced mid-run, so one empty sweep over
+                        // every deque is a sound exit condition.
+                        let claimed = queues[w]
+                            .lock()
+                            .expect("queue lock poisoned")
+                            .pop_back()
+                            .or_else(|| {
+                                (1..workers).find_map(|off| {
+                                    queues[(w + off) % workers]
+                                        .lock()
+                                        .expect("queue lock poisoned")
+                                        .pop_front()
+                                })
+                            });
+                        match claimed {
+                            Some(i) => ran.push((i, run_scenario(&scenarios[i]))),
+                            None => break ran,
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut results: Vec<Option<ExperimentResult>> = scenarios.iter().map(|_| None).collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("worker thread panicked") {
+                results[i] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every scenario was claimed exactly once"))
+            .collect()
+    })
+}
+
+/// The legacy thread-per-scenario fan-out: one scoped thread per scenario
+/// regardless of the host's core count. Retained as the differential
+/// reference for [`run_scenarios_stealing`] in the bit-identity tests (and
+/// `bench-json`'s sweep check) so a threaded path is exercised even on
+/// single-core CI hosts; prefer [`run_scenarios_parallel`] everywhere else.
 pub fn run_scenarios_threaded(scenarios: &[Scenario]) -> Vec<ExperimentResult> {
     let mut results: Vec<Option<ExperimentResult>> = scenarios.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -827,6 +917,48 @@ mod tests {
                 "{} diverged",
                 p.scenario_name
             );
+        }
+    }
+
+    #[test]
+    fn stealing_runner_is_bit_identical_to_sequential() {
+        // Worker counts below, at and above the batch size, so both the
+        // striping and the stealing paths run even on single-core CI.
+        let scenarios = vec![
+            quick_scenario(
+                BandwidthDistribution::unconstrained(),
+                ProtocolChoice::Standard { fanout: 6.0 },
+                ChurnSpec::None,
+            ),
+            quick_scenario(
+                BandwidthDistribution::ms_691(),
+                ProtocolChoice::Heap { fanout: 6.0 },
+                ChurnSpec::Catastrophic {
+                    fraction: 0.2,
+                    at_secs: 4,
+                    detection_secs: 5,
+                },
+            ),
+            quick_scenario(
+                BandwidthDistribution::ref_691(),
+                ProtocolChoice::Heap { fanout: 6.0 },
+                ChurnSpec::None,
+            )
+            .with_membership(MembershipChoice::cyclon()),
+        ];
+        let sequential: Vec<ExperimentResult> = scenarios.iter().map(run_scenario).collect();
+        for workers in [1, 2, 3, 8] {
+            let stolen = run_scenarios_stealing(&scenarios, workers);
+            assert_eq!(stolen.len(), sequential.len());
+            for (p, s) in stolen.iter().zip(&sequential) {
+                assert_eq!(p.scenario_name, s.scenario_name, "workers={workers}");
+                assert_eq!(
+                    p.fingerprint(),
+                    s.fingerprint(),
+                    "{} diverged with {workers} workers",
+                    p.scenario_name
+                );
+            }
         }
     }
 
