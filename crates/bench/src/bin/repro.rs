@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! Usage: repro [--scale test|default|paper] [--seed N] [--smoke]
+//!              [--nodes N] [--windows N]
 //!              [--metrics-out PATH] [EXPERIMENT ...]
 //!
 //! EXPERIMENT is one or more of:
@@ -9,6 +10,12 @@
 //!   partialview health adversarial
 //! or `all` (the default). `--smoke` shrinks whatever scale is selected to a
 //! fast CI smoke configuration (24 nodes, 2 windows).
+//!
+//! `scale` (never part of `all`) runs the scale campaign's fig1-style
+//! dissemination figure at a large population in compact result detail —
+//! see `docs/SCALE.md`. It defaults to 100 000 nodes / 2 windows;
+//! `--nodes`/`--windows` override, and `--smoke` selects the CI smoke shape
+//! (100 000 nodes, 1 window).
 //! ```
 //!
 //! Output is plain text: one block per figure with its tables and/or
@@ -24,7 +31,7 @@ use heap_bench::parse_scale;
 use heap_workloads::experiments::{
     adversarial, fig10_churn, fig1_unconstrained, fig2_fanout_sweep, fig3_heap_dist1,
     fig4_bandwidth_usage, fig5_6_jitter_free, fig7_jitter_cdf, fig8_lag_by_class, fig9_lag_cdf,
-    partial_view, stream_health, table1_distributions, table2_jittered_delivery,
+    partial_view, scale_campaign, stream_health, table1_distributions, table2_jittered_delivery,
     table3_jitter_free_nodes, Figure, StandardRuns,
 };
 use heap_workloads::Scale;
@@ -50,11 +57,21 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "adversarial",
 ];
 
+/// Default population of `repro scale` without `--nodes`: the largest size
+/// whose full-detail campaign run stays comfortable on the reference host
+/// (see `docs/SCALE.md` for timings and the memory budget).
+const SCALE_DEFAULT_NODES: usize = 100_000;
+
+/// Default stream length of `repro scale` without `--windows`.
+const SCALE_DEFAULT_WINDOWS: u64 = 2;
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale test|default|paper] [--seed N] [--smoke] \
-         [--metrics-out PATH] [EXPERIMENT ...]\n\
-         experiments: {} or 'all'",
+         [--nodes N] [--windows N] [--metrics-out PATH] [EXPERIMENT ...]\n\
+         experiments: {} or 'all'\n\
+         'scale' (the scale-campaign figure, never part of 'all') honours \
+         --nodes/--windows and uses the CI smoke shape under --smoke",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -72,8 +89,40 @@ fn main() {
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut metrics_out: Option<String> = None;
     let mut smoke = false;
+    let mut scale_nodes: Option<usize> = None;
+    let mut scale_windows: Option<u64> = None;
+    let mut run_scale_campaign = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| fail("--nodes requires a value"));
+                scale_nodes = Some(value.parse().unwrap_or_else(|_| {
+                    fail(format!(
+                        "invalid --nodes '{value}': expected an unsigned integer"
+                    ))
+                }));
+                continue;
+            }
+            "--windows" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| fail("--windows requires a value"));
+                scale_windows = Some(value.parse().unwrap_or_else(|_| {
+                    fail(format!(
+                        "invalid --windows '{value}': expected an unsigned integer"
+                    ))
+                }));
+                continue;
+            }
+            "scale" => {
+                run_scale_campaign = true;
+                continue;
+            }
+            _ => {}
+        }
         match arg.as_str() {
             "--scale" => {
                 let value = args
@@ -125,7 +174,7 @@ fn main() {
         // population and the stream while keeping the chosen seed.
         scale = scale.with_nodes(24).with_windows(2);
     }
-    if wanted.is_empty() {
+    if wanted.is_empty() && !run_scale_campaign {
         wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
     }
 
@@ -213,6 +262,25 @@ fn main() {
             _ => unreachable!("validated above"),
         }
         eprintln!("[{name}] took {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    if run_scale_campaign {
+        // The campaign sizes itself independently of `--scale`: `--smoke`
+        // selects the CI smoke shape, `--nodes`/`--windows` override either
+        // default. Only the seed is shared with the other experiments.
+        let n = scale_nodes.unwrap_or(if smoke {
+            scale_campaign::SMOKE_NODES
+        } else {
+            SCALE_DEFAULT_NODES
+        });
+        let windows = scale_windows.unwrap_or(if smoke {
+            scale_campaign::SMOKE_WINDOWS
+        } else {
+            SCALE_DEFAULT_WINDOWS
+        });
+        let start = Instant::now();
+        emit("scale", scale_campaign::run(n, windows, scale.seed));
+        eprintln!("[scale] took {:.1}s", start.elapsed().as_secs_f64());
     }
 
     if let Some(path) = metrics_out {

@@ -43,6 +43,12 @@ pub struct Flood {
     n: u32,
     ttl: u32,
     timer_rounds: u32,
+    /// Message chains node 0 seeds per receiver (the per-node in-flight
+    /// load; [`CHAINS_PER_NODE`] for the throughput benches, far lighter for
+    /// the scale campaign so a 10⁶-node run stays within minutes).
+    chains: u32,
+    /// Standing far timers each node arms at start.
+    far_timers: u32,
     /// Remaining re-arms shared by this node's standing far timers.
     far_budget: u32,
     /// Next forwarding target and the per-node stride that advances it, so
@@ -90,7 +96,7 @@ impl Protocol for Flood {
 
     fn on_start(&mut self, ctx: &mut Context<'_, FloodMsg>) {
         if ctx.node_id().index() == 0 {
-            for _ in 0..CHAINS_PER_NODE {
+            for _ in 0..self.chains {
                 for i in 1..self.n {
                     ctx.send(NodeId::new(i), FloodMsg(self.ttl));
                 }
@@ -98,7 +104,7 @@ impl Protocol for Flood {
         }
         let phase = SimDuration::from_micros(ctx.rng().gen_range(0..200_000u64));
         ctx.set_timer(phase, 0);
-        for _ in 0..FAR_TIMERS_PER_NODE {
+        for _ in 0..self.far_timers {
             let delay = self.far_delay();
             ctx.set_timer(delay, 1);
         }
@@ -186,6 +192,8 @@ fn make_flood(n: usize, ttl: u32) -> impl FnMut(NodeId) -> Flood {
         n: n as u32,
         ttl,
         timer_rounds: 50,
+        chains: CHAINS_PER_NODE as u32,
+        far_timers: FAR_TIMERS_PER_NODE as u32,
         far_budget: FAR_TIMERS_PER_NODE as u32 * FAR_TIMER_REARMS,
         target: id.as_u32(),
         stride: ((2 * id.as_u32() + 3) % n as u32).max(1),
@@ -353,6 +361,73 @@ pub fn measure_sharded(
     (processed, start.elapsed().as_secs_f64())
 }
 
+// --- Scale campaign -------------------------------------------------------
+//
+// The throughput benches above keep ~128 standing events per node so the
+// queue works hard; at 10⁶ nodes that shape would process billions of
+// events. The scale campaign asks a different question — how do events/s
+// and bytes/node hold up as n grows by three orders of magnitude? — so it
+// runs the same Flood protocol with a far lighter per-node load and a fixed
+// TTL (total events scale linearly with n; the per-size numbers compare
+// event *rates*, not identical streams).
+
+/// Message chains seeded per receiver in a scale-campaign run.
+pub const SCALE_CHAINS_PER_NODE: usize = 4;
+
+/// Standing far timers per node in a scale-campaign run.
+pub const SCALE_FAR_TIMERS_PER_NODE: usize = 4;
+
+/// Periodic timer rounds per node in a scale-campaign run.
+pub const SCALE_TIMER_ROUNDS: u32 = 2;
+
+/// Chain TTL of a scale-campaign run: with [`SCALE_CHAINS_PER_NODE`] this
+/// yields ~35 events per node, so 10⁶ nodes process ~3.5·10⁷ events.
+pub const SCALE_TTL: u32 = 6;
+
+/// One scale-campaign measurement.
+pub struct ScaleMeasurement {
+    /// Events processed.
+    pub events: u64,
+    /// Wall-clock seconds of the run (building the simulator is untimed).
+    pub seconds: f64,
+    /// The simulator's capacity-based footprint, sampled right after
+    /// construction — when the seeded chains put the standing event
+    /// population at its densest (see `Simulator::memory_footprint`).
+    pub footprint: heap_simnet::MemoryFootprint,
+}
+
+/// Builds the light scale-campaign simulator (flat core).
+pub fn build_sim_scale(n: usize, seed: u64) -> Simulator<Flood> {
+    SimulatorBuilder::new(n, seed)
+        .latency(bench_latency())
+        .loss(LossModel::none())
+        .build(move |id| Flood {
+            n: n as u32,
+            ttl: SCALE_TTL,
+            timer_rounds: SCALE_TIMER_ROUNDS,
+            chains: SCALE_CHAINS_PER_NODE as u32,
+            far_timers: SCALE_FAR_TIMERS_PER_NODE as u32,
+            far_budget: SCALE_FAR_TIMERS_PER_NODE as u32 * FAR_TIMER_REARMS,
+            target: id.as_u32(),
+            stride: ((2 * id.as_u32() + 3) % n as u32).max(1),
+        })
+}
+
+/// Runs one scale-campaign measurement at `n` nodes: builds the light
+/// Flood workload (untimed), samples the capacity-based memory footprint,
+/// then drains the run (timed).
+pub fn measure_scale(n: usize, seed: u64) -> ScaleMeasurement {
+    let mut sim = build_sim_scale(n, seed);
+    let footprint = sim.memory_footprint();
+    let start = Instant::now();
+    let events = sim.run_to_completion().expect("contract holds");
+    ScaleMeasurement {
+        events,
+        seconds: start.elapsed().as_secs_f64(),
+        footprint,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +476,19 @@ mod tests {
         let batched = fingerprint(&mut build_sim(60, 5, ttl, Core::Flat));
         let single = fingerprint(&mut build_sim_single_pop(60, 5, ttl));
         assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn scale_measurement_reports_events_and_footprint() {
+        let m = measure_scale(200, 7);
+        // ~35 events per node under the light load.
+        assert!(m.events > 20 * 200, "only {} events", m.events);
+        assert_eq!(m.footprint.n_nodes(), 200);
+        assert!(m.footprint.bytes_per_node() > 0.0);
+        // The scale shape must stay light: well under the ~128 standing
+        // events per node of the throughput benches.
+        let per_node = m.events / 200;
+        assert!(per_node < 100, "{per_node} events/node is not light");
     }
 
     #[test]

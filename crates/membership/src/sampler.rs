@@ -39,19 +39,37 @@ impl UniformSampler {
         fanout: usize,
         rng: &mut R,
     ) -> Vec<NodeId> {
-        let mut peers = view.live_peers();
-        if fanout >= peers.len() {
+        let len = view.live_peer_count();
+        if fanout >= len {
+            let mut peers = view.live_peers();
             peers.shuffle(rng);
             return peers;
         }
-        // Partial Fisher-Yates: choose `fanout` distinct elements.
-        let len = peers.len();
+        // Partial Fisher-Yates: choose `fanout` distinct elements. The peer
+        // array is virtual — position `p` reads `view.live_peer_at(p)` until
+        // a swap displaces it, and only displaced positions are recorded —
+        // so a draw costs O(fanout² + fanout·dead) instead of materialising
+        // all n peers. The `gen_range` sequence is exactly the one the
+        // materialised loop would issue, keeping seeded runs bit-identical.
+        let mut out = Vec::with_capacity(fanout);
+        let mut displaced: Vec<(usize, NodeId)> = Vec::with_capacity(fanout);
+        let read = |displaced: &[(usize, NodeId)], p: usize| {
+            displaced
+                .iter()
+                .rev()
+                .find(|&&(q, _)| q == p)
+                .map_or_else(|| view.live_peer_at(p), |&(_, id)| id)
+        };
         for i in 0..fanout {
             let j = rng.gen_range(i..len);
-            peers.swap(i, j);
+            let picked = read(&displaced, j);
+            // `peers.swap(i, j)` would move slot i's value into slot j;
+            // slot i itself is never read again (future draws are > i).
+            let at_i = read(&displaced, i);
+            displaced.push((j, at_i));
+            out.push(picked);
         }
-        peers.truncate(fanout);
-        peers
+        out
     }
 
     /// Selects up to `fanout` distinct peers from an explicit candidate list,
@@ -150,6 +168,46 @@ mod tests {
             );
         }
         assert_eq!(counts.len(), 20);
+    }
+
+    /// The lazy virtual-array selection must issue the same RNG draws and
+    /// return the same targets as the original implementation that
+    /// materialised `live_peers()` and partially Fisher-Yates-shuffled it.
+    #[test]
+    fn lazy_selection_matches_materialised_reference() {
+        fn reference<R: Rng>(view: &MembershipView, fanout: usize, rng: &mut R) -> Vec<NodeId> {
+            let mut peers = view.live_peers();
+            if fanout >= peers.len() {
+                peers.shuffle(rng);
+                return peers;
+            }
+            let len = peers.len();
+            for i in 0..fanout {
+                let j = rng.gen_range(i..len);
+                peers.swap(i, j);
+            }
+            peers.truncate(fanout);
+            peers
+        }
+
+        for seed in 0..20u64 {
+            let mut view = MembershipView::full(37, NodeId::new(4));
+            let mut kill = SmallRng::seed_from_u64(seed);
+            for i in 0..37 {
+                if kill.gen_bool(0.2) {
+                    view.mark_dead(NodeId::new(i));
+                }
+            }
+            for fanout in [1usize, 3, 7, 20, 50] {
+                let mut a = SmallRng::seed_from_u64(seed ^ 0xABCD);
+                let mut b = a.clone();
+                let lazy = UniformSampler::select(&view, fanout, &mut a);
+                let reference = reference(&view, fanout, &mut b);
+                assert_eq!(lazy, reference, "seed {seed}, fanout {fanout}");
+                // Both must leave the RNG in the same state.
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "rng diverged");
+            }
+        }
     }
 
     #[test]

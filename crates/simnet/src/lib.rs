@@ -116,9 +116,9 @@ pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use node::NodeId;
-pub use shard::{ContractViolation, ShardPolicy};
+pub use shard::{ContractViolation, ShardPolicy, ViolationDetail};
 pub use sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
-pub use stats::{NetStats, NodeStats, ReferenceNetStats};
+pub use stats::{MemoryFootprint, NetStats, NodeStats, ReferenceNetStats};
 pub use time::{SimDuration, SimTime};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -128,7 +128,7 @@ pub mod prelude {
     pub use crate::latency::LatencyModel;
     pub use crate::loss::LossModel;
     pub use crate::node::NodeId;
-    pub use crate::shard::{ContractViolation, ShardPolicy};
+    pub use crate::shard::{ContractViolation, ShardPolicy, ViolationDetail};
     pub use crate::sim::{Context, Protocol, Simulator, SimulatorBuilder, TimerId, WireSize};
     pub use crate::time::{SimDuration, SimTime};
 }

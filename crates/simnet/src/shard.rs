@@ -5,24 +5,24 @@
 //! partitions the node population into *shards* (per a pluggable
 //! [`ShardPolicy`]), each owning its own calendar queue, struct-of-arrays
 //! node and statistics columns, upload queues and per-node RNG streams.
-//! Shards advance in lockstep over calendar buckets
-//! ([`BUCKET_WIDTH_MICROS`] ≈ 1 ms of virtual time) and synchronise only at
-//! bucket boundaries — conservative
-//! parallel discrete-event simulation with the *minimum link latency* as the
-//! lookahead bound.
+//! Shards advance in lockstep over *exchange windows* of `k` calendar
+//! buckets ([`BUCKET_WIDTH_MICROS`] ≈ 1 ms of virtual time, `k =
+//! floor(min_latency / bucket_width)`) and synchronise only at window
+//! boundaries — conservative parallel discrete-event simulation with the
+//! *minimum link latency* as the lookahead bound.
 //!
 //! ## Why the result is bit-identical to the flat core
 //!
-//! Within one bucket, events on different nodes are causally independent:
+//! Within one window, events on different nodes are causally independent:
 //! protocol callbacks touch only per-node state and per-node RNG streams,
 //! and — under the determinism contract below — nothing a callback schedules
-//! can fire before the *next* bucket. The only globally ordered resources
+//! can fire before the window's cutoff. The only globally ordered resources
 //! are the network RNG (loss and latency draws) and the event sequence
-//! numbers that break `(time, seq)` ties. Shards therefore run their bucket
+//! numbers that break `(time, seq)` ties. Shards therefore run their window
 //! eagerly but record every `send`/`set_timer` into a fixed-capacity
 //! per-shard **mailbox**, keyed by `(trigger time, trigger seq, command
 //! index)` — the same `(offset, arrival)` total order the calendar buckets
-//! sort by, extended to commands. At the bucket boundary the mailboxes are
+//! sort by, extended to commands. At the window boundary the mailboxes are
 //! merged, sorted by that key and resolved *serially*: loss and latency are
 //! drawn from the shared network RNG and global sequence numbers are
 //! assigned in exactly the order the flat core's inline transmit path would
@@ -35,17 +35,32 @@
 //!
 //! ## The determinism contract (lookahead bound)
 //!
-//! Deferring command resolution to the bucket boundary is only equivalent to
-//! the flat core if nothing scheduled *during* a bucket fires *within* that
-//! bucket:
+//! Deferring command resolution to the window boundary is only equivalent
+//! to the flat core if nothing scheduled *during* a window fires *within*
+//! that window. The window cutoff is chosen so that holds structurally for
+//! everything except pathological timer arms:
 //!
 //! * **link latency** — asserted at build time: the latency model's minimum
-//!   delay must span at least one calendar bucket;
-//! * **timer delays** — checked at every exchange: a timer armed with a
-//!   sub-bucket delay is counted as a violation (the flat core would have
-//!   fired it inside the already-completed bucket region), the run stops
-//!   stepping at that exchange, and the breach is surfaced as a structured
-//!   [`ContractViolation`] through
+//!   delay must span at least one calendar bucket. The lookahead width is
+//!   `k = floor(min_delay / bucket_width)` buckets: a message sent at time
+//!   `t` cannot arrive before `t + k·W`, which is provably past the cutoff
+//!   `(first_bucket_end + (k-1)·W)`.
+//! * **pending timers** — the cutoff is additionally clamped to the end of
+//!   the bucket holding the *earliest pending timer fire* across all shards
+//!   (tracked per shard as the exchange routes fire events). A timer
+//!   callback may arm follow-up timers with delays as short as one bucket;
+//!   the clamp guarantees any such re-arm lands past the cutoff. With
+//!   `k = 1` the clamp is vacuous (a pending event can never precede the
+//!   first bucket) and is skipped, so single-bucket runs are byte-for-byte
+//!   the pre-widening driver.
+//! * **timer delays armed from message handlers** — checked at every
+//!   exchange: a timer whose fire time lands at or before the window cutoff
+//!   is counted as a violation (the flat core would have fired it inside
+//!   the already-completed window region; arming with at least the minimum
+//!   link latency is always safe), the run stops stepping at that exchange,
+//!   and the breach is surfaced as a structured [`ContractViolation`] —
+//!   naming the offending node, timer tag and the active lookahead —
+//!   through
 //!   [`Simulator::run_to_completion`](crate::sim::Simulator::run_to_completion)
 //!   and
 //!   [`Simulator::contract_violation`](crate::sim::Simulator::contract_violation).
@@ -78,19 +93,21 @@ use crate::loss::LossSampler;
 use crate::node::NodeId;
 use crate::rng::stream_rng;
 use crate::sim::{Context, EventKind, Protocol, SimulatorBuilder, TimerId, TimerTable, WireSize};
-use crate::stats::NetStats;
+use crate::stats::{MemoryFootprint, NetStats};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::ops::DerefMut;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 /// A breach of the sharded determinism contract observed during a run: one
-/// or more commands scheduled events inside an already-completed calendar
-/// bucket (a timer delay shorter than one bucket of
-/// [`BUCKET_WIDTH_MICROS`] µs), which the flat core would have interleaved
-/// into the region the shards had already processed.
+/// or more commands scheduled events inside an already-completed exchange
+/// window (typically a message handler arming a timer with a delay shorter
+/// than the lookahead), which the flat core would have interleaved into the
+/// region the shards had already processed.
 ///
 /// A sharded run that breaches the contract stops stepping at the breaching
 /// exchange and latches the violation
@@ -101,6 +118,32 @@ use std::sync::{Arc, Barrier, Mutex};
 pub struct ContractViolation {
     /// Number of offending commands observed before the run stopped.
     pub violations: u64,
+    /// The first offending command, for diagnosis. `None` only for
+    /// violations latched by code predating the detail capture (never in
+    /// practice: the exchange records the first offender it counts).
+    pub first: Option<ViolationDetail>,
+}
+
+/// The first offending command of a [`ContractViolation`]: which node
+/// scheduled what, for when, and against which window cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViolationDetail {
+    /// The node whose command scheduled the offending event: the owner of
+    /// the offending timer, or the sender of the offending delivery.
+    pub node: NodeId,
+    /// The offending timer's protocol tag; `None` for a link delivery
+    /// (impossible once the build-time minimum-latency assert holds —
+    /// every delivery provably lands past the cutoff).
+    pub timer_tag: Option<u64>,
+    /// When the offending event was scheduled to fire, in microseconds of
+    /// virtual time.
+    pub scheduled_micros: u64,
+    /// The exchange-window cutoff the event landed at or before, in
+    /// microseconds of virtual time.
+    pub cutoff_micros: u64,
+    /// The lookahead width the run was using, in calendar buckets of
+    /// [`BUCKET_WIDTH_MICROS`] µs.
+    pub lookahead_buckets: u64,
 }
 
 impl fmt::Display for ContractViolation {
@@ -108,11 +151,27 @@ impl fmt::Display for ContractViolation {
         write!(
             f,
             "sharded determinism contract violated: {} command(s) scheduled events inside an \
-             already-completed calendar bucket (every link latency and timer delay must span at \
-             least one bucket of {BUCKET_WIDTH_MICROS} us so the bucket-boundary exchange stays \
-             conservative)",
+             already-completed exchange window (a timer armed from a message handler must \
+             outlive the lookahead window; arming with at least the minimum link latency is \
+             always safe)",
             self.violations
-        )
+        )?;
+        if let Some(d) = self.first {
+            write!(
+                f,
+                "; first offender: node {}'s {} scheduled for {} us, at or before the window \
+                 cutoff {} us under a lookahead of {} bucket(s) of {BUCKET_WIDTH_MICROS} us",
+                d.node.index(),
+                match d.timer_tag {
+                    Some(tag) => format!("timer (tag {tag})"),
+                    None => "delivery".to_string(),
+                },
+                d.scheduled_micros,
+                d.cutoff_micros,
+                d.lookahead_buckets,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -300,6 +359,9 @@ enum OutEntry<M> {
         node: NodeId,
         /// The armed timer's handle.
         timer: TimerId,
+        /// The protocol tag the timer was armed with — carried so a
+        /// contract violation can name the offending timer.
+        tag: u64,
     },
 }
 
@@ -388,6 +450,62 @@ pub(crate) struct ShardState<M> {
     /// is consulted shard-side — at the enqueue instant, which both engines
     /// evaluate at the same trigger time.
     pub(crate) fault: FaultPlan,
+    /// Fire times (µs) of timer events routed into this shard's queue, a
+    /// min-heap. Feeds the window drivers' pending-timer clamp; entries are
+    /// pruned lazily against the queue front (a fire time behind the front
+    /// has been popped). Only maintained when the lookahead spans more than
+    /// one bucket — with `k = 1` the clamp is provably vacuous.
+    timer_fires: BinaryHeap<Reverse<u64>>,
+    /// Whether [`ShardState::timer_fires`] is maintained (`lookahead > 1`).
+    track_timer_fires: bool,
+}
+
+impl<M> ShardState<M> {
+    /// Records this shard's substrate components into `f` under the same
+    /// labels as the flat core, so per-shard contributions sum in place
+    /// (see [`MemoryFootprint::record`]).
+    fn record_footprint(&self, f: &mut MemoryFootprint) {
+        use std::mem::size_of;
+        f.record("net stats columns", self.stats.heap_bytes());
+        f.record(
+            "pending events",
+            (self.queue.len() * size_of::<crate::event::ScheduledEvent<EventKind<M>>>()) as u64,
+        );
+        f.record(
+            "upload queues",
+            (self.uploads.capacity() * size_of::<UploadQueue>()) as u64,
+        );
+        f.record(
+            "node rng streams",
+            (self.rngs.capacity() * size_of::<SmallRng>()) as u64,
+        );
+        f.record("liveness flags", self.alive.capacity() as u64);
+        f.record("timer slots", self.timers.heap_bytes());
+    }
+
+    /// The earliest pending timer-fire time in this shard's queue, in µs
+    /// (`u64::MAX` when none is pending or tracking is off). Prunes fire
+    /// times the queue has already popped past. The bound is exact up to
+    /// cancelled timers, whose fire events still occupy the queue and so
+    /// still bound the front conservatively.
+    fn timer_floor(&mut self) -> u64 {
+        if !self.track_timer_fires {
+            return u64::MAX;
+        }
+        let Some(front) = self.queue.peek_time() else {
+            self.timer_fires.clear();
+            return u64::MAX;
+        };
+        let front_us = front.as_micros();
+        while let Some(&Reverse(t)) = self.timer_fires.peek() {
+            if t < front_us {
+                self.timer_fires.pop();
+            } else {
+                return t;
+            }
+        }
+        u64::MAX
+    }
 }
 
 impl<M: WireSize> ShardState<M> {
@@ -454,6 +572,7 @@ impl<M: WireSize> ShardState<M> {
             fire: self.now + delay,
             node,
             timer: id,
+            tag,
         });
         id
     }
@@ -607,11 +726,18 @@ impl<P: Protocol> Shard<P> {
     }
 
     /// Applies the events and loss records an exchange routed to this shard.
+    /// The exchange is the only path by which timer-fire events enter a
+    /// shard queue (`on_start` arms go through the cutoff-free start
+    /// exchange; [`ShardedSim::schedule_crash`] pushes only crash events),
+    /// so this is also where the pending-timer floor is fed.
     fn apply_inbox(&mut self, inbox: &mut Inbox<P::Message>) {
         for local in inbox.losses.drain(..) {
             self.state.stats.record_loss(NodeId::new(local));
         }
         for (time, seq, kind) in inbox.pushes.drain(..) {
+            if self.state.track_timer_fires && matches!(kind, EventKind::Timer { .. }) {
+                self.state.timer_fires.push(Reverse(time.as_micros()));
+            }
             self.state.queue.push_at_seq(time, seq, kind);
         }
     }
@@ -647,9 +773,15 @@ struct ExchangeState {
     /// The global sequence stream: the flat core's queue counter, assigned
     /// at exchange points instead of push sites.
     next_seq: u64,
-    /// Determinism-contract violations (sub-bucket delays) observed so far;
-    /// checked at the end of every run call.
+    /// Determinism-contract violations (events scheduled inside the
+    /// completed window) observed so far; checked at the end of every run
+    /// call.
     violations: u64,
+    /// The first offending command, latched for the [`ContractViolation`].
+    first_violation: Option<ViolationDetail>,
+    /// The lookahead width in calendar buckets, carried for violation
+    /// reporting.
+    lookahead_buckets: u64,
     /// Whether the exchange bulk-draws loss/latency for whole delivery
     /// batches through the vectorized samplers (where the model gates
     /// allow; see [`run_exchange`]). Mirrors
@@ -781,6 +913,15 @@ fn run_exchange<M, I>(
                 let arrival = departure + latency;
                 if cutoff.is_some_and(|c| arrival <= c) {
                     exch.violations += 1;
+                    if exch.first_violation.is_none() {
+                        exch.first_violation = Some(ViolationDetail {
+                            node: from,
+                            timer_tag: None,
+                            scheduled_micros: arrival.as_micros(),
+                            cutoff_micros: cutoff.expect("checked above").as_micros(),
+                            lookahead_buckets: exch.lookahead_buckets,
+                        });
+                    }
                 }
                 let seq = exch.next_seq;
                 exch.next_seq += 1;
@@ -791,10 +932,23 @@ fn run_exchange<M, I>(
                 ));
             }
             OutEntry::Timer {
-                fire, node, timer, ..
+                fire,
+                node,
+                timer,
+                tag,
+                ..
             } => {
                 if cutoff.is_some_and(|c| fire <= c) {
                     exch.violations += 1;
+                    if exch.first_violation.is_none() {
+                        exch.first_violation = Some(ViolationDetail {
+                            node,
+                            timer_tag: Some(tag),
+                            scheduled_micros: fire.as_micros(),
+                            cutoff_micros: cutoff.expect("checked above").as_micros(),
+                            lookahead_buckets: exch.lookahead_buckets,
+                        });
+                    }
                 }
                 let seq = exch.next_seq;
                 exch.next_seq += 1;
@@ -843,6 +997,10 @@ impl<P: Protocol> ShardedSim<P> {
              the configured model can deliver after {:?}",
             latency.min_delay()
         );
+        // The exchange cadence: windows of `k` calendar buckets, where the
+        // minimum link latency guarantees nothing sent inside a window can
+        // arrive inside it.
+        let lookahead_buckets = (latency.min_delay().as_micros() / BUCKET_WIDTH_MICROS).max(1);
         let assignment = builder.shard_policy.assign(n, nshards, &builder.capacities);
         let plan = ShardPlan::new(assignment, nshards);
 
@@ -891,6 +1049,8 @@ impl<P: Protocol> ShardedSim<P> {
                     outbox: Mailbox::with_capacity(mailbox_capacity),
                     local_of: Arc::clone(&plan.local_of),
                     fault: builder.fault.clone(),
+                    timer_fires: BinaryHeap::new(),
+                    track_timer_fires: lookahead_buckets > 1,
                 },
             });
         }
@@ -909,6 +1069,8 @@ impl<P: Protocol> ShardedSim<P> {
                 fault: builder.fault,
                 next_seq: 0,
                 violations: 0,
+                first_violation: None,
+                lookahead_buckets,
                 batched: builder.batch_dispatch,
                 raw_scratch: Vec::new(),
                 lat_batch: Vec::new(),
@@ -977,20 +1139,49 @@ impl<P: Protocol> ShardedSim<P> {
         }
     }
 
-    /// The sequential bucket-stepping driver: find the next populated
-    /// bucket, let every shard drain its slice of it, exchange, repeat.
+    /// The exchange-window cutoff for a round whose earliest pending event
+    /// is at `next_us`: the end of that event's bucket, extended by the
+    /// remaining `k - 1` buckets of latency lookahead, clamped to the end
+    /// of the bucket holding the earliest pending timer fire (timer
+    /// callbacks may re-arm with delays as short as one bucket) and to the
+    /// run deadline. With `k = 1` this is exactly the pre-widening
+    /// single-bucket cutoff; the timer clamp is provably vacuous there
+    /// (a pending fire time is never earlier than `next_us`) and skipped.
+    fn window_cutoff(next_us: u64, k: u64, timer_floor: u64, deadline_us: u64) -> u64 {
+        let mut cutoff = (next_us | (BUCKET_WIDTH_MICROS - 1))
+            .saturating_add((k - 1).saturating_mul(BUCKET_WIDTH_MICROS));
+        if k > 1 {
+            cutoff = cutoff.min(timer_floor | (BUCKET_WIDTH_MICROS - 1));
+        }
+        cutoff.min(deadline_us)
+    }
+
+    /// The sequential window-stepping driver: find the next populated
+    /// bucket, let every shard drain its slice of the lookahead window,
+    /// exchange, repeat.
     fn run_sequential(&mut self, deadline: Option<SimTime>) -> u64 {
         let mut processed = 0;
+        let k = self.exchange.lookahead_buckets;
+        let deadline_us = deadline.map_or(u64::MAX, |d| d.as_micros());
         while let Some(next) = self.next_event_time() {
-            if deadline.is_some_and(|d| next > d) {
+            if next.as_micros() > deadline_us {
                 break;
             }
-            let bucket_last = next.as_micros() | (BUCKET_WIDTH_MICROS - 1);
-            let cutoff_us = match deadline {
-                Some(d) => bucket_last.min(d.as_micros()),
-                None => bucket_last,
+            let timer_floor = if k > 1 {
+                self.shards
+                    .iter_mut()
+                    .map(|s| s.state.timer_floor())
+                    .min()
+                    .unwrap_or(u64::MAX)
+            } else {
+                u64::MAX
             };
-            let cutoff = SimTime::from_micros(cutoff_us);
+            let cutoff = SimTime::from_micros(Self::window_cutoff(
+                next.as_micros(),
+                k,
+                timer_floor,
+                deadline_us,
+            ));
             for shard in &mut self.shards {
                 processed += shard.run_bucket(cutoff);
             }
@@ -1021,9 +1212,14 @@ impl<P: Protocol> ShardedSim<P> {
             return self.run_sequential(deadline);
         }
         let deadline_us = deadline.map_or(u64::MAX, |d| d.as_micros());
+        let k = self.exchange.lookahead_buckets;
         let nshards = self.shards.len();
         let barrier = Barrier::new(nshards);
         let next_times: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        // Published per-shard pending-timer floors: every thread reads all
+        // of them after the same barrier, so all compute the identical
+        // window cutoff.
+        let timer_floors: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect();
         let outbox_slots: Vec<Mutex<Vec<OutEntry<P::Message>>>> =
             (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
         let inbox_slots: Vec<Mutex<Inbox<P::Message>>> = std::mem::take(&mut self.inboxes)
@@ -1042,6 +1238,7 @@ impl<P: Protocol> ShardedSim<P> {
                 let mut coord = coordinator.take();
                 let barrier = &barrier;
                 let next_times = &next_times[..];
+                let timer_floors = &timer_floors[..];
                 let outbox_slots = &outbox_slots[..];
                 let inbox_slots = &inbox_slots[..];
                 let total = &total;
@@ -1055,6 +1252,9 @@ impl<P: Protocol> ShardedSim<P> {
                             .peek_time()
                             .map_or(u64::MAX, |t| t.as_micros());
                         next_times[i].store(t, Ordering::SeqCst);
+                        if k > 1 {
+                            timer_floors[i].store(shard.state.timer_floor(), Ordering::SeqCst);
+                        }
                         barrier.wait();
                         let t_min = next_times
                             .iter()
@@ -1064,9 +1264,21 @@ impl<P: Protocol> ShardedSim<P> {
                         if t_min == u64::MAX || t_min > deadline_us {
                             break;
                         }
-                        let cutoff = SimTime::from_micros(
-                            (t_min | (BUCKET_WIDTH_MICROS - 1)).min(deadline_us),
-                        );
+                        let timer_floor = if k > 1 {
+                            timer_floors
+                                .iter()
+                                .map(|a| a.load(Ordering::SeqCst))
+                                .min()
+                                .expect("at least one shard")
+                        } else {
+                            u64::MAX
+                        };
+                        let cutoff = SimTime::from_micros(ShardedSim::<P>::window_cutoff(
+                            t_min,
+                            k,
+                            timer_floor,
+                            deadline_us,
+                        ));
                         processed += shard.run_bucket(cutoff);
                         *outbox_slots[i].lock().expect("outbox slot") =
                             std::mem::take(&mut shard.state.outbox.entries);
@@ -1194,6 +1406,7 @@ impl<P: Protocol> ShardedSim<P> {
     pub(crate) fn contract_violation(&self) -> Option<ContractViolation> {
         (self.exchange.violations > 0).then_some(ContractViolation {
             violations: self.exchange.violations,
+            first: self.exchange.first_violation,
         })
     }
 
@@ -1207,6 +1420,10 @@ impl<P: Protocol> ShardedSim<P> {
 
     pub(crate) fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    pub(crate) fn lookahead_buckets(&self) -> u64 {
+        self.exchange.lookahead_buckets
     }
 
     pub(crate) fn mailbox_high_water(&self) -> usize {
@@ -1246,6 +1463,19 @@ impl<P: Protocol> ShardedSim<P> {
 
     pub(crate) fn stats(&self) -> &NetStats {
         &self.stats_cache
+    }
+
+    /// Records every shard's substrate components plus the engine-level
+    /// merge buffers into `f` (see `Simulator::memory_footprint`).
+    pub(crate) fn record_footprint(&self, f: &mut MemoryFootprint) {
+        for shard in &self.shards {
+            f.record(
+                "protocol state",
+                (shard.protocols.capacity() * std::mem::size_of::<P>()) as u64,
+            );
+            shard.state.record_footprint(f);
+        }
+        f.record("merged stats cache", self.stats_cache.heap_bytes());
     }
 
     pub(crate) fn schedule_crash(&mut self, node: NodeId, at: SimTime) {

@@ -33,7 +33,7 @@ use crate::loss::{LossModel, LossSampler, LossState};
 use crate::node::NodeId;
 use crate::rng::stream_rng;
 use crate::shard::{ContractViolation, ShardPolicy};
-use crate::stats::NetStats;
+use crate::stats::{MemoryFootprint, NetStats};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
@@ -178,6 +178,12 @@ impl TimerTable {
     /// Number of slots ever allocated.
     pub(crate) fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Resident heap held by the slot and free-list vectors, in bytes.
+    pub(crate) fn heap_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<TimerSlot>()
+            + self.free.capacity() * std::mem::size_of::<u32>()) as u64
     }
 }
 
@@ -477,6 +483,20 @@ impl<M> SimQueue<M> {
         }
     }
 
+    /// Bytes held by the pending events themselves (entry count × entry
+    /// size, per the backing queue's entry layout). Bucket-vector slack and
+    /// the wheel's fixed arrays are not counted — they are per-simulator
+    /// constants, not per-node state.
+    fn event_bytes(&self) -> u64 {
+        let slim = std::mem::size_of::<ScheduledEvent<EventKind<M>>>();
+        let fat = std::mem::size_of::<ScheduledEvent<FatEventKind<M>>>();
+        let entry = match self {
+            SimQueue::Calendar(_) | SimQueue::Lifo { .. } | SimQueue::Fifo { .. } => slim,
+            SimQueue::CalendarFat(_) | SimQueue::BaselineFat(_) => fat,
+        };
+        (self.len() * entry) as u64
+    }
+
     /// The firing time of the earliest scheduled event, if any. (On the
     /// LIFO ablation stack: the time of the *most recent* entry — the one
     /// the next pop returns — which is all its callers need.)
@@ -604,6 +624,24 @@ struct Core<M> {
 }
 
 impl<M: WireSize> Core<M> {
+    /// Records this core's substrate components into `f` (see
+    /// [`MemoryFootprint`]). Everything here scales with n or with the
+    /// in-flight event population.
+    fn record_footprint(&self, f: &mut MemoryFootprint) {
+        f.record("net stats columns", self.stats.heap_bytes());
+        f.record("pending events", self.queue.event_bytes());
+        f.record(
+            "upload queues",
+            (self.uploads.capacity() * std::mem::size_of::<UploadQueue>()) as u64,
+        );
+        f.record(
+            "node rng streams",
+            (self.rngs.capacity() * std::mem::size_of::<SmallRng>()) as u64,
+        );
+        f.record("liveness flags", self.alive.capacity() as u64);
+        f.record("timer slots", self.timers.heap_bytes());
+    }
+
     /// Sends `msg` through `from`'s upload queue, drawing loss and latency,
     /// and schedules the delivery event. The single transmit path shared by
     /// every core mode; only the latency reduction differs per mode (same
@@ -1284,6 +1322,16 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
+    /// The exchange-window width of a sharded run, in calendar buckets:
+    /// `floor(min_latency / bucket_width)`, at least 1. Returns 1 for the
+    /// single-core engine, which has no exchange to bound.
+    pub fn lookahead_buckets(&self) -> u64 {
+        match &self.inner {
+            SimInner::Single(_) => 1,
+            SimInner::Sharded(s) => s.lookahead_buckets(),
+        }
+    }
+
     /// The peak number of entries any shard mailbox held at one exchange
     /// (0 when unsharded). Diagnostic for sizing
     /// [`SimulatorBuilder::shard_mailbox_capacity`].
@@ -1333,6 +1381,29 @@ impl<P: Protocol> Simulator<P> {
             SimInner::Single(s) => &s.core.uploads[id.index()],
             SimInner::Sharded(s) => s.upload_queue(id),
         }
+    }
+
+    /// An itemised, capacity-based estimate of the simulator's resident
+    /// heap — the `bytes_per_node` accounting hook of the scale campaign
+    /// (`docs/SCALE.md`). Covers the substrate (statistics columns, pending
+    /// events, upload queues, RNG streams, liveness, timer slots) plus the
+    /// protocol instances at `size_of::<P>()` each; heap owned *inside*
+    /// protocol state is invisible here and is enforced separately by the
+    /// counting-allocator regression guard. The sharded engine sums its
+    /// shards under the same component labels.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let mut f = MemoryFootprint::new(self.len());
+        match &self.inner {
+            SimInner::Single(s) => {
+                f.record(
+                    "protocol state",
+                    (s.protocols.capacity() * std::mem::size_of::<P>()) as u64,
+                );
+                s.core.record_footprint(&mut f);
+            }
+            SimInner::Sharded(s) => s.record_footprint(&mut f),
+        }
+        f
     }
 
     /// Network-wide traffic statistics.
@@ -1888,6 +1959,48 @@ mod tests {
         SimulatorBuilder::new(n, 1)
             .latency(LatencyModel::constant(SimDuration::from_millis(10)))
             .build(|_| Echo::new(n))
+    }
+
+    #[test]
+    fn memory_footprint_covers_both_engines() {
+        let flat = build(32);
+        let f = flat.memory_footprint();
+        assert_eq!(f.n_nodes(), 32);
+        // Every per-node substrate column must be accounted.
+        for label in [
+            "protocol state",
+            "net stats columns",
+            "upload queues",
+            "node rng streams",
+            "liveness flags",
+        ] {
+            let bytes = f
+                .components()
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, b)| *b)
+                .unwrap_or_else(|| panic!("missing component {label:?}"));
+            assert!(bytes >= 32, "{label}: {bytes} bytes for 32 nodes");
+        }
+        assert!(f.bytes_per_node() > 0.0);
+
+        let sharded = SimulatorBuilder::new(32, 1)
+            .latency(LatencyModel::constant(SimDuration::from_millis(10)))
+            .sharded(4)
+            .build(|_| Echo::new(32));
+        let g = sharded.memory_footprint();
+        assert_eq!(g.n_nodes(), 32);
+        // The sharded engine sums shards under the flat labels and adds its
+        // merged statistics cache.
+        assert!(g
+            .components()
+            .iter()
+            .any(|(l, _)| *l == "merged stats cache"));
+        assert!(g
+            .components()
+            .iter()
+            .find(|(l, _)| *l == "net stats columns")
+            .is_some_and(|(_, b)| *b >= 32 * 56));
     }
 
     #[test]

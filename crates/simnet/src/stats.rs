@@ -267,6 +267,90 @@ impl NetStats {
             .checked_div(departed)
             .map(SimDuration::from_micros)
     }
+
+    /// Resident heap held by the counter columns, in bytes (seven dense
+    /// `u64` columns — 56 bytes per node). Feeds the [`MemoryFootprint`]
+    /// accounting of the scale campaign.
+    pub fn heap_bytes(&self) -> u64 {
+        let columns = [
+            &self.messages_sent,
+            &self.bytes_sent,
+            &self.messages_delivered,
+            &self.bytes_delivered,
+            &self.messages_lost,
+            &self.messages_to_dead,
+            &self.messages_dropped_queue,
+        ];
+        columns
+            .iter()
+            .map(|c| (c.capacity() * std::mem::size_of::<u64>()) as u64)
+            .sum()
+    }
+}
+
+/// An itemised estimate of a simulator's resident heap — the
+/// `bytes_per_node` accounting hook of the scale campaign (`docs/SCALE.md`).
+///
+/// Built by `Simulator::memory_footprint`, which records one `(label,
+/// bytes)` entry per substrate component (statistics columns, pending
+/// events, upload queues, RNG streams, timer slots, protocol state);
+/// [`bytes_per_node`](MemoryFootprint::bytes_per_node) divides the total by
+/// the node population so runs at different scales compare directly.
+///
+/// The numbers are capacity-based estimates (`Vec` capacities × element
+/// sizes), not allocator measurements: they explain *where* the substrate's
+/// bytes live and how they scale with n. The allocator's ground-truth peak
+/// is enforced separately by the counting-allocator regression guard
+/// (`crates/workloads/tests/memory_guard.rs`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    n_nodes: usize,
+    components: Vec<(&'static str, u64)>,
+}
+
+impl MemoryFootprint {
+    /// Creates an empty footprint for a population of `n_nodes`.
+    pub fn new(n_nodes: usize) -> Self {
+        MemoryFootprint {
+            n_nodes,
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds `bytes` under `label`, accumulating into an existing entry with
+    /// the same label (the sharded engine records each shard's components
+    /// under shared labels).
+    pub fn record(&mut self, label: &'static str, bytes: u64) {
+        match self.components.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, total)) => *total += bytes,
+            None => self.components.push((label, bytes)),
+        }
+    }
+
+    /// The recorded `(label, bytes)` entries, in first-recorded order.
+    pub fn components(&self) -> &[(&'static str, u64)] {
+        &self.components
+    }
+
+    /// The node population the footprint covers.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Sum of all recorded component bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.components.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total bytes divided by the node population (0 for an empty
+    /// population).
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.n_nodes == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.n_nodes as f64
+        }
+    }
 }
 
 /// Renders exactly like the pre-PR-4 Vec-of-structs derive
@@ -512,6 +596,26 @@ mod tests {
         fn loss(&mut self, from: NodeId) {
             self.record_loss(from);
         }
+    }
+
+    #[test]
+    fn footprint_accumulates_and_normalises() {
+        let mut f = MemoryFootprint::new(100);
+        f.record("stats", 5_600);
+        f.record("events", 1_000);
+        f.record("stats", 400);
+        assert_eq!(f.n_nodes(), 100);
+        assert_eq!(f.total_bytes(), 7_000);
+        assert!((f.bytes_per_node() - 70.0).abs() < 1e-12);
+        assert_eq!(f.components(), &[("stats", 6_000), ("events", 1_000)]);
+        assert_eq!(MemoryFootprint::new(0).bytes_per_node(), 0.0);
+    }
+
+    #[test]
+    fn stats_heap_bytes_counts_the_columns() {
+        let s = NetStats::new(10);
+        // Seven dense u64 columns, capacity == length right after new().
+        assert_eq!(s.heap_bytes(), 7 * 10 * 8);
     }
 
     #[test]

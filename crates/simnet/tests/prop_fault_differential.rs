@@ -127,9 +127,12 @@ struct Outcome {
 /// Builds and runs one configuration under the seed's fault plan.
 /// `shards == 0` means the flat core; `single_pop` opts out of the PR 8
 /// batched bucket-drain dispatch so the batch path crosses the differential.
+/// `floor_us` sets the latency model's minimum delay and with it the
+/// exchange lookahead (`floor_us / 1024` buckets).
 fn run(
     seed: u64,
     n: u32,
+    floor_us: u64,
     shards: usize,
     policy: Option<ShardPolicy>,
     threaded: bool,
@@ -158,8 +161,8 @@ fn run(
         .collect();
     let mut builder = SimulatorBuilder::new(n as usize, seed)
         .latency(LatencyModel::uniform(
-            SimDuration::from_micros(2_000),
-            SimDuration::from_micros(60_000),
+            SimDuration::from_micros(floor_us),
+            SimDuration::from_micros(floor_us.max(30_000) * 2),
         ))
         .loss(loss)
         .capacities(capacities)
@@ -198,32 +201,60 @@ fn run(
 }
 
 /// Flat vs sharded {1, 2, 4}, sequential and threaded, under one fault plan,
-/// with batched dispatch pinned against single-pop dispatch on both engines.
-fn differential(seed: u64, n: u32) {
-    let flat = run(seed, n, 0, None, false, false);
+/// with batched dispatch pinned against single-pop dispatch on both engines,
+/// at the given latency floor (`floor_us / 1024` buckets of lookahead).
+fn differential(seed: u64, n: u32, floor_us: u64) {
+    let flat = run(seed, n, floor_us, 0, None, false, false);
     assert!(flat.processed > 0, "workload must process events");
     // Fault schedules (partitions, regional crashes, diurnal cycling) and
     // Gilbert–Elliott loss must survive the batch pipeline bit-for-bit.
-    let flat_single = run(seed, n, 0, None, false, true);
+    let flat_single = run(seed, n, floor_us, 0, None, false, true);
     assert_eq!(
         flat, flat_single,
         "faulted flat batched dispatch diverged from single-pop: seed {seed}"
     );
     for shards in [1usize, 2, 4] {
-        let sequential = run(seed, n, shards, Some(ShardPolicy::Contiguous), false, false);
+        let sequential = run(
+            seed,
+            n,
+            floor_us,
+            shards,
+            Some(ShardPolicy::Contiguous),
+            false,
+            false,
+        );
         assert_eq!(
             flat, sequential,
-            "faulted sequential sharded run diverged: seed {seed}, {shards} shards"
+            "faulted sequential sharded run diverged: seed {seed}, {shards} shards, floor \
+             {floor_us} us"
         );
-        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true, false);
+        let threaded = run(
+            seed,
+            n,
+            floor_us,
+            shards,
+            Some(ShardPolicy::RoundRobin),
+            true,
+            false,
+        );
         assert_eq!(
             flat, threaded,
-            "faulted threaded sharded run diverged: seed {seed}, {shards} shards"
+            "faulted threaded sharded run diverged: seed {seed}, {shards} shards, floor \
+             {floor_us} us"
         );
-        let single = run(seed, n, shards, Some(ShardPolicy::Contiguous), false, true);
+        let single = run(
+            seed,
+            n,
+            floor_us,
+            shards,
+            Some(ShardPolicy::Contiguous),
+            false,
+            true,
+        );
         assert_eq!(
             flat, single,
-            "faulted sharded single-pop run diverged from batched: seed {seed}, {shards} shards"
+            "faulted sharded single-pop run diverged from batched: seed {seed}, {shards} \
+             shards, floor {floor_us} us"
         );
     }
 }
@@ -232,17 +263,28 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Any random fault plan yields bit-identical results across the flat
-    /// core and 1/2/4-shard configurations in both execution modes.
+    /// core and 1/2/4-shard configurations in both execution modes, at
+    /// exchange lookaheads from 1 to 31 buckets: crash events, partition
+    /// epochs and diurnal phases all land inside multi-bucket windows.
     #[test]
-    fn fault_plans_are_bit_identical_across_engines(seed in 0u64..1_000_000) {
-        differential(seed, 32);
+    fn fault_plans_are_bit_identical_across_engines(
+        seed in 0u64..1_000_000,
+        floor in 1_024u64..32_768,
+    ) {
+        differential(seed, 32, floor);
     }
 }
 
 /// A deeper single case than the proptest budget affords: more nodes, a
 /// pinned seed whose plan exercises partitions, crashes and diurnal cycling
-/// together.
+/// together, at the single-bucket cadence.
 #[test]
 fn fault_plans_match_on_a_larger_population() {
-    differential(0xFEED, 96);
+    differential(0xFEED, 96, 2_000);
+}
+
+/// The larger faulted population at a wide (16-bucket) lookahead.
+#[test]
+fn fault_plans_match_at_wide_lookahead() {
+    differential(0xFEED, 96, 16_384);
 }

@@ -16,9 +16,17 @@
 //!   positions (hashed into the history via post-run draws).
 //!
 //! The workloads respect the sharded determinism contract: every latency
-//! model's minimum delay and every timer delay spans at least one calendar
-//! bucket (the random initial timer phases are armed in `on_start`, which
-//! the contract exempts).
+//! model's minimum delay spans at least one calendar bucket and every timer
+//! armed from a message handler spans at least the minimum latency (the
+//! random initial timer phases are armed in `on_start`, which the contract
+//! exempts; timer handlers re-arm with delays as short as one bucket, which
+//! the pending-timer clamp must absorb).
+//!
+//! A *latency floor* axis varies the minimum latency — and with it the
+//! exchange lookahead `k = floor(min_latency / bucket_width)` — from one
+//! bucket up to tens of buckets, so the k-bucket exchange cadence is pinned
+//! bit-identical to the flat core for k ≥ 2, including timer re-arms that
+//! straddle exchange-window boundaries.
 
 use heap_simnet::prelude::*;
 use proptest::prelude::*;
@@ -36,6 +44,11 @@ struct Chaos {
     /// A cancellable timer handle, to exercise cancel and stale-cancel
     /// paths across shards.
     pending: Option<TimerId>,
+    /// Floor (µs) for timers armed from `on_message`: the latency model's
+    /// minimum delay, which the contract guarantees outlives any exchange
+    /// window. Timer-handler re-arms are exempt (the pending-timer clamp
+    /// covers them) and keep arming down to one bucket.
+    min_arm: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -86,7 +99,7 @@ impl Protocol for Chaos {
             if let Some(id) = self.pending.take() {
                 ctx.cancel_timer(id);
             }
-            let delay = SimDuration::from_micros(ctx.rng().gen_range(1_024..600_000u64));
+            let delay = SimDuration::from_micros(ctx.rng().gen_range(self.min_arm..600_000u64));
             self.pending = Some(ctx.set_timer(delay, 3));
         }
     }
@@ -122,24 +135,28 @@ struct Outcome {
 /// Builds and runs one configuration. `shards == 0` means the flat core;
 /// `single_pop` opts out of the PR 8 batched bucket-drain dispatch so the
 /// batch path is differentially pinned against the sequential one.
+/// `floor_us` is the latency model's minimum delay — the lookahead bound,
+/// so `floor_us / 1024` is the exchange-window width in buckets.
 fn run(
     seed: u64,
     n: u32,
+    floor_us: u64,
     shards: usize,
     policy: Option<ShardPolicy>,
     threaded: bool,
     single_pop: bool,
 ) -> Outcome {
     let mut cfg = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xD1FF);
-    // Latency: minimum >= one bucket (1.024 ms), as the contract requires.
+    // Latency: minimum = the requested floor (>= one bucket of 1.024 ms, as
+    // the contract requires), which fixes the exchange lookahead.
     let latency = if cfg.gen_bool(0.5) {
         LatencyModel::uniform(
-            SimDuration::from_micros(2_000),
-            SimDuration::from_micros(cfg.gen_range(4_000..120_000u64)),
+            SimDuration::from_micros(floor_us),
+            SimDuration::from_micros(floor_us + cfg.gen_range(4_000..120_000u64)),
         )
     } else {
         LatencyModel::base_plus_exp(
-            SimDuration::from_micros(cfg.gen_range(1_100..30_000u64)),
+            SimDuration::from_micros(floor_us),
             SimDuration::from_millis(cfg.gen_range(1..40u64)),
         )
     };
@@ -178,7 +195,15 @@ fn run(
         history: 0,
         rounds: 8,
         pending: None,
+        min_arm: floor_us,
     });
+    if shards > 0 {
+        assert_eq!(
+            sim.lookahead_buckets(),
+            (floor_us / 1_024).max(1),
+            "the exchange cadence must track the latency floor"
+        );
+    }
     // A couple of pre-run crashes plus one scheduled mid-run.
     let c1 = NodeId::new(cfg.gen_range(0..n));
     sim.schedule_crash(c1, SimTime::from_micros(cfg.gen_range(1_000..500_000u64)));
@@ -207,13 +232,14 @@ fn run(
 }
 
 /// Flat vs sharded {1, 2, 4} x every policy x both execution modes, with the
-/// batched dispatch pinned against single-pop dispatch on every axis.
-fn differential(seed: u64, n: u32) {
-    let flat = run(seed, n, 0, None, false, false);
+/// batched dispatch pinned against single-pop dispatch on every axis, at the
+/// given latency floor (`floor_us / 1024` buckets of exchange lookahead).
+fn differential(seed: u64, n: u32, floor_us: u64) {
+    let flat = run(seed, n, floor_us, 0, None, false, false);
     assert!(flat.processed > 0, "workload must process events");
     // The PR 8 batch pipeline (on by default) must be bit-identical to the
     // plain single-pop dispatcher on the flat core.
-    let flat_single = run(seed, n, 0, None, false, true);
+    let flat_single = run(seed, n, floor_us, 0, None, false, true);
     assert_eq!(
         flat, flat_single,
         "flat batched dispatch diverged from single-pop: seed {seed}"
@@ -224,25 +250,51 @@ fn differential(seed: u64, n: u32) {
             ShardPolicy::Contiguous,
             ShardPolicy::ByCapacityClass,
         ] {
-            let sequential = run(seed, n, shards, Some(policy.clone()), false, false);
+            let sequential = run(
+                seed,
+                n,
+                floor_us,
+                shards,
+                Some(policy.clone()),
+                false,
+                false,
+            );
             assert_eq!(
                 flat, sequential,
-                "sequential sharded run diverged: seed {seed}, {shards} shards, {policy:?}"
+                "sequential sharded run diverged: seed {seed}, {shards} shards, {policy:?}, \
+                 floor {floor_us} us"
             );
         }
         // The threaded mode shares the exchange with the sequential mode;
         // one policy per shard count keeps the case affordable.
-        let threaded = run(seed, n, shards, Some(ShardPolicy::RoundRobin), true, false);
+        let threaded = run(
+            seed,
+            n,
+            floor_us,
+            shards,
+            Some(ShardPolicy::RoundRobin),
+            true,
+            false,
+        );
         assert_eq!(
             flat, threaded,
-            "threaded sharded run diverged: seed {seed}, {shards} shards"
+            "threaded sharded run diverged: seed {seed}, {shards} shards, floor {floor_us} us"
         );
         // And the sharded batch path (per-shard bucket drains plus the
         // vectorized exchange pre-draw) against sharded single-pop.
-        let single = run(seed, n, shards, Some(ShardPolicy::RoundRobin), false, true);
+        let single = run(
+            seed,
+            n,
+            floor_us,
+            shards,
+            Some(ShardPolicy::RoundRobin),
+            false,
+            true,
+        );
         assert_eq!(
             flat, single,
-            "sharded single-pop run diverged from batched: seed {seed}, {shards} shards"
+            "sharded single-pop run diverged from batched: seed {seed}, {shards} shards, \
+             floor {floor_us} us"
         );
     }
 }
@@ -251,26 +303,41 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Random workloads through 1/2/4-shard configurations: identical event
-    /// order, statistics and fingerprints in every configuration.
+    /// order, statistics and fingerprints in every configuration. The floor
+    /// axis spans lookaheads of 1 (the pre-widening cadence) up to 31
+    /// buckets.
     #[test]
-    fn sharded_simulations_match_the_flat_core(seed in 0u64..1_000_000) {
-        differential(seed, 48);
+    fn sharded_simulations_match_the_flat_core(
+        seed in 0u64..1_000_000,
+        floor in 1_024u64..32_768,
+    ) {
+        differential(seed, 48, floor);
     }
 }
 
-/// A deeper single case than the proptest budget affords.
+/// A deeper single case than the proptest budget affords, at the
+/// single-bucket cadence.
 #[test]
 fn sharded_simulations_match_the_flat_core_on_a_larger_population() {
-    differential(0xBEEF, 160);
+    differential(0xBEEF, 160, 2_000);
 }
 
-/// The custom policy plugs into the same differential harness.
+/// The larger population again at a wide (23-bucket) lookahead, so the
+/// multi-bucket windows see dense cross-window timer re-arm traffic.
+#[test]
+fn sharded_simulations_match_the_flat_core_at_wide_lookahead() {
+    differential(0xBEEF, 160, 24_000);
+}
+
+/// The custom policy plugs into the same differential harness (at an
+/// 8-bucket lookahead).
 #[test]
 fn custom_policy_matches_the_flat_core() {
-    let flat = run(7, 48, 0, None, false, false);
+    let flat = run(7, 48, 8_192, 0, None, false, false);
     let custom = run(
         7,
         48,
+        8_192,
         3,
         Some(ShardPolicy::Custom(|n, shards, _| {
             // A deliberately unbalanced deterministic assignment.
@@ -295,6 +362,7 @@ fn sub_bucket_latency_is_rejected_when_sharded() {
             history: 0,
             rounds: 0,
             pending: None,
+            min_arm: 1_024,
         });
 }
 
@@ -343,6 +411,15 @@ fn sub_bucket_timer_delay_is_detected_when_sharded() {
         "the run must stop at the breach, not reach the deadline"
     );
     assert!(violation.to_string().contains("determinism contract"));
+    // The violation names the offender: the timer's owner, its tag, and
+    // the lookahead in force (10 ms constant latency = 9 buckets).
+    let first = violation.first.expect("first offender must be latched");
+    assert_eq!(first.timer_tag, Some(1));
+    assert_eq!(first.lookahead_buckets, 9);
+    assert!(first.scheduled_micros <= first.cutoff_micros);
+    let text = violation.to_string();
+    assert!(text.contains("timer (tag 1)"));
+    assert!(text.contains("lookahead of 9 bucket(s)"));
     // `run_to_completion` surfaces the same breach as an error — and
     // terminates even though the protocol re-arms its timer forever.
     let mut sim = build();

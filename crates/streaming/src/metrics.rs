@@ -288,6 +288,331 @@ impl NodeStreamMetrics {
         let total_micros: u64 = finite.iter().map(|d| d.as_micros()).sum();
         Some(SimDuration::from_micros(total_micros / finite.len() as u64))
     }
+
+    /// Arrival lags of the packets that were received, in sequence order.
+    /// Lets a collector fold the per-packet distribution into a streaming
+    /// aggregate before dropping the full metrics.
+    pub fn received_packet_lags(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.packet_lags.iter().flatten().copied()
+    }
+}
+
+/// The delivery ratio retained by [`CompactNodeMetrics`] for
+/// [`lag_for_full_delivery`](CompactNodeMetrics::lag_for_full_delivery):
+/// the 99 % threshold of the paper's Figs. 1–3.
+pub const COMPACT_DELIVERY_RATIO: f64 = 0.99;
+
+/// The viewing lag at which [`CompactNodeMetrics`] retains per-window
+/// source-packet delivery (the 10 s stream lag of Table 2).
+pub const COMPACT_VIEW_LAG: SimDuration = SimDuration::from_secs(10);
+
+/// Slimmed per-node metrics for large-scale campaigns.
+///
+/// [`NodeStreamMetrics`] keeps three whole-run vectors per node — every
+/// packet's lag, plus every window's source-packet lags — which multiplies
+/// to gigabytes once a run holds 10⁵–10⁶ receivers. This type is computed
+/// from the full metrics while the node is being collected and then replaces
+/// them: it keeps only the per-window decode lags (one entry per window, the
+/// basis of every jitter query) plus a handful of scalar aggregates, so its
+/// footprint is `O(n_windows)` instead of `O(total_packets)`.
+///
+/// Every query it answers is **bit-identical** to the full metrics. Queries
+/// whose exact answer requires the dropped vectors are only retained at the
+/// arguments the reproduced figures actually use — delivery lag at the
+/// [`COMPACT_DELIVERY_RATIO`] and source delivery at the
+/// [`COMPACT_VIEW_LAG`] — and panic for any other argument rather than
+/// silently approximating.
+#[derive(Debug, Clone)]
+pub struct CompactNodeMetrics {
+    /// Decode lag of every window (`None` = never decodable) — kept verbatim
+    /// from the full metrics; every window/jitter query derives from it.
+    window_decode_lags: Vec<Option<SimDuration>>,
+    /// Per window, how many *source* packets arrived within
+    /// [`COMPACT_VIEW_LAG`] of the window's publication completion.
+    source_within_view_lag: Vec<u32>,
+    packets_total: u64,
+    packets_received: u64,
+    /// `lag_for_full_delivery(COMPACT_DELIVERY_RATIO)` of the full metrics.
+    lag_full_delivery: Option<SimDuration>,
+    mean_packet_lag: Option<SimDuration>,
+    clock_anomalies: u64,
+    data_packets_per_window: usize,
+    decode_threshold: usize,
+}
+
+impl CompactNodeMetrics {
+    /// Collapses full metrics into the compact form. The full metrics can be
+    /// dropped afterwards; every retained query answers identically.
+    pub fn from_full(full: &NodeStreamMetrics) -> Self {
+        CompactNodeMetrics {
+            window_decode_lags: full.window_decode_lags.clone(),
+            source_within_view_lag: full
+                .window_source_lags
+                .iter()
+                .map(|lags| lags.iter().filter(|&&l| l <= COMPACT_VIEW_LAG).count() as u32)
+                .collect(),
+            packets_total: full.packet_lags.len() as u64,
+            packets_received: full.packet_lags.iter().flatten().count() as u64,
+            lag_full_delivery: full.lag_for_full_delivery(COMPACT_DELIVERY_RATIO),
+            mean_packet_lag: full.mean_packet_lag(),
+            clock_anomalies: full.clock_anomalies,
+            data_packets_per_window: full.data_packets_per_window,
+            decode_threshold: full.decode_threshold,
+        }
+    }
+
+    /// See [`NodeStreamMetrics::clock_anomalies`].
+    pub fn clock_anomalies(&self) -> u64 {
+        self.clock_anomalies
+    }
+
+    /// See [`NodeStreamMetrics::n_windows`].
+    pub fn n_windows(&self) -> usize {
+        self.window_decode_lags.len()
+    }
+
+    /// See [`NodeStreamMetrics::window_decode_lag`].
+    pub fn window_decode_lag(&self, window: WindowId) -> Option<SimDuration> {
+        self.window_decode_lags
+            .get(window.index() as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// See [`NodeStreamMetrics::window_jitter_free`].
+    pub fn window_jitter_free(&self, window: WindowId, lag: SimDuration) -> bool {
+        matches!(self.window_decode_lag(window), Some(l) if l <= lag)
+    }
+
+    /// See [`NodeStreamMetrics::jitter_free_fraction`].
+    pub fn jitter_free_fraction(&self, lag: SimDuration) -> f64 {
+        if self.window_decode_lags.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .window_decode_lags
+            .iter()
+            .filter(|l| matches!(l, Some(l) if *l <= lag))
+            .count();
+        ok as f64 / self.window_decode_lags.len() as f64
+    }
+
+    /// See [`NodeStreamMetrics::jitter_fraction`].
+    pub fn jitter_fraction(&self, lag: SimDuration) -> f64 {
+        1.0 - self.jitter_free_fraction(lag)
+    }
+
+    /// See [`NodeStreamMetrics::offline_jitter_free_fraction`].
+    pub fn offline_jitter_free_fraction(&self) -> f64 {
+        if self.window_decode_lags.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .window_decode_lags
+            .iter()
+            .filter(|l| l.is_some())
+            .count();
+        ok as f64 / self.window_decode_lags.len() as f64
+    }
+
+    /// See [`NodeStreamMetrics::lag_for_jitter_free`].
+    pub fn lag_for_jitter_free(&self, max_jitter: f64) -> Option<SimDuration> {
+        let total = self.window_decode_lags.len();
+        if total == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        let allowed = (max_jitter * total as f64).floor() as usize;
+        let mut finite: Vec<SimDuration> =
+            self.window_decode_lags.iter().flatten().copied().collect();
+        finite.sort_unstable();
+        let needed = total - allowed;
+        if needed == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        if finite.len() < needed {
+            return None;
+        }
+        Some(finite[needed - 1])
+    }
+
+    /// See [`NodeStreamMetrics::lag_for_full_delivery`]. Only the
+    /// [`COMPACT_DELIVERY_RATIO`] is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics for any other ratio: the per-packet lag vector needed to
+    /// answer it exactly was dropped.
+    pub fn lag_for_full_delivery(&self, ratio: f64) -> Option<SimDuration> {
+        assert!(
+            (ratio - COMPACT_DELIVERY_RATIO).abs() < 1e-12,
+            "compact metrics retain delivery lag only at ratio \
+             {COMPACT_DELIVERY_RATIO}; rerun with full result detail for ratio {ratio}"
+        );
+        if self.packets_total == 0 {
+            return Some(SimDuration::ZERO);
+        }
+        self.lag_full_delivery
+    }
+
+    /// See [`NodeStreamMetrics::delivery_ratio`].
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_total == 0 {
+            return 0.0;
+        }
+        self.packets_received as f64 / self.packets_total as f64
+    }
+
+    /// See [`NodeStreamMetrics::window_source_delivery_ratio`]. Only the
+    /// [`COMPACT_VIEW_LAG`] is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics for any other lag.
+    pub fn window_source_delivery_ratio(&self, window: WindowId, lag: SimDuration) -> f64 {
+        assert_eq!(
+            lag, COMPACT_VIEW_LAG,
+            "compact metrics retain source delivery only at the \
+             {COMPACT_VIEW_LAG} viewing lag; rerun with full result detail"
+        );
+        match self.source_within_view_lag.get(window.index() as usize) {
+            None => 0.0,
+            Some(&got) => got as f64 / self.data_packets_per_window as f64,
+        }
+    }
+
+    /// See [`NodeStreamMetrics::jittered_window_delivery_ratio`]. Only the
+    /// [`COMPACT_VIEW_LAG`] is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics for any other lag.
+    pub fn jittered_window_delivery_ratio(&self, lag: SimDuration) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for w in 0..self.window_decode_lags.len() {
+            let window = WindowId::new(w as u64);
+            if !self.window_jitter_free(window, lag) {
+                sum += self.window_source_delivery_ratio(window, lag);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// See [`NodeStreamMetrics::windows_decodable_at`].
+    pub fn windows_decodable_at(&self, lag: SimDuration) -> Vec<bool> {
+        (0..self.window_decode_lags.len())
+            .map(|w| self.window_jitter_free(WindowId::new(w as u64), lag))
+            .collect()
+    }
+
+    /// See [`NodeStreamMetrics::decode_threshold`].
+    pub fn decode_threshold(&self) -> usize {
+        self.decode_threshold
+    }
+
+    /// See [`NodeStreamMetrics::mean_packet_lag`].
+    pub fn mean_packet_lag(&self) -> Option<SimDuration> {
+        self.mean_packet_lag
+    }
+
+    /// Resident heap bytes of this compact record — `O(n_windows)`, the
+    /// quantity the scale campaign's memory budget tracks per node.
+    pub fn heap_bytes(&self) -> usize {
+        self.window_decode_lags.capacity() * std::mem::size_of::<Option<SimDuration>>()
+            + self.source_within_view_lag.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Per-node metrics at either result detail: the full form keeps every
+/// per-packet and per-window-source lag; the compact form keeps `O(n_windows)`
+/// aggregates (see [`CompactNodeMetrics`] for the retained query surface).
+///
+/// Every shared query is exposed as an inherent method so downstream figure
+/// code is written once against this enum; the `Debug` rendering of the
+/// `Full` variant is transparent (it prints exactly like the wrapped
+/// [`NodeStreamMetrics`]), which keeps fingerprints of full-detail results
+/// stable across the introduction of this enum.
+#[derive(Clone)]
+pub enum NodeMetrics {
+    /// Full whole-run vectors; every query at every argument.
+    Full(NodeStreamMetrics),
+    /// `O(n_windows)` aggregates; figure-surface queries only.
+    Compact(CompactNodeMetrics),
+}
+
+impl std::fmt::Debug for NodeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Transparent: full-detail fingerprints must not see the enum.
+            NodeMetrics::Full(m) => m.fmt(f),
+            NodeMetrics::Compact(m) => m.fmt(f),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($($(#[$doc:meta])* $name:ident ( $($arg:ident : $ty:ty),* ) -> $ret:ty;)*) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&self, $($arg: $ty),*) -> $ret {
+                match self {
+                    NodeMetrics::Full(m) => m.$name($($arg),*),
+                    NodeMetrics::Compact(m) => m.$name($($arg),*),
+                }
+            }
+        )*
+    };
+}
+
+impl NodeMetrics {
+    delegate! {
+        /// See [`NodeStreamMetrics::clock_anomalies`].
+        clock_anomalies() -> u64;
+        /// See [`NodeStreamMetrics::n_windows`].
+        n_windows() -> usize;
+        /// See [`NodeStreamMetrics::window_decode_lag`].
+        window_decode_lag(window: WindowId) -> Option<SimDuration>;
+        /// See [`NodeStreamMetrics::window_jitter_free`].
+        window_jitter_free(window: WindowId, lag: SimDuration) -> bool;
+        /// See [`NodeStreamMetrics::jitter_free_fraction`].
+        jitter_free_fraction(lag: SimDuration) -> f64;
+        /// See [`NodeStreamMetrics::jitter_fraction`].
+        jitter_fraction(lag: SimDuration) -> f64;
+        /// See [`NodeStreamMetrics::offline_jitter_free_fraction`].
+        offline_jitter_free_fraction() -> f64;
+        /// See [`NodeStreamMetrics::lag_for_jitter_free`].
+        lag_for_jitter_free(max_jitter: f64) -> Option<SimDuration>;
+        /// See [`NodeStreamMetrics::lag_for_full_delivery`] (compact: only
+        /// at [`COMPACT_DELIVERY_RATIO`]).
+        lag_for_full_delivery(ratio: f64) -> Option<SimDuration>;
+        /// See [`NodeStreamMetrics::delivery_ratio`].
+        delivery_ratio() -> f64;
+        /// See [`NodeStreamMetrics::window_source_delivery_ratio`] (compact:
+        /// only at [`COMPACT_VIEW_LAG`]).
+        window_source_delivery_ratio(window: WindowId, lag: SimDuration) -> f64;
+        /// See [`NodeStreamMetrics::jittered_window_delivery_ratio`]
+        /// (compact: only at [`COMPACT_VIEW_LAG`]).
+        jittered_window_delivery_ratio(lag: SimDuration) -> Option<f64>;
+        /// See [`NodeStreamMetrics::windows_decodable_at`].
+        windows_decodable_at(lag: SimDuration) -> Vec<bool>;
+        /// See [`NodeStreamMetrics::decode_threshold`].
+        decode_threshold() -> usize;
+        /// See [`NodeStreamMetrics::mean_packet_lag`].
+        mean_packet_lag() -> Option<SimDuration>;
+    }
+
+    /// The wrapped full metrics, if this is the full form.
+    pub fn as_full(&self) -> Option<&NodeStreamMetrics> {
+        match self {
+            NodeMetrics::Full(m) => Some(m),
+            NodeMetrics::Compact(_) => None,
+        }
+    }
 }
 
 /// Convenience: computes metrics for many nodes at once.
@@ -506,6 +831,97 @@ mod tests {
             clean.record(p.id, p.published_at);
         }
         assert_eq!(NodeStreamMetrics::compute(&s, &clean).clock_anomalies(), 0);
+    }
+
+    #[test]
+    fn compact_metrics_answer_the_figure_surface_identically() {
+        let s = schedule(4);
+        let lags = vec![
+            Some(SimDuration::from_secs(1)),
+            None,
+            Some(SimDuration::from_secs(30)),
+            Some(SimDuration::from_secs(2)),
+        ];
+        let log = log_with_window_lags(&s, &lags);
+        let full = NodeStreamMetrics::compute(&s, &log);
+        let compact = CompactNodeMetrics::from_full(&full);
+
+        assert_eq!(compact.n_windows(), full.n_windows());
+        assert_eq!(compact.clock_anomalies(), full.clock_anomalies());
+        assert_eq!(compact.delivery_ratio(), full.delivery_ratio());
+        assert_eq!(compact.decode_threshold(), full.decode_threshold());
+        assert_eq!(compact.mean_packet_lag(), full.mean_packet_lag());
+        assert_eq!(
+            compact.lag_for_full_delivery(COMPACT_DELIVERY_RATIO),
+            full.lag_for_full_delivery(COMPACT_DELIVERY_RATIO)
+        );
+        for lag_secs in [0u64, 1, 2, 5, 10, 30, 100] {
+            let lag = SimDuration::from_secs(lag_secs);
+            assert_eq!(
+                compact.jitter_free_fraction(lag),
+                full.jitter_free_fraction(lag),
+                "lag {lag_secs}s"
+            );
+            assert_eq!(compact.jitter_fraction(lag), full.jitter_fraction(lag));
+            assert_eq!(
+                compact.windows_decodable_at(lag),
+                full.windows_decodable_at(lag)
+            );
+        }
+        for w in 0..5u64 {
+            let window = WindowId::new(w);
+            assert_eq!(
+                compact.window_decode_lag(window),
+                full.window_decode_lag(window)
+            );
+            assert_eq!(
+                compact.window_source_delivery_ratio(window, COMPACT_VIEW_LAG),
+                full.window_source_delivery_ratio(window, COMPACT_VIEW_LAG)
+            );
+        }
+        assert_eq!(
+            compact.offline_jitter_free_fraction(),
+            full.offline_jitter_free_fraction()
+        );
+        for max_jitter in [0.0, 0.01, 0.25, 0.5, 1.0] {
+            assert_eq!(
+                compact.lag_for_jitter_free(max_jitter),
+                full.lag_for_jitter_free(max_jitter),
+                "max jitter {max_jitter}"
+            );
+        }
+        assert_eq!(
+            compact.jittered_window_delivery_ratio(COMPACT_VIEW_LAG),
+            full.jittered_window_delivery_ratio(COMPACT_VIEW_LAG)
+        );
+        // The compact record's resident footprint is O(n_windows), far below
+        // the per-packet vectors it replaces.
+        assert!(compact.heap_bytes() <= 4 * (16 + 4) + 64);
+
+        // The enum delegates and the Full variant's Debug is transparent.
+        let as_enum = NodeMetrics::Full(full.clone());
+        assert_eq!(format!("{as_enum:?}"), format!("{full:?}"));
+        assert_eq!(as_enum.delivery_ratio(), full.delivery_ratio());
+        assert!(as_enum.as_full().is_some());
+        assert!(NodeMetrics::Compact(compact).as_full().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "compact metrics retain delivery lag only at ratio")]
+    fn compact_metrics_refuse_unretained_delivery_ratio() {
+        let s = schedule(1);
+        let log = ReceiverLog::for_schedule(&s);
+        let compact = CompactNodeMetrics::from_full(&NodeStreamMetrics::compute(&s, &log));
+        let _ = compact.lag_for_full_delivery(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "compact metrics retain source delivery only at the")]
+    fn compact_metrics_refuse_unretained_view_lag() {
+        let s = schedule(1);
+        let log = ReceiverLog::for_schedule(&s);
+        let compact = CompactNodeMetrics::from_full(&NodeStreamMetrics::compute(&s, &log));
+        let _ = compact.window_source_delivery_ratio(WindowId::new(0), SimDuration::from_secs(3));
     }
 
     #[test]

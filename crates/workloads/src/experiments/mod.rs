@@ -18,6 +18,7 @@ pub mod fig7_jitter_cdf;
 pub mod fig8_lag_by_class;
 pub mod fig9_lag_cdf;
 pub mod partial_view;
+pub mod scale_campaign;
 pub mod stream_health;
 pub mod table1_distributions;
 pub mod table2_jittered_delivery;

@@ -35,5 +35,6 @@ pub use runner::{
 };
 pub use scale::Scale;
 pub use scenario::{
-    ChurnSpec, MembershipChoice, ProtocolChoice, Scenario, ShardPolicyChoice, ShardingChoice,
+    ChurnSpec, MembershipChoice, ProtocolChoice, ResultDetail, Scenario, ShardPolicyChoice,
+    ShardingChoice,
 };

@@ -1,6 +1,6 @@
 //! Executes a [`Scenario`] on the simulator and collects per-node results.
 
-use crate::scenario::{ChurnSpec, Scenario, ShardingChoice};
+use crate::scenario::{ChurnSpec, ResultDetail, Scenario, ShardingChoice};
 use heap_analytics::BucketSeries;
 use heap_gossip::fanout::FanoutPolicy;
 use heap_gossip::node::{GossipNode, ProtocolStats, Role};
@@ -12,7 +12,7 @@ use heap_simnet::rng::stream_rng;
 use heap_simnet::sim::{Simulator, SimulatorBuilder};
 use heap_simnet::time::{SimDuration, SimTime};
 use heap_streaming::health::HealthReport;
-use heap_streaming::metrics::NodeStreamMetrics;
+use heap_streaming::metrics::{CompactNodeMetrics, NodeMetrics, NodeStreamMetrics};
 use heap_streaming::source::{StreamConfig, StreamSchedule};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -42,8 +42,10 @@ pub struct NodeResult {
     /// ([`Scenario::free_riders`]); its `capability` is the *inflated*
     /// advertised one.
     pub free_rider: bool,
-    /// Stream-quality metrics derived from the node's receive log.
-    pub metrics: NodeStreamMetrics,
+    /// Stream-quality metrics derived from the node's receive log — full
+    /// whole-run vectors or `O(n_windows)` compact aggregates, per the
+    /// scenario's [`ResultDetail`].
+    pub metrics: NodeMetrics,
     /// Stream-health report (drift, cadence, freezes, 0–100 score) snapshotted
     /// at the end of the run from the node's incremental
     /// [`ReceiverHealth`](heap_streaming::health::ReceiverHealth) tracker.
@@ -94,6 +96,11 @@ pub struct ExperimentResult {
     /// Bucketed mean-health-over-time samples, present when the scenario set
     /// [`Scenario::health_series`] (x = seconds since stream start).
     pub health_series: Option<BucketSeries>,
+    /// Run-level packet-lag distribution (x = arrival lag in seconds,
+    /// bucketed at 0.5 s — the grid of the paper's lag figures), present in
+    /// [`ResultDetail::Compact`] runs, where it replaces the dropped
+    /// per-node per-packet lag vectors as the whole-run distribution view.
+    pub packet_lag_series: Option<BucketSeries>,
 }
 
 impl ExperimentResult {
@@ -462,10 +469,28 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
     crashed_nodes.extend(regional_crashes.iter().map(|&(_, node, _)| node));
 
     let mut nodes = Vec::with_capacity(n - 1);
+    // Compact runs fold every received packet's lag into one run-level
+    // histogram before the per-node vectors are dropped (0.5 s buckets, the
+    // grid of the lag figures).
+    let mut packet_lag_series = match scenario.detail {
+        ResultDetail::Full => None,
+        ResultDetail::Compact => Some(BucketSeries::new("packet lag distribution", 0.5)),
+    };
     for (i, &advertised_cap) in advertised.iter().enumerate().skip(1) {
         let id = NodeId::new(i as u32);
         let node = sim.node(id);
-        let metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
+        let full_metrics = NodeStreamMetrics::compute(&schedule, node.receiver_log());
+        let metrics = match scenario.detail {
+            ResultDetail::Full => NodeMetrics::Full(full_metrics),
+            ResultDetail::Compact => {
+                let series = packet_lag_series.as_mut().expect("created above");
+                for lag in full_metrics.received_packet_lags() {
+                    let secs = lag.as_secs_f64();
+                    series.record(secs, secs);
+                }
+                NodeMetrics::Compact(CompactNodeMetrics::from_full(&full_metrics))
+            }
+        };
         let health = node.health().report(end);
         // Simulated clocks cannot run backwards: any anomaly in a
         // simnet-driven run is a harness bug, not a measurement artefact.
@@ -517,6 +542,7 @@ pub fn run_scenario(scenario: &Scenario) -> ExperimentResult {
         crashed_count: crashed_nodes.len(),
         net,
         health_series: sampler.map(|(series, _, _)| series),
+        packet_lag_series,
     }
 }
 

@@ -433,6 +433,38 @@ impl FreeRiderSpec {
     }
 }
 
+/// How much per-node detail the runner retains in the result.
+///
+/// The knob never changes what is *simulated* — only what survives
+/// collection. Full detail keeps every per-packet and per-window-source lag
+/// per node (`O(total_packets)` each); compact detail collapses each node to
+/// [`CompactNodeMetrics`](heap_streaming::CompactNodeMetrics)
+/// (`O(n_windows)`) and folds the per-packet lag distribution into one
+/// run-level [`BucketSeries`](heap_analytics::BucketSeries), which is what
+/// makes 10⁵–10⁶-receiver campaigns fit in memory. Every figure query the
+/// reproduction uses answers bit-identically in either mode (asserted in
+/// tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub enum ResultDetail {
+    /// Keep the full [`NodeStreamMetrics`](heap_streaming::NodeStreamMetrics)
+    /// per node (the default).
+    #[default]
+    Full,
+    /// Keep `O(n_windows)` aggregates per node plus one run-level packet-lag
+    /// histogram.
+    Compact,
+}
+
+impl ResultDetail {
+    /// A short label for logs and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResultDetail::Full => "full",
+            ResultDetail::Compact => "compact",
+        }
+    }
+}
+
 /// A complete, reproducible description of one experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Scenario {
@@ -481,6 +513,10 @@ pub struct Scenario {
     /// Free-rider adversary population; `None`, the default, makes every
     /// node honest and draws no setup randomness.
     pub free_riders: Option<FreeRiderSpec>,
+    /// How much per-node detail the result retains (default: full). Compact
+    /// detail is the memory knob for large-scale campaigns; it never changes
+    /// what is simulated.
+    pub detail: ResultDetail,
 }
 
 impl Scenario {
@@ -510,7 +546,14 @@ impl Scenario {
             health_series: None,
             fault: None,
             free_riders: None,
+            detail: ResultDetail::default(),
         }
+    }
+
+    /// Sets the result-detail level.
+    pub fn with_detail(mut self, detail: ResultDetail) -> Self {
+        self.detail = detail;
+        self
     }
 
     /// Sets the churn spec.

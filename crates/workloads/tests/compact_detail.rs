@@ -1,0 +1,170 @@
+//! Compact-vs-full result-detail equivalence.
+//!
+//! [`ResultDetail::Compact`] is a pure memory knob: it must never change a
+//! byte of any figure or of the `--metrics-out` exposition. These tests run
+//! the same scenarios at both detail levels and byte-compare every rendered
+//! artefact the reproduction derives from an [`ExperimentResult`] — the lag
+//! CDFs behind Figs. 1–3 and 9, the jitter CDFs of Fig. 7, Table 2's
+//! jittered-window delivery, the per-window decodability series of Fig. 10
+//! and the full Prometheus-style exposition.
+
+use heap_simnet::time::SimDuration;
+use heap_workloads::experiments::common::{jitter_cdf_series, lag_cdf_series, LagKind};
+use heap_workloads::experiments::table2_jittered_delivery::{jittered_delivery_by_class, VIEW_LAG};
+use heap_workloads::health_export::exposition;
+use heap_workloads::{
+    run_scenario, BandwidthDistribution, ChurnSpec, ExperimentResult, ProtocolChoice, ResultDetail,
+    Scale, Scenario,
+};
+
+fn scenario(name: &str, dist: BandwidthDistribution, churn: ChurnSpec) -> Scenario {
+    Scenario::new(
+        name,
+        Scale::test(),
+        dist,
+        ProtocolChoice::Heap { fanout: 6.0 },
+    )
+    .with_churn(churn)
+}
+
+/// The scenario pairs the equivalence is checked over: a lossless-ish plain
+/// run, a constrained distribution, and a churned run (so the survivor
+/// filtering crosses the comparison too).
+fn scenario_set() -> Vec<Scenario> {
+    vec![
+        scenario(
+            "compact-eq/unconstrained",
+            BandwidthDistribution::unconstrained(),
+            ChurnSpec::None,
+        ),
+        scenario(
+            "compact-eq/ms-691",
+            BandwidthDistribution::ms_691(),
+            ChurnSpec::None,
+        ),
+        scenario(
+            "compact-eq/churned",
+            BandwidthDistribution::ref_691(),
+            ChurnSpec::Catastrophic {
+                fraction: 0.3,
+                at_secs: 4,
+                detection_secs: 5,
+            },
+        ),
+    ]
+}
+
+/// Renders every figure-level artefact derived from one result.
+fn render_figure_surface(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    for kind in [
+        LagKind::Delivery99,
+        LagKind::JitterFree,
+        LagKind::MaxOnePercentJitter,
+    ] {
+        out.push_str(&format!(
+            "{}\n",
+            lag_cdf_series(result, kind, format!("{kind:?}"))
+        ));
+    }
+    out.push_str(&format!(
+        "{}\n",
+        jitter_cdf_series(result, Some(VIEW_LAG), "fig7@10s")
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        jitter_cdf_series(result, None, "fig7@offline")
+    ));
+    for (class, ratio) in jittered_delivery_by_class(result) {
+        out.push_str(&format!("table2 {class}: {ratio:?}\n"));
+    }
+    for node in &result.nodes {
+        out.push_str(&format!(
+            "fig10 {}: {:?}\n",
+            node.node,
+            node.metrics.windows_decodable_at(VIEW_LAG)
+        ));
+    }
+    out
+}
+
+#[test]
+fn every_figure_artefact_is_byte_identical_across_detail_levels() {
+    for base in scenario_set() {
+        let full = run_scenario(&base);
+        let compact = run_scenario(&base.clone().with_detail(ResultDetail::Compact));
+
+        assert!(full.packet_lag_series.is_none());
+        let series = compact
+            .packet_lag_series
+            .as_ref()
+            .expect("compact runs fold packet lags into the run-level series");
+        if full.nodes.iter().any(|n| n.metrics.delivery_ratio() > 0.0) {
+            assert!(!series.is_empty(), "{}: lag series empty", base.name);
+        }
+
+        assert_eq!(full.crashed_count, compact.crashed_count, "{}", base.name);
+        assert_eq!(full.net, compact.net, "{}", base.name);
+        assert_eq!(full.classes(), compact.classes(), "{}", base.name);
+        assert_eq!(
+            render_figure_surface(&full),
+            render_figure_surface(&compact),
+            "{}: a figure artefact diverged between detail levels",
+            base.name
+        );
+    }
+}
+
+#[test]
+fn metrics_exposition_is_byte_identical_across_detail_levels() {
+    let base = scenario(
+        "compact-eq/expo",
+        BandwidthDistribution::ref_691(),
+        ChurnSpec::None,
+    );
+    let full = run_scenario(&base);
+    let compact = run_scenario(&base.clone().with_detail(ResultDetail::Compact));
+    let full_text = exposition(&[("expo", &full)]).render();
+    let compact_text = exposition(&[("expo", &compact)]).render();
+    assert!(!full_text.is_empty());
+    assert_eq!(
+        full_text, compact_text,
+        "--metrics-out exposition must not depend on the result detail"
+    );
+}
+
+#[test]
+fn compact_results_drop_the_per_packet_vectors() {
+    let base = scenario(
+        "compact-eq/size",
+        BandwidthDistribution::ref_691(),
+        ChurnSpec::None,
+    );
+    let compact = run_scenario(&base.clone().with_detail(ResultDetail::Compact));
+    let windows = Scale::test().n_windows as usize;
+    for node in &compact.nodes {
+        match &node.metrics {
+            heap_streaming::NodeMetrics::Compact(m) => {
+                assert_eq!(m.n_windows(), windows);
+                // O(n_windows) resident bytes — the per-node budget of the
+                // scale campaign (decode lags + source counts + slack).
+                assert!(
+                    m.heap_bytes() <= windows * 24 + 64,
+                    "compact node metrics hold {} bytes",
+                    m.heap_bytes()
+                );
+            }
+            heap_streaming::NodeMetrics::Full(_) => {
+                panic!("compact run returned full metrics")
+            }
+        }
+    }
+    // And the health-series path still composes with compact detail.
+    let sampled = run_scenario(
+        &base
+            .with_detail(ResultDetail::Compact)
+            .with_health_series(SimDuration::from_secs(5)),
+    );
+    assert!(sampled.health_series.is_some());
+    assert!(sampled.packet_lag_series.is_some());
+}
